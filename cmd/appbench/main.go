@@ -1,0 +1,42 @@
+// Command appbench regenerates Figure 13 of the paper: throughput-latency
+// behaviour and peak memory usage of the Memcached, Apache and Nginx case
+// studies under each memory-safety mechanism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxbounds/internal/bench"
+)
+
+func main() {
+	app := flag.String("app", "all", "memcached | apache | nginx | all")
+	requests := flag.Int("requests", 2000, "requests per measurement")
+	flag.Parse()
+
+	if *app == "all" {
+		bench.Fig13(os.Stdout, *requests)
+		return
+	}
+	tab := false
+	for _, known := range []string{"memcached", "apache", "nginx"} {
+		if *app == known {
+			tab = true
+		}
+	}
+	if !tab {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	for _, pol := range bench.PolicyNames {
+		r := bench.MeasureApp(*app, pol, *requests)
+		if r.Outcome.Crashed() {
+			fmt.Printf("%-10s %s\n", pol, r.Outcome)
+			continue
+		}
+		fmt.Printf("%-10s peak-tput=%8.0f req/s  latency@1=%.3f ms  memory=%s  pagefaults=%d\n",
+			pol, r.Throughput(), r.Latency(1), bench.FmtMB(r.PeakReserved), r.PageFaults)
+	}
+}

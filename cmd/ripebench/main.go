@@ -1,0 +1,14 @@
+// Command ripebench regenerates Table 4 of the paper: the RIPE security
+// benchmark matrix (which buffer-overflow attacks each memory-safety
+// mechanism prevents under shielded execution).
+package main
+
+import (
+	"os"
+
+	"sgxbounds/internal/bench"
+)
+
+func main() {
+	bench.Table4(os.Stdout)
+}

@@ -1,0 +1,83 @@
+// Command sgxbench regenerates the tables and figures of the paper's
+// evaluation: Figure 1 (SQLite speedtest), Figure 7 (Phoenix+PARSEC
+// overheads), Figure 8 + Table 3 (working-set sweep), Figure 9 (thread
+// scaling), Figure 10 (optimisation ablation), Figure 11 (SPEC inside SGX),
+// Figure 12 (SPEC outside SGX), Figure 13 (case studies) and Table 4
+// (RIPE).
+//
+// Usage:
+//
+//	sgxbench -experiment fig7 [-threads 8]
+//	sgxbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxbounds/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "fig1 | fig2 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | table4 | all")
+	threads := flag.Int("threads", 8, "worker threads for the multithreaded suites")
+	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
+	flag.Parse()
+
+	w := os.Stdout
+	writeCSV := func(name string, emit func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(*csvDir + "/" + name + ".csv")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			bench.Fig1(w)
+		case "fig2":
+			bench.Fig2(w)
+		case "fig13":
+			bench.Fig13(w, 2000)
+		case "table4":
+			bench.Table4(w)
+		case "fig7":
+			grid := bench.Fig7(w, *threads)
+			writeCSV("fig7", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
+		case "fig8":
+			res := bench.Fig8(w, *threads)
+			writeCSV("fig8", func(f *os.File) error { return bench.WriteFig8CSV(f, res) })
+		case "fig9":
+			bench.Fig9(w)
+		case "fig10":
+			bench.Fig10(w, *threads)
+		case "fig11":
+			grid := bench.Fig11(w)
+			writeCSV("fig11", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
+		case "fig12":
+			grid := bench.Fig12(w)
+			writeCSV("fig12", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4"} {
+			fmt.Fprintf(w, "\n### %s\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,14 @@
+// Command sqlitebench regenerates Figure 1 of the paper: the SQLite
+// (minidb) speedtest performance and memory overheads with increasing
+// working-set items, run inside a database-sized enclave.
+package main
+
+import (
+	"os"
+
+	"sgxbounds/internal/bench"
+)
+
+func main() {
+	bench.Fig1(os.Stdout)
+}

@@ -1,0 +1,55 @@
+// Quickstart: create an enclave, harden a program with SGXBounds, and
+// watch an off-by-one heap overflow get caught — while the same code under
+// the unprotected baseline silently corrupts its neighbour.
+package main
+
+import (
+	"fmt"
+
+	"sgxbounds"
+)
+
+func main() {
+	// A simulated SGX enclave: 32-bit address space, scaled EPC, MEE costs.
+	enc := sgxbounds.NewEnclave()
+
+	// "Compile" the program with the SGXBounds instrumentation pass.
+	prog := enc.MustProgram(sgxbounds.SGXBounds, sgxbounds.AllOptimizations())
+
+	// A tagged pointer: the low half is the address, the high half carries
+	// the object's upper bound (Figure 5 of the paper).
+	buf := prog.Malloc(64)
+	fmt.Printf("tagged pointer: addr=%#x upper-bound=%#x\n", buf.Addr(), sgxbounds.TagOf(buf))
+
+	// In-bounds accesses are checked and pass.
+	for off := int64(0); off < 64; off += 8 {
+		prog.StoreAt(buf, off, 8, uint64(off)*3)
+	}
+	fmt.Printf("buf[24] = %d\n", prog.LoadAt(buf, 24, 8))
+
+	// The classic off-by-one: detected before it touches the neighbour.
+	out := sgxbounds.Capture(func() { prog.StoreAt(buf, 64, 1, 0xFF) })
+	fmt.Printf("off-by-one store: %v\n", out)
+
+	// Bounds survive pointer spills: store the pointer in memory, load it
+	// back, and the tag comes back with it — no bounds tables, no shadow
+	// memory, just the 64-bit word (§3.2, §4.1).
+	slot := prog.Malloc(8)
+	prog.StorePtrAt(slot, 0, buf)
+	loaded := prog.LoadPtrAt(slot, 0)
+	out = sgxbounds.Capture(func() { prog.LoadAt(loaded, 9999, 8) })
+	fmt.Printf("wild read through reloaded pointer: %v\n", out)
+
+	// The same overflow under the unprotected baseline corrupts silently.
+	nat := sgxbounds.NewEnclave().MustProgram(sgxbounds.SGX, sgxbounds.Options{})
+	a := nat.Malloc(16)
+	b := nat.Malloc(16)
+	nat.StoreAt(b, 0, 8, 0x600D)
+	nat.StoreAt(a, int64(b.Addr())-int64(a.Addr()), 8, 0xBAD) // overflow a into b
+	fmt.Printf("native neighbour after overflow: %#x (was 0x600d)\n", nat.LoadAt(b, 0, 8))
+
+	// The cost of safety: simulated counters.
+	s := prog.Stats()
+	fmt.Printf("sgxbounds program: %d instructions, %d checks, %d cycles\n",
+		s.Instr, s.Checks, s.Cycles)
+}

@@ -1,0 +1,3 @@
+module sgxbounds
+
+go 1.22

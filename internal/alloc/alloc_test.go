@@ -1,0 +1,236 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxbounds/internal/machine"
+)
+
+func newEnv(t *testing.T) (*machine.Machine, *machine.Thread, *Heap) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig())
+	return m, m.NewThread(), NewHeap(m)
+}
+
+func TestAllocBasics(t *testing.T) {
+	_, th, h := newEnv(t)
+	p, err := h.Alloc(th, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%8 != 0 {
+		t.Errorf("payload %#x not 8-byte aligned", p)
+	}
+	if got := h.SizeOf(th, p); got != 100 {
+		t.Errorf("SizeOf = %d, want 100", got)
+	}
+	if got := h.Tag(th, p); got != TagLive {
+		t.Errorf("tag = %#x, want live", got)
+	}
+	if h.LiveObjects() != 1 {
+		t.Errorf("live objects = %d", h.LiveObjects())
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	_, th, h := newEnv(t)
+	p, _ := h.Alloc(th, 64)
+	if err := h.Free(th, p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := h.Alloc(th, 64)
+	if q != p {
+		t.Errorf("same-class allocation did not reuse the freed block: %#x != %#x", q, p)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	_, th, h := newEnv(t)
+	p, _ := h.Alloc(th, 64)
+	_ = h.Free(th, p)
+	if err := h.Free(th, p); err == nil {
+		t.Error("double free not reported")
+	}
+}
+
+func TestLargeAllocationsArePageAligned(t *testing.T) {
+	m, th, h := newEnv(t)
+	before := m.AS.Reserved()
+	p, err := h.Alloc(th, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (p-HeaderSize)%4096 != 0 {
+		t.Errorf("large mapping base %#x not page aligned", p-HeaderSize)
+	}
+	if m.AS.Reserved() <= before {
+		t.Error("large allocation did not reserve memory")
+	}
+	if err := h.Free(th, p); err != nil {
+		t.Fatal(err)
+	}
+	if m.AS.Reserved() != before {
+		t.Errorf("large free did not return the reservation: %d -> %d", before, m.AS.Reserved())
+	}
+}
+
+func TestZeroSizeAllocIsValid(t *testing.T) {
+	_, th, h := newEnv(t)
+	p, err := h.Alloc(th, 0)
+	if err != nil || p == 0 {
+		t.Errorf("malloc(0) = %#x, %v", p, err)
+	}
+	if err := h.Free(th, p); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: live allocations never overlap, including their headers.
+func TestQuickNoOverlap(t *testing.T) {
+	_, th, h := newEnv(t)
+	type span struct{ lo, hi uint32 }
+	var live []span
+	f := func(sizes []uint16) bool {
+		live = live[:0]
+		for _, s := range sizes {
+			size := uint32(s)%2000 + 1
+			p, err := h.Alloc(th, size)
+			if err != nil {
+				return false
+			}
+			live = append(live, span{p - HeaderSize, p + size})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				if live[i].lo < live[j].hi && live[j].lo < live[i].hi {
+					return false
+				}
+			}
+		}
+		for _, s := range live {
+			if err := h.Free(th, s.lo+HeaderSize); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakBytesMonotone(t *testing.T) {
+	_, th, h := newEnv(t)
+	p, _ := h.Alloc(th, 1000)
+	peak := h.PeakBytes()
+	_ = h.Free(th, p)
+	if h.PeakBytes() != peak {
+		t.Error("peak decreased after free")
+	}
+	if h.LiveBytes() != 0 {
+		t.Errorf("live bytes = %d after freeing everything", h.LiveBytes())
+	}
+}
+
+func TestBuddyAlignmentInvariant(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	th := m.NewThread()
+	b, err := NewBuddy(m, 20) // 1 MiB arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []uint32{1, 16, 17, 100, 4096, 5000} {
+		addr, order, err := b.Alloc(th, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := uint32(1) << order
+		if block < size {
+			t.Errorf("block %d smaller than request %d", block, size)
+		}
+		if (addr-0)&(block-1) != 0 && addr%block != 0 {
+			t.Errorf("block at %#x not aligned to its size %d", addr, block)
+		}
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	th := m.NewThread()
+	b, err := NewBuddy(m, 16) // 64 KiB arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []uint32
+	for i := 0; i < 8; i++ {
+		a, _, err := b.Alloc(th, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	// Arena is now half full of 4K blocks plus split remainders; free all
+	// and verify a full-arena allocation succeeds (complete coalescing).
+	for _, a := range addrs {
+		if err := b.Free(th, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.Alloc(th, 64<<10); err != nil {
+		t.Errorf("arena did not coalesce back to full size: %v", err)
+	}
+}
+
+func TestBuddyDoubleFree(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	th := m.NewThread()
+	b, _ := NewBuddy(m, 16)
+	a, _, _ := b.Alloc(th, 64)
+	_ = b.Free(th, a)
+	if err := b.Free(th, a); err == nil {
+		t.Error("buddy double free not reported")
+	}
+}
+
+// Property: buddy blocks never overlap and are always aligned.
+func TestQuickBuddyInvariants(t *testing.T) {
+	m := machine.New(machine.NativeConfig())
+	th := m.NewThread()
+	b, err := NewBuddy(m, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sizes []uint16) bool {
+		type span struct{ lo, hi uint32 }
+		var live []span
+		for _, s := range sizes {
+			size := uint32(s)%8000 + 1
+			addr, order, err := b.Alloc(th, size)
+			if err != nil {
+				break // arena full is fine
+			}
+			block := uint32(1) << order
+			if addr%block != 0 {
+				return false
+			}
+			live = append(live, span{addr, addr + block})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				if live[i].lo < live[j].hi && live[j].lo < live[i].hi {
+					return false
+				}
+			}
+		}
+		for _, s := range live {
+			if b.Free(th, s.lo) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

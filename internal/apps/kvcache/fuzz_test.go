@@ -1,0 +1,31 @@
+package kvcache
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+)
+
+// FuzzProtocol throws arbitrary packets at a hardened server. The server
+// may reject requests or the policy may flag the CVE path, but nothing may
+// escape the Capture harness or corrupt the cache's own state.
+func FuzzProtocol(f *testing.F) {
+	f.Add([]byte{0x80, OpSet, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 'd', 'a', 't', 'a'})
+	f.Add([]byte{0x80, OpAuth, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0x55, 1, 2})
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		c := newCtx(t, "sgxbounds")
+		srv := NewServer(c, 64, 100)
+		srv.Handle(EncodeRequest(OpSet, 42, []byte("canary")))
+		out := harden.Capture(func() { srv.Handle(pkt) })
+		if out.Panic != nil {
+			t.Fatalf("harness escape: %v", out.Panic)
+		}
+		// Whatever the packet did (including a detected attack), the
+		// stored state must be intact afterwards.
+		got, ok := srv.Handle(EncodeRequest(OpGet, 42, nil))
+		if !ok || string(got) != "canary" {
+			t.Fatalf("cache state corrupted by packet %v: %q", pkt, got)
+		}
+	})
+}

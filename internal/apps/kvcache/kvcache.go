@@ -1,0 +1,176 @@
+// Package kvcache is the reproduction's stand-in for Memcached (§7,
+// Figure 13a): an in-memory key-value cache with a chained hash table, an
+// intrusive LRU list threaded through item headers, and a binary protocol
+// front end with the CVE-2011-4971 length-handling flaw.
+//
+// The data structures mirror Memcached's: every item starts with a header
+// of raw pointers (hash chain, LRU prev/next), so the cache is exactly the
+// kind of pointer-dense workload whose bounds metadata floods Intel MPX's
+// tables and evicts the working set from the EPC (the paper observed 100x
+// more page faults under MPX than under SGXBounds).
+package kvcache
+
+import (
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/libc"
+)
+
+// Item header layout.
+const (
+	offHashNext = 0  // pointer: next item in the hash chain
+	offLRUPrev  = 8  // pointer: LRU neighbour
+	offLRUNext  = 16 // pointer: LRU neighbour
+	offKeyHash  = 24 // uint64: hashed key
+	offValSize  = 32 // uint32
+	offData     = 40 // value bytes follow
+)
+
+// Cache is the key-value store.
+type Cache struct {
+	c        *harden.Ctx
+	slabs    *Slabs
+	buckets  harden.Ptr // pointer array
+	nbucket  uint32
+	lruHead  harden.Ptr
+	lruTail  harden.Ptr
+	items    uint64
+	maxItems uint64
+}
+
+// New creates a cache with the given hash-table size and capacity.
+func New(c *harden.Ctx, buckets uint32, maxItems uint64) *Cache {
+	return &Cache{
+		c:        c,
+		slabs:    NewSlabs(c),
+		buckets:  c.Calloc(buckets, 8),
+		nbucket:  buckets,
+		maxItems: maxItems,
+	}
+}
+
+// Slabs exposes the item allocator (for stats and tests).
+func (kv *Cache) Slabs() *Slabs { return kv.slabs }
+
+// itemBytes is the allocation size of an item with the given value size.
+func itemBytes(valSize uint32) uint32 { return offData + valSize }
+
+// freeItem returns an item's chunk to its slab class.
+func (kv *Cache) freeItem(it harden.Ptr) {
+	valSize := uint32(kv.c.LoadAt(it, offValSize, 4))
+	kv.slabs.Free(it, itemBytes(valSize))
+}
+
+// Items returns the number of cached items.
+func (kv *Cache) Items() uint64 { return kv.items }
+
+func (kv *Cache) bucket(h uint64) int64 { return int64(h%uint64(kv.nbucket)) * 8 }
+
+// lookup walks the hash chain for h.
+func (kv *Cache) lookup(h uint64) harden.Ptr {
+	it := kv.c.LoadPtrAt(kv.buckets, kv.bucket(h))
+	for it != 0 {
+		if kv.c.LoadAt(it, offKeyHash, 8) == h {
+			return it
+		}
+		it = kv.c.LoadPtrAt(it, offHashNext)
+		kv.c.Work(3)
+	}
+	return 0
+}
+
+// lruUnlink removes it from the LRU list.
+func (kv *Cache) lruUnlink(it harden.Ptr) {
+	prev := kv.c.LoadPtrAt(it, offLRUPrev)
+	next := kv.c.LoadPtrAt(it, offLRUNext)
+	if prev != 0 {
+		kv.c.StorePtrAt(prev, offLRUNext, next)
+	} else {
+		kv.lruHead = next
+	}
+	if next != 0 {
+		kv.c.StorePtrAt(next, offLRUPrev, prev)
+	} else {
+		kv.lruTail = prev
+	}
+}
+
+// lruPush makes it the most recently used item.
+func (kv *Cache) lruPush(it harden.Ptr) {
+	kv.c.StorePtrAt(it, offLRUPrev, 0)
+	kv.c.StorePtrAt(it, offLRUNext, kv.lruHead)
+	if kv.lruHead != 0 {
+		kv.c.StorePtrAt(kv.lruHead, offLRUPrev, it)
+	}
+	kv.lruHead = it
+	if kv.lruTail == 0 {
+		kv.lruTail = it
+	}
+}
+
+// unlinkHash removes it from its hash chain.
+func (kv *Cache) unlinkHash(it harden.Ptr) {
+	h := kv.c.LoadAt(it, offKeyHash, 8)
+	slot := kv.bucket(h)
+	cur := kv.c.LoadPtrAt(kv.buckets, slot)
+	if cur == it {
+		kv.c.StorePtrAt(kv.buckets, slot, kv.c.LoadPtrAt(it, offHashNext))
+		return
+	}
+	for cur != 0 {
+		next := kv.c.LoadPtrAt(cur, offHashNext)
+		if next == it {
+			kv.c.StorePtrAt(cur, offHashNext, kv.c.LoadPtrAt(it, offHashNext))
+			return
+		}
+		cur = next
+	}
+}
+
+// evict drops the least recently used item.
+func (kv *Cache) evict() {
+	tail := kv.lruTail
+	if tail == 0 {
+		return
+	}
+	kv.lruUnlink(tail)
+	kv.unlinkHash(tail)
+	kv.freeItem(tail)
+	kv.items--
+}
+
+// Set stores value bytes under the hashed key.
+func (kv *Cache) Set(h uint64, val []byte) {
+	if it := kv.lookup(h); it != 0 {
+		kv.lruUnlink(it)
+		kv.unlinkHash(it)
+		kv.freeItem(it)
+		kv.items--
+	}
+	for kv.items >= kv.maxItems {
+		kv.evict()
+	}
+	it := kv.slabs.Alloc(itemBytes(uint32(len(val))))
+	kv.c.StoreAt(it, offKeyHash, 8, h)
+	kv.c.StoreAt(it, offValSize, 4, uint64(len(val)))
+	libc.WriteBytes(kv.c, kv.c.Add(it, offData), val)
+	// Link into hash chain and LRU.
+	slot := kv.bucket(h)
+	kv.c.StorePtrAt(it, offHashNext, kv.c.LoadPtrAt(kv.buckets, slot))
+	kv.c.StorePtrAt(kv.buckets, slot, it)
+	kv.lruPush(it)
+	kv.items++
+	kv.c.Work(25)
+}
+
+// Get returns the value stored under h, or nil.
+func (kv *Cache) Get(h uint64) []byte {
+	it := kv.lookup(h)
+	if it == 0 {
+		return nil
+	}
+	kv.lruUnlink(it)
+	kv.lruPush(it)
+	size := uint32(kv.c.LoadAt(it, offValSize, 4))
+	kv.c.Work(15)
+	return libc.ReadBytes(kv.c, kv.c.Add(it, offData), size)
+}

@@ -1,0 +1,231 @@
+package kvcache
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+func newCtx(t testing.TB, policy string) *harden.Ctx {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	var p harden.Policy
+	var err error
+	switch policy {
+	case "sgx":
+		p = harden.NewNative(env)
+	case "sgxbounds":
+		p = core.New(env, core.AllOptimizations())
+	case "sgxbounds-boundless":
+		opts := core.AllOptimizations()
+		opts.Boundless = true
+		p = core.New(env, opts)
+	case "asan":
+		p = asan.New(env, asan.Options{})
+	case "mpx":
+		p = mpx.New(env)
+	case "baggy":
+		p, err = baggy.New(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown policy %q", policy)
+	}
+	return harden.NewCtx(p, env.M.NewThread())
+}
+
+func TestSetGetLRU(t *testing.T) {
+	kv := New(newCtx(t, "sgxbounds"), 256, 1000)
+	kv.Set(1, []byte("alpha"))
+	kv.Set(2, []byte("beta"))
+	if got := kv.Get(1); string(got) != "alpha" {
+		t.Errorf("Get(1) = %q", got)
+	}
+	kv.Set(1, []byte("gamma")) // overwrite
+	if got := kv.Get(1); string(got) != "gamma" {
+		t.Errorf("overwritten Get(1) = %q", got)
+	}
+	if kv.Items() != 2 {
+		t.Errorf("items = %d", kv.Items())
+	}
+	if kv.Get(99) != nil {
+		t.Error("absent key returned a value")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	kv := New(newCtx(t, "sgxbounds"), 64, 4)
+	for k := uint64(1); k <= 4; k++ {
+		kv.Set(k, []byte{byte(k)})
+	}
+	kv.Get(1)            // refresh 1; LRU order is now 2,3,4,1
+	kv.Set(5, []byte{5}) // evicts 2
+	if kv.Get(2) != nil {
+		t.Error("LRU item not evicted")
+	}
+	for _, k := range []uint64{1, 3, 4, 5} {
+		if kv.Get(k) == nil {
+			t.Errorf("key %d wrongly evicted", k)
+		}
+	}
+	if kv.Items() != 4 {
+		t.Errorf("items = %d, want 4", kv.Items())
+	}
+}
+
+func TestChainCollisions(t *testing.T) {
+	// One bucket forces every item onto a single chain.
+	kv := New(newCtx(t, "sgxbounds"), 1, 100)
+	for k := uint64(1); k <= 50; k++ {
+		kv.Set(k, []byte{byte(k)})
+	}
+	for k := uint64(1); k <= 50; k++ {
+		got := kv.Get(k)
+		if len(got) != 1 || got[0] != byte(k) {
+			t.Fatalf("chained Get(%d) = %v", k, got)
+		}
+	}
+}
+
+func TestProtocolGetSet(t *testing.T) {
+	for _, pol := range []string{"sgx", "sgxbounds", "asan", "mpx", "baggy"} {
+		srv := NewServer(newCtx(t, pol), 256, 1000)
+		if _, ok := srv.Handle(EncodeRequest(OpSet, 7, []byte("value-7"))); !ok {
+			t.Fatalf("%s: SET rejected", pol)
+		}
+		got, ok := srv.Handle(EncodeRequest(OpGet, 7, nil))
+		if !ok || !bytes.Equal(got, []byte("value-7")) {
+			t.Errorf("%s: GET = %q, %v", pol, got, ok)
+		}
+	}
+}
+
+func TestMalformedPacketRejected(t *testing.T) {
+	srv := NewServer(newCtx(t, "sgxbounds"), 64, 100)
+	if _, ok := srv.Handle([]byte{1, 2, 3}); ok {
+		t.Error("short packet accepted")
+	}
+	pkt := EncodeRequest(OpGet, 1, nil)
+	pkt[0] = 0x55
+	if _, ok := srv.Handle(pkt); ok {
+		t.Error("bad magic accepted")
+	}
+}
+
+// TestCVE2011_4971Matrix reproduces the §7 Memcached security result: the
+// SASL handler trusts the header's body length and overflows a fixed
+// buffer. AddressSanitizer, Intel MPX (its memcpy wrapper is active) and
+// SGXBounds all detect it; the native baseline lets it corrupt the heap.
+func TestCVE2011_4971Matrix(t *testing.T) {
+	evil := EncodeRequest(OpAuth, 0, []byte("tiny"))
+	// Claim a huge body: the 16-bit-truncated copy length is 0x4000.
+	evil[12], evil[13], evil[14], evil[15] = 0x00, 0x40, 0x00, 0x00
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": true, "baggy": true,
+	}
+	for pol, want := range expectDetected {
+		srv := NewServer(newCtx(t, pol), 64, 100)
+		out := harden.Capture(func() { srv.Handle(evil) })
+		if got := out.Violation != nil; got != want {
+			t.Errorf("%s: detected=%v, want %v (%v)", pol, got, want, out)
+		}
+	}
+}
+
+// TestCVE2011_4971Boundless: with boundless memory the overflowing copy is
+// redirected to the overlay, the adjacent session secret survives, and the
+// server keeps answering — the paper's availability result (the request's
+// content is effectively discarded).
+func TestCVE2011_4971Boundless(t *testing.T) {
+	c := newCtx(t, "sgxbounds-boundless")
+	srv := NewServer(c, 64, 100)
+	srv.Handle(EncodeRequest(OpSet, 3, []byte("keep-me")))
+	secretBefore := string(readCString(c, srv.Secret()))
+
+	evil := EncodeRequest(OpAuth, 0, []byte("tiny"))
+	evil[12], evil[13] = 0x00, 0x40
+	out := harden.Capture(func() { srv.Handle(evil) })
+	if out.Crashed() {
+		t.Fatalf("boundless server crashed: %v", out)
+	}
+	if got := string(readCString(c, srv.Secret())); got != secretBefore {
+		t.Errorf("session secret corrupted: %q", got)
+	}
+	if got, ok := srv.Handle(EncodeRequest(OpGet, 3, nil)); !ok || string(got) != "keep-me" {
+		t.Errorf("server state damaged after attack: %q, %v", got, ok)
+	}
+}
+
+func readCString(c *harden.Ctx, p harden.Ptr) []byte {
+	var out []byte
+	for i := int64(0); ; i++ {
+		b := byte(c.LoadAt(p, i, 1))
+		if b == 0 {
+			return out
+		}
+		out = append(out, b)
+	}
+}
+
+func TestSlabClasses(t *testing.T) {
+	c := newCtx(t, "sgxbounds")
+	s := NewSlabs(c)
+	if ChunkSize(1) != 64 || ChunkSize(64) != 64 || ChunkSize(65) != 128 || ChunkSize(1024) != 1024 {
+		t.Error("class rounding wrong")
+	}
+	a := s.Alloc(100) // class 128
+	b := s.Alloc(100)
+	if a.Addr() == b.Addr() {
+		t.Error("same chunk handed out twice")
+	}
+	if b.Addr()-a.Addr() != 128 {
+		t.Errorf("chunk stride = %d, want 128", b.Addr()-a.Addr())
+	}
+	s.Free(a, 100)
+	if r := s.Alloc(90); r.Addr() != a.Addr() {
+		t.Error("freed chunk not recycled within its class")
+	}
+	carved, recycled := s.Stats()
+	if carved != 2 || recycled != 1 {
+		t.Errorf("stats = %d/%d", carved, recycled)
+	}
+}
+
+func TestSlabOversizeBypasses(t *testing.T) {
+	c := newCtx(t, "sgxbounds")
+	s := NewSlabs(c)
+	p := s.Alloc(5000) // above the largest class: direct malloc, exact bounds
+	c.StoreAt(p, 4999, 1, 1)
+	out := harden.Capture(func() { c.StoreAt(p, 5000, 1, 0) })
+	if out.Violation == nil {
+		t.Error("oversized value allocation lost its exact bounds")
+	}
+	s.Free(p, 5000)
+}
+
+func TestSlabMemoryNeverReturns(t *testing.T) {
+	// Memcached's slab memory is never released to the system: peak heap
+	// stays after items are evicted.
+	c := newCtx(t, "sgx")
+	kv := New(c, 64, 100)
+	for k := uint64(0); k < 200; k++ { // 100 evictions
+		kv.Set(k, make([]byte, 100))
+	}
+	live := c.P.Env().Heap.LiveBytes()
+	for k := uint64(100); k < 200; k++ {
+		kv.Set(k, make([]byte, 100)) // fully served from recycled chunks
+	}
+	if c.P.Env().Heap.LiveBytes() != live {
+		t.Error("steady-state SETs allocated new slab pages")
+	}
+	if kv.Slabs().Pages() == 0 {
+		t.Error("no slab pages accounted")
+	}
+}

@@ -1,0 +1,102 @@
+package kvcache
+
+import (
+	"encoding/binary"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/libc"
+)
+
+// Binary protocol constants (a simplified memcached binary protocol).
+const (
+	OpGet  = 0x00
+	OpSet  = 0x01
+	OpAuth = 0x21 // SASL authenticate — the CVE-2011-4971 path
+
+	headerSize = 24
+	// authBufSize is the fixed buffer the SASL handler copies credentials
+	// into, trusting the header's body length — the CVE-2011-4971 flaw.
+	authBufSize = 256
+)
+
+// Server wraps a Cache with the protocol front end. Request packets arrive
+// as byte slices (the driver's network substitute); bodies are staged
+// through a connection buffer in simulated memory, as SCONE's shielded
+// syscall layer would.
+type Server struct {
+	kv      *Cache
+	c       *harden.Ctx
+	connBuf harden.Ptr // connection receive buffer
+	connLen uint32
+	secret  harden.Ptr // adjacent session state a heap overflow can reach
+}
+
+// NewServer builds a server with the given cache geometry.
+func NewServer(c *harden.Ctx, buckets uint32, maxItems uint64) *Server {
+	s := &Server{
+		kv:      New(c, buckets, maxItems),
+		c:       c,
+		connBuf: c.Malloc(16 << 10),
+		connLen: 16 << 10,
+	}
+	s.secret = c.Malloc(64)
+	libc.WriteCString(c, s.secret, "hunter2-session-token")
+	return s
+}
+
+// Cache exposes the underlying store.
+func (s *Server) Cache() *Cache { return s.kv }
+
+// Secret returns the session-state object used by the security tests.
+func (s *Server) Secret() harden.Ptr { return s.secret }
+
+// EncodeRequest builds a request packet.
+func EncodeRequest(op byte, keyHash uint64, body []byte) []byte {
+	pkt := make([]byte, headerSize+len(body))
+	pkt[0] = 0x80
+	pkt[1] = op
+	binary.LittleEndian.PutUint64(pkt[4:], keyHash)
+	binary.LittleEndian.PutUint32(pkt[12:], uint32(len(body)))
+	copy(pkt[headerSize:], body)
+	return pkt
+}
+
+// Handle processes one request packet, returning the response value (for
+// GET) and whether the request was accepted.
+func (s *Server) Handle(pkt []byte) ([]byte, bool) {
+	if len(pkt) < headerSize || pkt[0] != 0x80 {
+		return nil, false
+	}
+	op := pkt[1]
+	keyHash := binary.LittleEndian.Uint64(pkt[4:])
+	// The header's bodyLen field is trusted by the vulnerable handler; the
+	// honest handlers use the real body length.
+	bodyLen := binary.LittleEndian.Uint32(pkt[12:])
+	body := pkt[headerSize:]
+	s.c.Work(60) // syscall shield + parse
+
+	// Stage the body into the connection buffer.
+	n := uint32(len(body))
+	if n > s.connLen {
+		n = s.connLen
+	}
+	libc.WriteBytes(s.c, s.connBuf, body[:n])
+
+	switch op {
+	case OpGet:
+		return s.kv.Get(keyHash), true
+	case OpSet:
+		s.kv.Set(keyHash, body)
+		return nil, true
+	case OpAuth:
+		// CVE-2011-4971 analogue: the SASL handler copies bodyLen bytes —
+		// the attacker-controlled header field, not the actual body size —
+		// into a fixed-size credential buffer on the heap.
+		cred := s.c.Malloc(authBufSize)
+		libc.Memcpy(s.c, cred, s.connBuf, bodyLen)
+		ok := s.c.Load(cred, 1) != 0
+		s.c.Free(cred)
+		return nil, ok
+	}
+	return nil, false
+}

@@ -1,0 +1,98 @@
+package kvcache
+
+import "sgxbounds/internal/harden"
+
+// Slab allocation, as in Memcached: items are carved from large slab pages
+// grouped into power-of-two size classes, and freed items return to their
+// class's free list — memory moves between items of a class but never back
+// to the system.
+//
+// Two reproduction-relevant consequences follow. First, the slab pages are
+// large allocations spread across the mapped address space, and the item
+// headers full of pointers (hash chain, LRU links) are spilled *into* those
+// pages — which is why Memcached floods Intel MPX with bounds tables
+// (Figure 13a). Second, a custom allocator coarsens SGXBounds' protection
+// to slab granularity for item memory (the §8 custom-memory-management
+// caveat); the protocol buffers that attacks actually target remain
+// individually allocated and exactly bounded.
+
+// SlabPage is the size of one slab page (Memcached's default is 1 MB;
+// scaled here with everything else).
+const SlabPage = 64 << 10
+
+// slab classes: 64, 128, 256, 512, 1024 bytes.
+const (
+	slabMinShift = 6
+	slabClasses  = 5
+)
+
+// Slabs is the class-segregated slab allocator.
+type Slabs struct {
+	c       *harden.Ctx
+	free    [slabClasses][]harden.Ptr
+	cur     [slabClasses]harden.Ptr
+	curOff  [slabClasses]uint32
+	pages   uint64
+	carved  uint64
+	recycle uint64
+}
+
+// NewSlabs creates an empty slab allocator on c's policy.
+func NewSlabs(c *harden.Ctx) *Slabs { return &Slabs{c: c} }
+
+// classFor returns the class index for a payload size, or -1 if it exceeds
+// the largest class.
+func classFor(size uint32) int {
+	for cl := 0; cl < slabClasses; cl++ {
+		if size <= 1<<(slabMinShift+cl) {
+			return cl
+		}
+	}
+	return -1
+}
+
+// ChunkSize returns the chunk size of the class serving `size` bytes.
+func ChunkSize(size uint32) uint32 { return 1 << (slabMinShift + classFor(size)) }
+
+// Alloc returns a chunk large enough for size bytes.
+func (s *Slabs) Alloc(size uint32) harden.Ptr {
+	cl := classFor(size)
+	if cl < 0 {
+		// Oversized values bypass the slabs, as in Memcached.
+		return s.c.Malloc(size)
+	}
+	s.c.Work(10)
+	if list := s.free[cl]; len(list) > 0 {
+		p := list[len(list)-1]
+		s.free[cl] = list[:len(list)-1]
+		s.recycle++
+		return p
+	}
+	chunk := uint32(1) << (slabMinShift + cl)
+	if s.cur[cl] == 0 || s.curOff[cl]+chunk > SlabPage {
+		s.cur[cl] = s.c.Malloc(SlabPage)
+		s.curOff[cl] = 0
+		s.pages++
+	}
+	p := s.c.Add(s.cur[cl], int64(s.curOff[cl]))
+	s.curOff[cl] += chunk
+	s.carved++
+	return p
+}
+
+// Free returns a chunk of the class serving `size` to its free list.
+func (s *Slabs) Free(p harden.Ptr, size uint32) {
+	cl := classFor(size)
+	if cl < 0 {
+		s.c.Free(p)
+		return
+	}
+	s.c.Work(6)
+	s.free[cl] = append(s.free[cl], p)
+}
+
+// Pages returns the number of slab pages ever allocated.
+func (s *Slabs) Pages() uint64 { return s.pages }
+
+// Stats returns (chunks carved, chunks recycled).
+func (s *Slabs) Stats() (carved, recycled uint64) { return s.carved, s.recycle }

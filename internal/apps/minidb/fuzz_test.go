@@ -1,0 +1,60 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sgxbounds/internal/harden"
+)
+
+// FuzzBTreeOps drives random insert/get/update/delete sequences against a
+// reference map under the SGXBounds policy. Any divergence or bounds
+// violation inside the engine is a bug.
+func FuzzBTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255, 1, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := newCtx(t, "sgxbounds")
+		db := Open(c)
+		ref := make(map[uint64]uint64)
+		out := harden.Capture(func() {
+			for len(data) >= 3 {
+				op := data[0] % 5
+				k := uint64(binary.LittleEndian.Uint16(data[1:3]))%512 + 1
+				data = data[3:]
+				switch op {
+				case 0, 1: // insert weighted double
+					v := k*3 + 1
+					if err := db.Insert(k, v); err != nil {
+						t.Fatal(err)
+					}
+					ref[k] = v
+				case 2:
+					if got, want := db.Get(k), ref[k]; got != want {
+						t.Fatalf("Get(%d) = %d, want %d", k, got, want)
+					}
+				case 3:
+					okDB := db.Delete(k)
+					_, okRef := ref[k]
+					if okDB != okRef {
+						t.Fatalf("Delete(%d) = %v, ref %v", k, okDB, okRef)
+					}
+					delete(ref, k)
+				case 4:
+					db.Vacuum()
+				}
+			}
+			if db.Live() != uint64(len(ref)) {
+				t.Fatalf("live = %d, ref %d", db.Live(), len(ref))
+			}
+			for k, v := range ref {
+				if db.Get(k) != v {
+					t.Fatalf("final Get(%d) = %d, want %d", k, db.Get(k), v)
+				}
+			}
+		})
+		if out.Crashed() {
+			t.Fatalf("engine raised %v on a legal op sequence", out)
+		}
+	})
+}

@@ -1,0 +1,398 @@
+// Package minidb is the reproduction's stand-in for SQLite (§1, §2.3,
+// Figure 1): a small page-based storage engine with a B-tree index,
+// exercised by a speedtest-like workload.
+//
+// Like SQLite, minidb allocates page-aligned 4 KB pages, keeps a tree of
+// pages referencing each other by pointer, and rebuilds tables (VACUUM)
+// as the speedtest progresses. The engine is exceptionally pointer-dense —
+// child pointers are spilled into every interior page spread across the
+// whole pager span — which is exactly why Intel MPX materialises hundreds
+// of bounds tables on SQLite and crashes out of memory on even tiny
+// working sets (Figure 1), while SGXBounds adds 4 bytes per page.
+package minidb
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/harden"
+)
+
+// PageSize is the database page size, as in SQLite's default configuration.
+const PageSize = 4096
+
+// ArenaSize is the page-cache arena size: like SQLite's pcache1, the pager
+// allocates page groups in bulk and carves pages out of them. Arenas are
+// the unit of allocation and of reclamation (VACUUM frees whole arenas), so
+// bounds are arena-granular — the custom-memory-management tradeoff §8 of
+// the paper discusses.
+const ArenaSize = 64 * PageSize
+
+// B-tree layout parameters. A page holds a small header, a key array and a
+// child/value array.
+const (
+	hdrNKeys  = 0                   // uint32: number of keys
+	hdrIsLeaf = 4                   // uint32: 1 if leaf
+	hdrKeys   = 16                  // keys: maxKeys * 8 bytes
+	maxKeys   = 32                  // a 4 KB page holds a few dozen ~100-byte cells, as in SQLite
+	hdrChild  = hdrKeys + maxKeys*8 // children: (maxKeys+1) * 8 bytes (interior)
+	hdrVals   = hdrChild            // values: maxKeys * 8 bytes (leaf; tombstone = 0)
+
+	// Leaf pages carry the actual row payloads in a cell content area
+	// filling the rest of the page, as SQLite's do. Cell payloads are
+	// modelled as bulk traffic (written on insert, read on select/scan);
+	// their bytes do not feed result digests.
+	cellArea  = hdrVals + maxKeys*8
+	cellSize  = 104
+	cellSlots = (PageSize - cellArea) / cellSize
+)
+
+// DB is a single-table database: a B-tree mapping uint64 keys to packed
+// uint64 row values (a row id + checksum in the real system's terms).
+type DB struct {
+	c     *harden.Ctx
+	root  harden.Ptr
+	hoist bool   // page-level check hoisting (§4.4) supported by the policy
+	pages uint64 // pages ever allocated (pager churn)
+	live  uint64 // keys currently live
+
+	arenas []harden.Ptr // page-cache arenas of the live tree
+	curOff uint32       // next free byte in the newest arena
+}
+
+// Open creates an empty database on the context's policy.
+func Open(c *harden.Ctx) *DB {
+	db := &DB{c: c, hoist: harden.Hoistable(c.P), curOff: ArenaSize}
+	db.root = db.newPage(true)
+	return db
+}
+
+// enter performs the hoisted whole-page bounds check when the policy's
+// compiler pass supports hoisting (§4.4): accesses within one page visit
+// are then raw. This is the dominant SGXBounds optimisation for the B-tree:
+// one lower-bound load per page visit instead of one per key comparison.
+func (db *DB) enter(p harden.Ptr) {
+	if db.hoist {
+		db.c.CheckRange(p, PageSize, harden.ReadWrite)
+	}
+}
+
+// Pages returns the number of pages the pager has ever allocated.
+func (db *DB) Pages() uint64 { return db.pages }
+
+// Live returns the number of live keys.
+func (db *DB) Live() uint64 { return db.live }
+
+func (db *DB) newPage(leaf bool) harden.Ptr {
+	db.pages++
+	if db.curOff+PageSize > ArenaSize {
+		db.arenas = append(db.arenas, db.c.Malloc(ArenaSize))
+		db.curOff = 0
+	}
+	p := db.c.Add(db.arenas[len(db.arenas)-1], int64(db.curOff))
+	db.curOff += PageSize
+	db.c.StoreAt(p, hdrNKeys, 4, 0)
+	isLeaf := uint64(0)
+	if leaf {
+		isLeaf = 1
+	}
+	db.c.StoreAt(p, hdrIsLeaf, 4, isLeaf)
+	return p
+}
+
+func (db *DB) nkeys(p harden.Ptr) uint32 { return uint32(db.c.LoadAt(p, hdrNKeys, 4)) }
+
+func (db *DB) isLeaf(p harden.Ptr) bool { return db.c.LoadAt(p, hdrIsLeaf, 4) == 1 }
+
+func (db *DB) load(p harden.Ptr, off int64) uint64 {
+	if db.hoist {
+		return db.c.LoadRawAt(p, off, 8)
+	}
+	return db.c.LoadAt(p, off, 8)
+}
+
+func (db *DB) store(p harden.Ptr, off int64, v uint64) {
+	if db.hoist {
+		db.c.StoreRawAt(p, off, 8, v)
+		return
+	}
+	db.c.StoreAt(p, off, 8, v)
+}
+
+func (db *DB) key(p harden.Ptr, i uint32) uint64 { return db.load(p, hdrKeys+int64(i)*8) }
+
+func (db *DB) setKey(p harden.Ptr, i uint32, k uint64) { db.store(p, hdrKeys+int64(i)*8, k) }
+
+func (db *DB) val(p harden.Ptr, i uint32) uint64 { return db.load(p, hdrVals+int64(i)*8) }
+
+func (db *DB) setVal(p harden.Ptr, i uint32, v uint64) { db.store(p, hdrVals+int64(i)*8, v) }
+
+// child loads a child page pointer. Under hoisting the raw 64-bit word is
+// the tagged pointer itself, so the bounds metadata travels with it; a
+// disjoint-metadata policy (MPX) reports Hoistable false and takes the
+// checked bndldx path instead.
+func (db *DB) child(p harden.Ptr, i uint32) harden.Ptr {
+	if db.hoist {
+		return harden.Ptr(db.c.LoadRawAt(p, hdrChild+int64(i)*8, 8))
+	}
+	return db.c.LoadPtrAt(p, hdrChild+int64(i)*8)
+}
+
+func (db *DB) setChild(p harden.Ptr, i uint32, ch harden.Ptr) {
+	if db.hoist {
+		db.c.StoreRawAt(p, hdrChild+int64(i)*8, 8, uint64(ch))
+		return
+	}
+	db.c.StorePtrAt(p, hdrChild+int64(i)*8, ch)
+}
+
+// writeCell writes a row's payload into the page's cell content area.
+func (db *DB) writeCell(p harden.Ptr, slot uint32) {
+	off := int64(cellArea + int(slot%cellSlots)*cellSize)
+	q := db.c.Add(p, off)
+	if !db.hoist {
+		db.c.CheckRange(q, cellSize, harden.Write)
+	}
+	db.c.T.Touch(q.Addr(), cellSize, true)
+	db.c.Work(20)
+}
+
+// readCell reads a row's payload from the cell content area.
+func (db *DB) readCell(p harden.Ptr, slot uint32) {
+	off := int64(cellArea + int(slot%cellSlots)*cellSize)
+	q := db.c.Add(p, off)
+	if !db.hoist {
+		db.c.CheckRange(q, cellSize, harden.Read)
+	}
+	db.c.T.Touch(q.Addr(), cellSize, false)
+	db.c.Work(12)
+}
+
+// findSlot binary-searches the key array, returning the first index whose
+// key is >= k.
+func (db *DB) findSlot(p harden.Ptr, k uint64) uint32 {
+	db.enter(p)
+	lo, hi := uint32(0), db.nkeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		db.c.Work(6)
+		if db.key(p, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds or overwrites key k with value v (v must be non-zero; zero
+// marks tombstones).
+func (db *DB) Insert(k, v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("minidb: zero value is reserved")
+	}
+	if db.nkeys(db.root) == maxKeys {
+		// Split the root: the tree grows one level.
+		old := db.root
+		db.root = db.newPage(false)
+		db.setChild(db.root, 0, old)
+		db.splitChild(db.root, 0)
+	}
+	if db.insertNonFull(db.root, k, v) {
+		db.live++
+	}
+	return nil
+}
+
+// splitChild splits the full i-th child of interior page p.
+func (db *DB) splitChild(p harden.Ptr, i uint32) {
+	child := db.child(p, i)
+	db.enter(child)
+	right := db.newPage(db.isLeaf(child))
+	db.enter(right)
+	mid := uint32(maxKeys / 2)
+	midKey := db.key(child, mid)
+
+	// Move the upper half of child into right.
+	moved := maxKeys - mid - 1
+	for j := uint32(0); j < moved; j++ {
+		db.setKey(right, j, db.key(child, mid+1+j))
+		if db.isLeaf(child) {
+			db.setVal(right, j, db.val(child, mid+1+j))
+		}
+	}
+	if !db.isLeaf(child) {
+		for j := uint32(0); j <= moved; j++ {
+			db.setChild(right, j, db.child(child, mid+1+j))
+		}
+	}
+	if db.isLeaf(child) {
+		// Leaves keep the separator key (B+-tree style): midKey stays in
+		// child; right gets the strictly-greater keys.
+		db.c.StoreAt(right, hdrNKeys, 4, uint64(moved))
+		db.c.StoreAt(child, hdrNKeys, 4, uint64(mid+1))
+	} else {
+		db.c.StoreAt(right, hdrNKeys, 4, uint64(moved))
+		db.c.StoreAt(child, hdrNKeys, 4, uint64(mid))
+	}
+
+	// Shift p's keys/children right and link the new page.
+	n := db.nkeys(p)
+	for j := n; j > i; j-- {
+		db.setKey(p, j, db.key(p, j-1))
+		db.setChild(p, j+1, db.child(p, j))
+	}
+	db.setKey(p, i, midKey)
+	db.setChild(p, i+1, right)
+	db.c.StoreAt(p, hdrNKeys, 4, uint64(n+1))
+	db.c.Work(40)
+}
+
+// insertNonFull inserts into a page known not to be full, reporting whether
+// a new key was created (false: overwrite).
+func (db *DB) insertNonFull(p harden.Ptr, k, v uint64) bool {
+	for {
+		n := db.nkeys(p)
+		slot := db.findSlot(p, k)
+		if db.isLeaf(p) {
+			if slot < n && db.key(p, slot) == k {
+				fresh := db.val(p, slot) == 0
+				db.setVal(p, slot, v)
+				return fresh
+			}
+			for j := n; j > slot; j-- {
+				db.setKey(p, j, db.key(p, j-1))
+				db.setVal(p, j, db.val(p, j-1))
+			}
+			db.setKey(p, slot, k)
+			db.setVal(p, slot, v)
+			db.c.StoreAt(p, hdrNKeys, 4, uint64(n+1))
+			db.writeCell(p, slot)
+			db.c.Work(12)
+			return true
+		}
+		// Interior: descend (k == separator routes left, where leaf splits
+		// keep the separator's key), splitting full children ahead of time.
+		ch := db.child(p, slot)
+		if db.nkeys(ch) == maxKeys {
+			db.splitChild(p, slot)
+			if k > db.key(p, slot) {
+				slot++
+			}
+			ch = db.child(p, slot)
+		}
+		p = ch
+	}
+}
+
+// Get returns the value for k, or 0 if absent or deleted.
+func (db *DB) Get(k uint64) uint64 {
+	p := db.root
+	for {
+		n := db.nkeys(p)
+		slot := db.findSlot(p, k)
+		if db.isLeaf(p) {
+			if slot < n && db.key(p, slot) == k {
+				db.readCell(p, slot)
+				return db.val(p, slot)
+			}
+			return 0
+		}
+		p = db.child(p, slot)
+	}
+}
+
+// Update overwrites an existing key, reporting whether it was present.
+func (db *DB) Update(k, v uint64) bool {
+	p := db.root
+	for {
+		n := db.nkeys(p)
+		slot := db.findSlot(p, k)
+		if db.isLeaf(p) {
+			if slot < n && db.key(p, slot) == k && db.val(p, slot) != 0 {
+				db.setVal(p, slot, v)
+				db.writeCell(p, slot)
+				return true
+			}
+			return false
+		}
+		p = db.child(p, slot)
+	}
+}
+
+// Delete tombstones a key (pages are reclaimed by Vacuum, as in SQLite).
+func (db *DB) Delete(k uint64) bool {
+	p := db.root
+	for {
+		n := db.nkeys(p)
+		slot := db.findSlot(p, k)
+		if db.isLeaf(p) {
+			if slot < n && db.key(p, slot) == k && db.val(p, slot) != 0 {
+				db.setVal(p, slot, 0)
+				db.live--
+				return true
+			}
+			return false
+		}
+		p = db.child(p, slot)
+	}
+}
+
+// Scan walks the whole tree in key order, folding live (key, value) pairs
+// into a digest.
+func (db *DB) Scan() uint64 {
+	var d uint64
+	db.scanPage(db.root, &d)
+	return d
+}
+
+func (db *DB) scanPage(p harden.Ptr, d *uint64) {
+	n := db.nkeys(p)
+	if db.isLeaf(p) {
+		for i := uint32(0); i < n; i++ {
+			if v := db.val(p, i); v != 0 {
+				db.readCell(p, i)
+				*d ^= db.key(p, i) * 0x9E3779B97F4A7C15
+				*d = *d<<7 | *d>>57
+				*d += v
+			}
+			db.c.Work(4)
+		}
+		return
+	}
+	for i := uint32(0); i <= n; i++ {
+		db.scanPage(db.child(p, i), d)
+	}
+}
+
+// Vacuum rebuilds the database into fresh pages, dropping tombstones, and
+// frees the old page arenas — SQLite's VACUUM. Every rebuild lands in a
+// fresh address range (the pager never recycles arena addresses), which is
+// the churn that makes Intel MPX materialise bounds tables without bound
+// and crash on the speedtest (Figure 1).
+func (db *DB) Vacuum() {
+	old := db.root
+	oldArenas := db.arenas
+	db.arenas = nil
+	db.curOff = ArenaSize
+	db.root = db.newPage(true)
+	db.live = 0
+	db.copyLive(old)
+	for _, a := range oldArenas {
+		db.c.Free(a)
+	}
+}
+
+func (db *DB) copyLive(p harden.Ptr) {
+	n := db.nkeys(p)
+	if db.isLeaf(p) {
+		for i := uint32(0); i < n; i++ {
+			if v := db.val(p, i); v != 0 {
+				_ = db.Insert(db.key(p, i), v)
+			}
+		}
+		return
+	}
+	for i := uint32(0); i <= n; i++ {
+		db.copyLive(db.child(p, i))
+	}
+}

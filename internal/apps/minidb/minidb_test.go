@@ -1,0 +1,187 @@
+package minidb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+func newCtx(t testing.TB, policy string) *harden.Ctx {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	var p harden.Policy
+	switch policy {
+	case "sgx":
+		p = harden.NewNative(env)
+	case "sgxbounds":
+		p = core.New(env, core.AllOptimizations())
+	case "asan":
+		p = asan.New(env, asan.Options{})
+	case "mpx":
+		p = mpx.New(env)
+	}
+	return harden.NewCtx(p, env.M.NewThread())
+}
+
+func TestInsertGet(t *testing.T) {
+	db := Open(newCtx(t, "sgxbounds"))
+	for i := uint64(1); i <= 500; i++ {
+		if err := db.Insert(i*7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if got := db.Get(i * 7); got != i {
+			t.Fatalf("Get(%d) = %d, want %d", i*7, got, i)
+		}
+	}
+	if db.Get(3) != 0 {
+		t.Error("absent key returned a value")
+	}
+	if db.Live() != 500 {
+		t.Errorf("live = %d", db.Live())
+	}
+}
+
+func TestOverwriteDoesNotGrow(t *testing.T) {
+	db := Open(newCtx(t, "sgxbounds"))
+	_ = db.Insert(42, 1)
+	_ = db.Insert(42, 2)
+	if db.Live() != 1 {
+		t.Errorf("live = %d after overwrite", db.Live())
+	}
+	if db.Get(42) != 2 {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := Open(newCtx(t, "sgxbounds"))
+	for i := uint64(1); i <= 200; i++ {
+		_ = db.Insert(i, i)
+	}
+	if !db.Update(100, 999) {
+		t.Error("update of live key failed")
+	}
+	if db.Get(100) != 999 {
+		t.Error("update not visible")
+	}
+	if !db.Delete(50) {
+		t.Error("delete failed")
+	}
+	if db.Get(50) != 0 {
+		t.Error("deleted key still visible")
+	}
+	if db.Delete(50) {
+		t.Error("double delete succeeded")
+	}
+	if db.Update(50, 1) {
+		t.Error("update of deleted key succeeded")
+	}
+	if db.Live() != 199 {
+		t.Errorf("live = %d", db.Live())
+	}
+}
+
+func TestVacuumPreservesContentAndFreesPages(t *testing.T) {
+	c := newCtx(t, "sgxbounds")
+	db := Open(c)
+	for i := uint64(1); i <= 1000; i++ {
+		_ = db.Insert(i, i*3)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		db.Delete(i * 2)
+	}
+	before := db.Scan()
+	heapBefore := c.P.Env().Heap.LiveBytes()
+	db.Vacuum()
+	if db.Scan() != before {
+		t.Error("vacuum changed the table contents")
+	}
+	if db.Live() != 500 {
+		t.Errorf("live after vacuum = %d", db.Live())
+	}
+	// The pager reclaims whole arenas, so a small table may keep the same
+	// single arena; the heap must at least not have grown.
+	if c.P.Env().Heap.LiveBytes() > heapBefore {
+		t.Error("vacuum grew the heap")
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if db.Get(i*2) != 0 {
+			t.Fatalf("deleted key %d resurrected by vacuum", i*2)
+		}
+	}
+}
+
+// Property: the tree agrees with a reference map under random operations.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	db := Open(newCtx(t, "sgxbounds"))
+	ref := make(map[uint64]uint64)
+	f := func(ops []uint32) bool {
+		for _, op := range ops {
+			k := uint64(op%500) + 1
+			switch (op / 500) % 3 {
+			case 0:
+				v := uint64(op) + 1
+				_ = db.Insert(k, v)
+				ref[k] = v
+			case 1:
+				db.Delete(k)
+				delete(ref, k)
+			case 2:
+				if got, want := db.Get(k), ref[k]; got != want {
+					return false
+				}
+			}
+		}
+		for k, v := range ref {
+			if db.Get(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedtestDigestsAgree(t *testing.T) {
+	var ref uint64
+	for i, pol := range []string{"sgx", "sgxbounds", "asan"} {
+		c := newCtx(t, pol)
+		var d uint64
+		out := harden.Capture(func() { d = Speedtest(c, 500) })
+		if out.Crashed() {
+			t.Fatalf("%s: %v", pol, out)
+		}
+		if i == 0 {
+			ref = d
+		} else if d != ref {
+			t.Errorf("%s digest %#x != native %#x", pol, d, ref)
+		}
+	}
+}
+
+func TestSpeedtestMPXExhaustsMemory(t *testing.T) {
+	// Figure 1: MPX crashes out of memory already on the smallest SQLite
+	// working set, because every rebuilt pager span demands fresh 4 MB
+	// bounds tables.
+	if testing.Short() {
+		t.Skip("large run")
+	}
+	// The database runs in a SCONE-style per-application enclave (64 MB).
+	cfg := machine.DefaultConfig()
+	cfg.MemoryBudget = 64 << 20
+	env := harden.NewEnv(cfg)
+	c := harden.NewCtx(mpx.New(env), env.M.NewThread())
+	out := harden.Capture(func() { Speedtest(c, 16000) })
+	if !out.OOM {
+		t.Errorf("MPX speedtest: want OOM, got %v", out)
+	}
+}

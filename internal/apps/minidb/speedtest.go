@@ -1,0 +1,68 @@
+package minidb
+
+import "sgxbounds/internal/harden"
+
+// Speedtest runs the SQLite-speedtest-like workload of Figure 1 over a
+// database of `items` rows: bulk insert, point selects, updates, deletes,
+// table scans, and periodic VACUUMs (the speedtest's DDL churn). It returns
+// a result digest that must match across policies.
+func Speedtest(c *harden.Ctx, items uint32) uint64 {
+	db := Open(c)
+	r := rng(0x5EED)
+	var digest uint64
+
+	// Phase 1: bulk INSERT.
+	for i := uint32(0); i < items; i++ {
+		k := uint64(i)*2654435761%uint64(items*4) + 1
+		if err := db.Insert(k, uint64(i)+1); err != nil {
+			panic(err)
+		}
+		c.Work(30) // SQL parse/bind overhead per statement
+	}
+	digest ^= db.Scan()
+
+	// Phase 2: random SELECTs.
+	for i := uint32(0); i < items*2; i++ {
+		k := uint64(r.next())%uint64(items*4) + 1
+		digest += db.Get(k)
+		c.Work(30)
+	}
+
+	// Phase 3: UPDATE half the rows, then vacuum.
+	for i := uint32(0); i < items/2; i++ {
+		k := uint64(i*2)*2654435761%uint64(items*4) + 1
+		db.Update(k, uint64(i)+7)
+		c.Work(30)
+	}
+	db.Vacuum()
+	digest ^= db.Scan()
+
+	// Phase 4: DELETE a quarter, reinsert, vacuum again. The speedtest's
+	// repeated rebuilds churn the pager across fresh address space.
+	for i := uint32(0); i < items/4; i++ {
+		k := uint64(i*4)*2654435761%uint64(items*4) + 1
+		db.Delete(k)
+		c.Work(30)
+	}
+	db.Vacuum()
+	for i := uint32(0); i < items/4; i++ {
+		k := uint64(i*4)*2654435761%uint64(items*4) + 1
+		_ = db.Insert(k, uint64(i)+13)
+		c.Work(30)
+	}
+	db.Vacuum()
+	digest ^= db.Scan()
+	digest ^= db.Live()
+	return digest
+}
+
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}

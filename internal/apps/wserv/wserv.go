@@ -1,0 +1,107 @@
+// Package wserv is the reproduction's stand-in for Nginx (§7, Figure 13c):
+// a single-threaded event-loop web server with Nginx's frugal memory
+// management (one small connection buffer, minimal copying) and the
+// CVE-2013-2028 stack buffer overflow: the chunked-transfer-encoding parser
+// interprets the chunk size as a signed value, and a huge "negative" size
+// passes the signedness check and drives a recv of attacker-controlled
+// length into a fixed stack buffer — the basis of a ROP attack.
+package wserv
+
+import (
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/libc"
+)
+
+// PageBytes is the static page the server returns (the paper's 200 KB page,
+// scaled).
+const PageBytes = 48 << 10
+
+// chunkBufSize is the fixed stack buffer the chunked parser reads into.
+const chunkBufSize = 4096
+
+// Server is the event-loop web server.
+type Server struct {
+	c       *harden.Ctx
+	page    harden.Ptr
+	connBuf harden.Ptr // the single connection buffer (Nginx reuses it)
+	conn    harden.Ptr // the connection structure (buffer/page pointers)
+}
+
+// NewServer builds the server and its static content.
+func NewServer(c *harden.Ctx) *Server {
+	s := &Server{c: c}
+	s.page = c.Malloc(PageBytes)
+	r := uint64(0x4E31)
+	for off := int64(0); off < PageBytes; off += 8 {
+		r = r*6364136223846793005 + 1442695040888963407
+		c.StoreAt(s.page, off, 8, r)
+	}
+	s.connBuf = c.Malloc(16 << 10)
+	// The ngx_connection_t analogue: a struct of pointers to the buffer
+	// and content. One pointer spill is all it takes to cost MPX a 4 MB
+	// bounds table — modest next to Apache's per-connection pools, which
+	// is why Nginx fares better under MPX in Figure 13 (§7).
+	s.conn = c.Malloc(64)
+	c.StorePtrAt(s.conn, 0, s.connBuf)
+	c.StorePtrAt(s.conn, 8, s.page)
+	return s
+}
+
+// ServeRequest handles one GET: parse the request line in the connection
+// buffer and copy the page twice (into the response buffer, then to the
+// SCONE syscall thread), which is the double copy the paper identifies as
+// the SGX throughput cost for Nginx.
+func (s *Server) ServeRequest(request []byte) uint32 {
+	n := uint32(len(request))
+	if n > 16<<10 {
+		n = 16 << 10
+	}
+	libc.WriteBytes(s.c, s.connBuf, request[:n])
+	s.c.Work(uint64(30 + 5*n/64)) // request-line and header scan
+
+	resp := s.c.Malloc(PageBytes + 256)
+	libc.WriteCString(s.c, resp, "HTTP/1.1 200 OK\r\nServer: wserv\r\n\r\n")
+	libc.Memcpy(s.c, s.c.Add(resp, 64), s.page, PageBytes)
+	// Copy to the syscall thread's buffer, then "send".
+	netBuf := s.c.Malloc(PageBytes + 256)
+	libc.Memcpy(s.c, netBuf, resp, PageBytes+64)
+	s.c.Free(netBuf)
+	s.c.Free(resp)
+	return PageBytes
+}
+
+// HandleChunked is the CVE-2013-2028 analogue. The declared chunk size is
+// parsed into a signed integer; the guard rejects only sizes the signed
+// comparison sees as "small", so a size with the high bit set walks past it
+// and the parser copies that many bytes from the connection buffer into a
+// 4 KB stack buffer. It returns true if the request was processed (under
+// fail-stop hardening the overflow panics instead; with boundless memory
+// the overflow is contained and the request completes without corruption).
+func (s *Server) HandleChunked(body []byte, declaredSize uint32) bool {
+	n := uint32(len(body))
+	if n > 16<<10 {
+		n = 16 << 10
+	}
+	libc.WriteBytes(s.c, s.connBuf, body[:n])
+
+	f := s.c.PushFrame()
+	defer f.Pop()
+	// The saved frame state a stack smash would clobber.
+	saved := f.Alloc(16)
+	s.c.StoreAt(saved, 0, 8, 0x5E7F4A3E) // "return address"
+	buf := f.Alloc(chunkBufSize)
+
+	size := int64(int32(declaredSize)) // the signed-parse bug
+	if size >= 0 && size <= chunkBufSize {
+		libc.Memcpy(s.c, buf, s.connBuf, uint32(size))
+		return true
+	}
+	if size < 0 {
+		// A "negative" size from the signed parse: the original code path
+		// treats it as a special discard marker and falls through to a
+		// recv with the unsigned size — the overflow.
+		libc.Memcpy(s.c, buf, s.connBuf, declaredSize&0xFFFF)
+		return s.c.LoadAt(saved, 0, 8) == 0x5E7F4A3E
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package wserv
+
+import (
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+func newCtx(t testing.TB, policy string) *harden.Ctx {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	var p harden.Policy
+	var err error
+	switch policy {
+	case "sgx":
+		p = harden.NewNative(env)
+	case "sgxbounds":
+		p = core.New(env, core.AllOptimizations())
+	case "sgxbounds-boundless":
+		opts := core.AllOptimizations()
+		opts.Boundless = true
+		p = core.New(env, opts)
+	case "asan":
+		p = asan.New(env, asan.Options{})
+	case "mpx":
+		p = mpx.New(env)
+	case "baggy":
+		p, err = baggy.New(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown policy %q", policy)
+	}
+	return harden.NewCtx(p, env.M.NewThread())
+}
+
+func TestServeRequest(t *testing.T) {
+	for _, pol := range []string{"sgx", "sgxbounds", "asan", "mpx", "baggy"} {
+		srv := NewServer(newCtx(t, pol))
+		if n := srv.ServeRequest([]byte("GET / HTTP/1.1\n")); n != PageBytes {
+			t.Fatalf("%s: served %d bytes", pol, n)
+		}
+	}
+}
+
+func TestChunkedWellFormed(t *testing.T) {
+	srv := NewServer(newCtx(t, "sgxbounds"))
+	if !srv.HandleChunked([]byte("hello chunk"), 11) {
+		t.Error("well-formed chunk rejected")
+	}
+	if srv.HandleChunked([]byte("x"), chunkBufSize+1) {
+		t.Error("over-long positive chunk accepted")
+	}
+}
+
+// TestCVE2013_2028Matrix reproduces the §7 Nginx security result: the
+// signed chunk-size parse lets a huge size reach a fixed stack buffer, the
+// precursor of the published ROP attack. All three mechanisms detect it.
+func TestCVE2013_2028Matrix(t *testing.T) {
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": true, "baggy": true,
+	}
+	body := make([]byte, 16<<10)
+	for i := range body {
+		body[i] = 0x41
+	}
+	const evilSize = 0xFFFF_E000 // negative as int32; 0xE000 after truncation
+	for pol, want := range expectDetected {
+		srv := NewServer(newCtx(t, pol))
+		out := harden.Capture(func() { srv.HandleChunked(body, evilSize) })
+		if got := out.Violation != nil; got != want {
+			t.Errorf("%s: detected=%v, want %v (%v)", pol, got, want, out)
+		}
+	}
+}
+
+// TestCVE2013_2028CorruptsStackNatively: under the baseline the overflow
+// reaches the saved frame state (the ROP precursor) — HandleChunked sees
+// its "return address" clobbered.
+func TestCVE2013_2028CorruptsStackNatively(t *testing.T) {
+	srv := NewServer(newCtx(t, "sgx"))
+	body := make([]byte, 16<<10)
+	for i := range body {
+		body[i] = 0x41
+	}
+	if srv.HandleChunked(body, 0xFFFF_E000) {
+		t.Error("stack smash did not clobber the saved frame state")
+	}
+}
+
+// TestCVE2013_2028Boundless: with boundless memory the overflow is
+// contained, the frame state survives, and the server can drop the request
+// and continue — the paper's availability result.
+func TestCVE2013_2028Boundless(t *testing.T) {
+	srv := NewServer(newCtx(t, "sgxbounds-boundless"))
+	body := make([]byte, 16<<10)
+	out := harden.Capture(func() {
+		if !srv.HandleChunked(body, 0xFFFF_E000) {
+			t.Error("frame state corrupted despite boundless redirection")
+		}
+	})
+	if out.Crashed() {
+		t.Fatalf("boundless server crashed: %v", out)
+	}
+	if n := srv.ServeRequest([]byte("GET / HTTP/1.1\n")); n != PageBytes {
+		t.Error("server broken after tolerated attack")
+	}
+}

@@ -1,0 +1,165 @@
+package asan
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func newCtx(t *testing.T, opts Options) (*Policy, *harden.Ctx) {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env, opts)
+	return pl, harden.NewCtx(pl, env.M.NewThread())
+}
+
+func TestInBoundsAccessesPass(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(64)
+	for off := int64(0); off < 64; off += 8 {
+		c.StoreAt(p, off, 8, uint64(off))
+	}
+	for off := int64(0); off < 64; off += 8 {
+		if got := c.LoadAt(p, off, 8); got != uint64(off) {
+			t.Errorf("LoadAt(%d) = %d", off, got)
+		}
+	}
+}
+
+func TestRedzoneOverflowDetected(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(64)
+	out := harden.Capture(func() { c.StoreAt(p, 64, 1, 0) })
+	if out.Violation == nil {
+		t.Fatal("right-redzone write not detected")
+	}
+	out = harden.Capture(func() { c.LoadAt(p, -1, 1) })
+	if out.Violation == nil {
+		t.Error("left-redzone read not detected")
+	}
+}
+
+func TestFarOverflowBeyondRedzoneMissed(t *testing.T) {
+	// A known ASan limitation: an access that jumps clean over the redzone
+	// into another live object is not detected. SGXBounds, checking object
+	// bounds rather than poisoned zones, catches this case.
+	_, c := newCtx(t, Options{})
+	a := c.Malloc(64)
+	_ = c.Malloc(64)
+	off := int64(64 + 2*RedzoneSize + 8) // lands inside the next object
+	out := harden.Capture(func() { c.StoreAt(a, off, 8, 0xBAD) })
+	if out.Violation != nil {
+		t.Skip("allocator layout separated the objects; nothing to assert")
+	}
+	// Documented miss: no violation. (This is asserting model fidelity.)
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(64)
+	c.Free(p)
+	out := harden.Capture(func() { c.LoadAt(p, 0, 8) })
+	if out.Violation == nil {
+		t.Error("use-after-free not detected")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(64)
+	c.Free(p)
+	out := harden.Capture(func() { c.Free(p) })
+	if out.Violation == nil {
+		t.Error("double free not detected")
+	}
+}
+
+func TestQuarantineDelaysReuse(t *testing.T) {
+	pl, c := newCtx(t, Options{QuarantineBytes: 1 << 20})
+	p := c.Malloc(64)
+	addr := p.Addr()
+	c.Free(p)
+	q := c.Malloc(64)
+	if q.Addr() == addr {
+		t.Error("quarantined block reused immediately")
+	}
+	if pl.QuarantineBytes() == 0 {
+		t.Error("quarantine empty after free")
+	}
+}
+
+func TestQuarantineDrains(t *testing.T) {
+	pl, c := newCtx(t, Options{QuarantineBytes: 256})
+	for i := 0; i < 16; i++ {
+		p := c.Malloc(64)
+		c.Free(p)
+	}
+	if pl.QuarantineBytes() > 256 {
+		t.Errorf("quarantine exceeded its cap: %d", pl.QuarantineBytes())
+	}
+}
+
+func TestNoQuarantineReusesImmediately(t *testing.T) {
+	_, c := newCtx(t, Options{NoQuarantine: true})
+	p := c.Malloc(64)
+	addr := p.Addr()
+	c.Free(p)
+	q := c.Malloc(64)
+	if q.Addr() != addr {
+		t.Error("free block not reused with quarantine disabled")
+	}
+}
+
+func TestShadowReservedUpFront(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	before := env.M.AS.Reserved()
+	New(env, Options{})
+	got := env.M.AS.Reserved() - before
+	want := env.M.Cfg.MemoryBudget / 8
+	if got != want {
+		t.Errorf("shadow reservation = %d, want %d", got, want)
+	}
+}
+
+func TestGlobalsAndStackRedzones(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	g := c.Global(32)
+	if out := harden.Capture(func() { c.StoreAt(g, 32, 1, 0) }); out.Violation == nil {
+		t.Error("global redzone write not detected")
+	}
+	f := c.PushFrame()
+	s := f.Alloc(16)
+	if out := harden.Capture(func() { c.StoreAt(s, 17, 1, 0) }); out.Violation == nil {
+		t.Error("stack redzone write not detected")
+	}
+	f.Pop()
+	// After the frame pops the shadow is clean again; reusing the stack
+	// area must not trip stale poison.
+	f2 := c.PushFrame()
+	s2 := f2.Alloc(16)
+	c.StoreAt(s2, 0, 8, 1)
+	f2.Pop()
+}
+
+func TestCheckRangeScansShadow(t *testing.T) {
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(100)
+	c.CheckRange(p, 100, harden.Write)
+	out := harden.Capture(func() { c.CheckRange(p, 150, harden.Write) })
+	if out.Violation == nil {
+		t.Error("range crossing into redzone not detected")
+	}
+}
+
+func TestShadowAccessesAreAccounted(t *testing.T) {
+	// Every checked access must add shadow traffic — the mechanism behind
+	// ASan's cache/EPC pressure.
+	_, c := newCtx(t, Options{})
+	p := c.Malloc(8)
+	loadsBefore := c.T.C.Loads
+	_ = c.LoadAt(p, 0, 8)
+	if delta := c.T.C.Loads - loadsBefore; delta < 2 {
+		t.Errorf("checked load issued %d loads, want >= 2 (data + shadow)", delta)
+	}
+}

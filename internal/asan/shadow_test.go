@@ -1,0 +1,67 @@
+package asan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// Property: the shadow mapping is monotone and 8-to-1 — every 8-byte
+// granule of application memory has exactly one shadow byte, and distinct
+// granules never share one.
+func TestQuickShadowMapping(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env, Options{})
+	f := func(a, b uint32) bool {
+		a %= machine.MetaBase
+		b %= machine.MetaBase
+		sa, sb := pl.shadowAddr(a), pl.shadowAddr(b)
+		if a/8 == b/8 {
+			return sa == sb
+		}
+		if a < b {
+			return sa <= sb && (b-a < 8 || sa != sb)
+		}
+		return sb <= sa && (a-b < 8 || sa != sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shadow addresses always land in the metadata region, never in
+// application memory (a shadow write must not corrupt the program).
+func TestQuickShadowStaysInMetaRegion(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env, Options{})
+	f := func(a uint32) bool {
+		a %= machine.MetaBase
+		s := pl.shadowAddr(a)
+		return s >= machine.MetaBase && s < machine.MetaTop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: poison/unpoison round-trips — after unpoisoning, every access
+// in the range passes; after poisoning, every access in it is caught.
+func TestQuickPoisonRoundTrip(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env, Options{})
+	th := env.M.NewThread()
+	f := func(offSeed, lenSeed uint16) bool {
+		base := uint32(machine.HeapBase) + uint32(offSeed)&^7
+		n := uint32(lenSeed)%256&^7 + 8
+		pl.poison(th, base, n, shadowRZ)
+		caught := harden.Capture(func() { pl.checkShadow(th, base+n/2, 1, harden.Read) })
+		pl.poison(th, base, n, shadowOK)
+		clean := harden.Capture(func() { pl.checkShadow(th, base+n/2, 1, harden.Read) })
+		return caught.Violation != nil && !clean.Crashed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package baggy
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func newCtx(t *testing.T) (*Policy, *harden.Ctx) {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl, err := New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, harden.NewCtx(pl, env.M.NewThread())
+}
+
+func TestInBoundsAccessesPass(t *testing.T) {
+	_, c := newCtx(t)
+	p := c.Malloc(64)
+	c.StoreAt(p, 56, 8, 9)
+	if got := c.LoadAt(p, 56, 8); got != 9 {
+		t.Errorf("load = %d", got)
+	}
+}
+
+func TestAllocationBoundsEnforced(t *testing.T) {
+	_, c := newCtx(t)
+	p := c.Malloc(64) // exactly a power of two: tight bounds
+	out := harden.Capture(func() { c.StoreAt(p, 64, 1, 0) })
+	if out.Violation == nil {
+		t.Error("overflow past the allocation block not detected")
+	}
+}
+
+func TestSlackIsNotProtected(t *testing.T) {
+	// Baggy checks allocation bounds, not object bounds: an overflow into
+	// the rounding slack of a 65-byte object (block = 128) is missed. This
+	// is the precision SGXBounds gains with exact bounds.
+	_, c := newCtx(t)
+	p := c.Malloc(65)
+	out := harden.Capture(func() { c.StoreAt(p, 100, 1, 0) })
+	if out.Violation != nil {
+		t.Error("access to allocation slack flagged; baggy bounds are allocation-granular")
+	}
+	out = harden.Capture(func() { c.StoreAt(p, 128, 1, 0) })
+	if out.Violation == nil {
+		t.Error("access past the allocation block missed")
+	}
+}
+
+func TestTagTravelsThroughMemory(t *testing.T) {
+	_, c := newCtx(t)
+	slot := c.Malloc(8)
+	obj := c.Malloc(32)
+	c.StorePtrAt(slot, 0, obj)
+	got := c.LoadPtrAt(slot, 0)
+	out := harden.Capture(func() { c.StoreAt(got, 64, 1, 0) })
+	if out.Violation == nil {
+		t.Error("size tag lost through spill/fill")
+	}
+}
+
+func TestArithmeticPreservesTag(t *testing.T) {
+	_, c := newCtx(t)
+	p := c.Malloc(64)
+	q := c.Add(p, 1<<40) // would clobber the tag without confinement
+	out := harden.Capture(func() { c.Store(c.Add(q, 64), 1, 0) })
+	if out.Violation == nil {
+		t.Error("tag corrupted by pointer arithmetic")
+	}
+}
+
+func TestMemoryOverheadIsSlack(t *testing.T) {
+	pl, c := newCtx(t)
+	var want uint64
+	for _, size := range []uint32{65, 100, 1000, 3000} {
+		c.Malloc(size)
+		b := uint64(1)
+		for b < uint64(size) {
+			b <<= 1
+		}
+		want += b
+	}
+	if pl.Slack() != want {
+		t.Errorf("live block bytes = %d, want %d", pl.Slack(), want)
+	}
+}
+
+func TestChecksAreMemoryFree(t *testing.T) {
+	_, c := newCtx(t)
+	p := c.Malloc(64)
+	c.StoreAt(p, 0, 8, 1)
+	before := c.T.C.Loads
+	_ = c.LoadAt(p, 0, 8)
+	if delta := c.T.C.Loads - before; delta != 1 {
+		t.Errorf("checked load issued %d loads, want 1 (tag check is register-only)", delta)
+	}
+}
+
+func TestStackObjectsRelocated(t *testing.T) {
+	_, c := newCtx(t)
+	f := c.PushFrame()
+	s := f.Alloc(32)
+	c.StoreAt(s, 31, 1, 1)
+	out := harden.Capture(func() { c.StoreAt(s, 32, 1, 0) })
+	if out.Violation == nil {
+		t.Error("stack object overflow missed")
+	}
+	f.Pop()
+}

@@ -1,0 +1,120 @@
+// Package bench is the evaluation harness (the reproduction's analogue of
+// the Fex framework the paper used, §6.1): it runs (workload x policy x
+// size x threads) grids on fresh machines, normalises results against the
+// native SGX baseline, and prints the rows and series of every table and
+// figure in the paper's evaluation.
+package bench
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+	"sgxbounds/internal/perf"
+	"sgxbounds/internal/sfi"
+	"sgxbounds/internal/workloads"
+)
+
+// PolicyNames lists the mechanisms of the paper's headline comparison, in
+// presentation order.
+var PolicyNames = []string{"sgx", "mpx", "asan", "sgxbounds"}
+
+// Spec describes one benchmark run.
+type Spec struct {
+	Workload string
+	Policy   string // "sgx", "sgxbounds", "asan", "mpx", "baggy"
+	Size     workloads.Size
+	Threads  int
+	Config   machine.Config
+	// CoreOpts configures the SGXBounds policy; it applies only when
+	// CoreOptsSet is true (the default is AllOptimizations, the paper's
+	// headline configuration).
+	CoreOpts    core.Options
+	CoreOptsSet bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec         Spec
+	Outcome      harden.Outcome
+	Cycles       uint64 // simulated elapsed time (main-thread critical path)
+	Totals       perf.Counters
+	PeakReserved uint64 // bytes of reserved virtual memory (the paper's metric)
+	PageFaults   uint64 // EPC page faults
+	BoundsTables int    // MPX only
+	Digest       uint64
+}
+
+// NewPolicy constructs the named mechanism over env.
+func NewPolicy(name string, env *harden.Env, coreOpts core.Options) (harden.Policy, error) {
+	switch name {
+	case "sgx":
+		return harden.NewNative(env), nil
+	case "sgxbounds":
+		return core.New(env, coreOpts), nil
+	case "asan":
+		return asan.New(env, asan.Options{}), nil
+	case "mpx":
+		return mpx.New(env), nil
+	case "baggy":
+		return baggy.New(env)
+	case "sfi":
+		return sfi.New(env), nil
+	}
+	return nil, fmt.Errorf("bench: unknown policy %q", name)
+}
+
+// Run executes one spec on a fresh machine.
+func Run(spec Spec) Result {
+	if spec.Threads == 0 {
+		spec.Threads = 1
+	}
+	if spec.Config.L1.Size == 0 {
+		spec.Config = machine.DefaultConfig()
+	}
+	if spec.Policy == "sgxbounds" && !spec.CoreOptsSet {
+		spec.CoreOpts = core.AllOptimizations()
+	}
+	w, err := workloads.Get(spec.Workload)
+	if err != nil {
+		panic(err)
+	}
+	env := harden.NewEnv(spec.Config)
+	pl, err := NewPolicy(spec.Policy, env, spec.CoreOpts)
+	if err != nil {
+		panic(err)
+	}
+	ctx := harden.NewCtx(pl, env.M.NewThread())
+	res := Result{Spec: spec}
+	res.Outcome = harden.Capture(func() {
+		res.Digest = w.Run(ctx, spec.Threads, spec.Size)
+	})
+	res.Cycles = ctx.T.C.Cycles
+	res.Totals = env.M.Finish(ctx.T)
+	res.PeakReserved = env.M.AS.PeakReserved()
+	res.PageFaults = env.M.PageFaults()
+	if m, ok := pl.(*mpx.Policy); ok {
+		res.BoundsTables = m.BoundsTables()
+	}
+	return res
+}
+
+// Overhead returns r's slowdown relative to base (1.0 = equal).
+func Overhead(r, base Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(base.Cycles)
+}
+
+// MemOverhead returns r's reserved-VM ratio relative to base.
+func MemOverhead(r, base Result) float64 {
+	if base.PeakReserved == 0 {
+		return 0
+	}
+	return float64(r.PeakReserved) / float64(base.PeakReserved)
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/workloads"
+)
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("gmean(2,8) = %v", g)
+	}
+	// NaNs (crashed runs) are skipped, like the paper's missing bars.
+	if g := Gmean([]float64{2, math.NaN(), 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("gmean with NaN = %v", g)
+	}
+	if !math.IsNaN(Gmean(nil)) {
+		t.Error("gmean of nothing should be NaN")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtX(1.234) != "1.23x" {
+		t.Errorf("FmtX = %q", FmtX(1.234))
+	}
+	if FmtX(math.NaN()) != "OOM" {
+		t.Errorf("FmtX(NaN) = %q", FmtX(math.NaN()))
+	}
+	if FmtMB(5<<20) != "5.0MB" {
+		t.Errorf("FmtMB = %q", FmtMB(5<<20))
+	}
+	if FmtMB(50<<20) != "50MB" {
+		t.Errorf("FmtMB = %q", FmtMB(50<<20))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "benchmark"}}
+	tab.AddRow("x", "1.00x")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "benchmark", "1.00x", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	base := Run(Spec{Workload: "histogram", Policy: "sgx", Size: workloads.XS})
+	r := Run(Spec{Workload: "histogram", Policy: "sgxbounds", Size: workloads.XS})
+	if base.Outcome.Crashed() || r.Outcome.Crashed() {
+		t.Fatalf("smoke runs crashed: %v / %v", base.Outcome, r.Outcome)
+	}
+	if r.Digest != base.Digest {
+		t.Error("digests diverge across policies")
+	}
+	if ov := Overhead(r, base); ov < 0.9 || ov > 3 {
+		t.Errorf("histogram overhead = %v, out of sane range", ov)
+	}
+	if MemOverhead(r, base) < 0.9 {
+		t.Error("memory overhead below baseline")
+	}
+}
+
+func TestRunDefaultsAndOptVariants(t *testing.T) {
+	// Unset CoreOpts defaults to AllOptimizations; an explicit empty
+	// Options (the fig10 "none" variant) must be more expensive.
+	optimised := Run(Spec{Workload: "matrixmul", Policy: "sgxbounds", Size: workloads.XS})
+	none := Run(Spec{Workload: "matrixmul", Policy: "sgxbounds", Size: workloads.XS,
+		CoreOpts: core.Options{}, CoreOptsSet: true})
+	if none.Cycles <= optimised.Cycles {
+		t.Errorf("unoptimised (%d) not slower than optimised (%d)", none.Cycles, optimised.Cycles)
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"sgx", "sgxbounds", "asan", "mpx", "baggy", "sfi"} {
+		env := harden.NewEnv(machine.DefaultConfig())
+		p, err := NewPolicy(name, env, core.AllOptimizations())
+		if err != nil || p == nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	env := harden.NewEnv(machine.DefaultConfig())
+	if _, err := NewPolicy("nope", env, core.Options{}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestMPXBoundsTablesReported(t *testing.T) {
+	r := Run(Spec{Workload: "wordcount", Policy: "mpx", Size: workloads.XS})
+	if r.BoundsTables == 0 {
+		t.Error("MPX run reported no bounds tables")
+	}
+}
+
+func TestAppResultQueueing(t *testing.T) {
+	r := AppResult{App: "nginx", ServiceCycles: 3.6e6} // 1 ms service time
+	if tput := r.Throughput(); math.Abs(tput-1000) > 1 {
+		t.Errorf("throughput = %v, want ~1000", tput)
+	}
+	if lat := r.Latency(1); math.Abs(lat-1.0) > 0.01 {
+		t.Errorf("latency@1 = %v ms", lat)
+	}
+	if lat := r.Latency(4); math.Abs(lat-4.0) > 0.01 {
+		t.Errorf("latency@4 = %v ms (1 worker, 4 clients)", lat)
+	}
+}

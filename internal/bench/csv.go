@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"sgxbounds/internal/workloads"
+)
+
+// WriteGridCSV exports a suite-comparison grid as CSV (one row per
+// workload x policy), for plotting the figures outside the text tables.
+func WriteGridCSV(w io.Writer, grid Grid) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"workload", "policy", "outcome", "cycles", "perf_overhead",
+		"peak_reserved_bytes", "mem_overhead", "page_faults", "llc_misses", "bounds_tables",
+	}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(grid))
+	for name := range grid {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := grid[name]
+		base := row["sgx"]
+		pols := make([]string, 0, len(row))
+		for pol := range row {
+			pols = append(pols, pol)
+		}
+		sort.Strings(pols)
+		for _, pol := range pols {
+			r := row[pol]
+			perfOv, memOv := math.NaN(), math.NaN()
+			if !r.Outcome.Crashed() {
+				perfOv = Overhead(r, base)
+				memOv = MemOverhead(r, base)
+			}
+			rec := []string{
+				name, pol, r.Outcome.String(),
+				fmt.Sprintf("%d", r.Cycles),
+				fmt.Sprintf("%.4f", perfOv),
+				fmt.Sprintf("%d", r.PeakReserved),
+				fmt.Sprintf("%.4f", memOv),
+				fmt.Sprintf("%d", r.PageFaults),
+				fmt.Sprintf("%d", r.Totals.LLCMisses()),
+				fmt.Sprintf("%d", r.BoundsTables),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig8CSV exports the working-set sweep as CSV.
+func WriteFig8CSV(w io.Writer, res Fig8Result) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"workload", "size", "policy", "outcome", "cycles", "page_faults", "bounds_tables"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, size := range []workloads.Size{workloads.XS, workloads.S, workloads.M, workloads.L, workloads.XL} {
+			row := res[name][size]
+			pols := make([]string, 0, len(row))
+			for pol := range row {
+				pols = append(pols, pol)
+			}
+			sort.Strings(pols)
+			for _, pol := range pols {
+				r := row[pol]
+				if err := cw.Write([]string{
+					name, size.String(), pol, r.Outcome.String(),
+					fmt.Sprintf("%d", r.Cycles),
+					fmt.Sprintf("%d", r.PageFaults),
+					fmt.Sprintf("%d", r.BoundsTables),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sgxbounds/internal/apps/minidb"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/perf"
+)
+
+// Fig1Budget is the enclave size used for the SQLite case study. SCONE
+// sizes enclaves per application; the database enclave is deliberately
+// small, which is the scaled analogue of SQLite's situation in Figure 1
+// (MPX's bounds tables exhaust the enclave at the smallest working set).
+const Fig1Budget = 64 << 20
+
+// Fig1Items is the working-set sweep (rows in the table), the scaled
+// analogue of the paper's 100..4000 speedtest items.
+var Fig1Items = []uint32{16000, 24000, 32000, 48000, 64000}
+
+// Fig1Row is one (policy, items) measurement.
+type Fig1Row struct {
+	Items        uint32
+	Policy       string
+	Outcome      harden.Outcome
+	Cycles       uint64
+	PeakReserved uint64
+	PageFaults   uint64
+	Totals       perf.Counters
+}
+
+// RunSpeedtest executes the minidb speedtest under one policy in a
+// database-sized enclave.
+func RunSpeedtest(policy string, items uint32) Fig1Row {
+	cfg := machine.DefaultConfig()
+	cfg.MemoryBudget = Fig1Budget
+	env := harden.NewEnv(cfg)
+	pl, err := NewPolicy(policy, env, core.AllOptimizations())
+	if err != nil {
+		panic(err)
+	}
+	ctx := harden.NewCtx(pl, env.M.NewThread())
+	row := Fig1Row{Items: items, Policy: policy}
+	row.Outcome = harden.Capture(func() { minidb.Speedtest(ctx, items) })
+	row.Cycles = ctx.T.C.Cycles
+	row.Totals = env.M.Finish(ctx.T)
+	row.PeakReserved = env.M.AS.PeakReserved()
+	row.PageFaults = env.M.PageFaults()
+	return row
+}
+
+// Fig1 reproduces Figure 1: SQLite speedtest performance and memory
+// overheads with increasing working-set items, inside the enclave.
+func Fig1(w io.Writer) map[uint32]map[string]Fig1Row {
+	out := make(map[uint32]map[string]Fig1Row)
+	perfT := &Table{Title: "Figure 1: SQLite (minidb) speedtest — performance overhead over native SGX",
+		Header: []string{"items", "mpx", "asan", "sgxbounds"}}
+	memT := &Table{Title: "Figure 1: SQLite (minidb) speedtest — peak reserved VM",
+		Header: []string{"items", "sgx", "mpx", "asan", "sgxbounds"}}
+	for _, items := range Fig1Items {
+		row := make(map[string]Fig1Row, len(PolicyNames))
+		for _, pol := range PolicyNames {
+			row[pol] = RunSpeedtest(pol, items)
+		}
+		out[items] = row
+		base := row["sgx"]
+		ov := func(pol string) float64 {
+			r := row[pol]
+			if r.Outcome.Crashed() || base.Cycles == 0 {
+				return math.NaN()
+			}
+			return float64(r.Cycles) / float64(base.Cycles)
+		}
+		mem := func(pol string) string {
+			r := row[pol]
+			if r.Outcome.Crashed() {
+				return "OOM"
+			}
+			return FmtMB(r.PeakReserved)
+		}
+		perfT.AddRow(fmt.Sprintf("%d", items), FmtX(ov("mpx")), FmtX(ov("asan")), FmtX(ov("sgxbounds")))
+		memT.AddRow(fmt.Sprintf("%d", items), mem("sgx"), mem("mpx"), mem("asan"), mem("sgxbounds"))
+		fmt.Fprintf(w, "  %d items done\n", items)
+	}
+	perfT.Fprint(w)
+	memT.Fprint(w)
+	return out
+}

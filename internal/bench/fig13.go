@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/apps/httpd"
+	"sgxbounds/internal/apps/kvcache"
+	"sgxbounds/internal/apps/wserv"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// CyclesPerSecond converts simulated cycles to simulated wall-clock time
+// (the paper's testbed runs at 3.6 GHz).
+const CyclesPerSecond = 3.6e9
+
+// AppBudget is the per-application enclave size for the network case
+// studies (SCONE sizes enclaves per application).
+const AppBudget = 64 << 20
+
+// AppWorkers is the server thread count per application: Memcached runs 4
+// workers, Apache a prefork-style pool, Nginx a single event loop (§7).
+var AppWorkers = map[string]int{"memcached": 4, "apache": 8, "nginx": 1}
+
+// AppResult is one (app, policy) measurement.
+type AppResult struct {
+	App           string
+	Policy        string
+	ServiceCycles float64 // average cycles per request on one worker
+	PeakReserved  uint64
+	PageFaults    uint64
+	Outcome       harden.Outcome
+}
+
+// Throughput returns the saturated throughput (requests/simulated-second)
+// with the app's worker count.
+func (r AppResult) Throughput() float64 {
+	if r.ServiceCycles == 0 || r.Outcome.Crashed() {
+		return 0
+	}
+	return float64(AppWorkers[r.App]) * CyclesPerSecond / r.ServiceCycles
+}
+
+// Latency returns the closed-loop average latency (ms) at the given client
+// count: service time while below saturation, queueing growth beyond it.
+func (r AppResult) Latency(clients int) float64 {
+	if r.ServiceCycles == 0 || r.Outcome.Crashed() {
+		return 0
+	}
+	w := AppWorkers[r.App]
+	lat := r.ServiceCycles
+	if clients > w {
+		lat = r.ServiceCycles * float64(clients) / float64(w)
+	}
+	return lat / CyclesPerSecond * 1000
+}
+
+// MeasureApp runs `requests` requests of one app under one policy and
+// returns the per-request cost.
+func MeasureApp(app, policy string, requests int) AppResult {
+	cfg := machine.DefaultConfig()
+	cfg.MemoryBudget = AppBudget
+	env := harden.NewEnv(cfg)
+	pl, err := NewPolicy(policy, env, core.AllOptimizations())
+	if err != nil {
+		panic(err)
+	}
+	c := harden.NewCtx(pl, env.M.NewThread())
+	res := AppResult{App: app, Policy: policy}
+
+	res.Outcome = harden.Capture(func() {
+		warmup := requests / 4
+		var startCycles uint64
+		switch app {
+		case "memcached":
+			srv := kvcache.NewServer(c, 4096, 16384)
+			r := uint64(0xBEE5)
+			val := make([]byte, 120)
+			for k := uint64(0); k < 16384; k++ { // memaslap prepopulation
+				srv.Handle(kvcache.EncodeRequest(kvcache.OpSet, k*20000/16384, val))
+			}
+			for i := 0; i < requests+warmup; i++ {
+				if i == warmup {
+					startCycles = c.T.C.Cycles
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				key := r % 20000
+				if r%10 == 0 { // memaslap's 90/10 get/set mix
+					srv.Handle(kvcache.EncodeRequest(kvcache.OpSet, key, val))
+				} else {
+					srv.Handle(kvcache.EncodeRequest(kvcache.OpGet, key, nil))
+				}
+			}
+		case "apache":
+			srv := httpd.NewServer(c)
+			hdr := []byte("GET /index.html HTTP/1.1\nHost: example.com\nAccept: */*\nConnection: keep-alive\n")
+			for i := 0; i < requests+warmup; i++ {
+				if i == warmup {
+					startCycles = c.T.C.Cycles
+				}
+				srv.ServeRequest(hdr)
+			}
+		case "nginx":
+			srv := wserv.NewServer(c)
+			req := []byte("GET /index.html HTTP/1.1\nHost: example.com\n")
+			for i := 0; i < requests+warmup; i++ {
+				if i == warmup {
+					startCycles = c.T.C.Cycles
+				}
+				srv.ServeRequest(req)
+			}
+		default:
+			panic(fmt.Sprintf("unknown app %q", app))
+		}
+		res.ServiceCycles = float64(c.T.C.Cycles-startCycles) / float64(requests)
+	})
+	env.M.Finish(c.T)
+	res.PeakReserved = env.M.AS.PeakReserved()
+	res.PageFaults = env.M.PageFaults()
+	return res
+}
+
+// Fig13Clients is the client-count sweep of the throughput-latency plots.
+var Fig13Clients = []int{1, 2, 4, 8, 16, 32}
+
+// Fig13 reproduces Figure 13: throughput-latency behaviour and peak memory
+// usage of the three network case studies.
+func Fig13(w io.Writer, requests int) map[string]map[string]AppResult {
+	if requests == 0 {
+		requests = 2000
+	}
+	out := make(map[string]map[string]AppResult)
+	for _, app := range []string{"memcached", "apache", "nginx"} {
+		out[app] = make(map[string]AppResult)
+		tab := &Table{
+			Title: fmt.Sprintf("Figure 13 (%s): throughput [kreq/s] / latency [ms] by concurrent clients", app),
+			Header: append([]string{"policy"}, func() []string {
+				var h []string
+				for _, c := range Fig13Clients {
+					h = append(h, fmt.Sprintf("c=%d", c))
+				}
+				return h
+			}()...),
+		}
+		for _, pol := range PolicyNames {
+			r := MeasureApp(app, pol, requests)
+			out[app][pol] = r
+			cells := []string{pol}
+			for _, clients := range Fig13Clients {
+				if r.Outcome.Crashed() {
+					cells = append(cells, "OOM")
+					continue
+				}
+				tput := r.Throughput()
+				if clients < AppWorkers[app] {
+					tput = tput * float64(clients) / float64(AppWorkers[app])
+				}
+				cells = append(cells, fmt.Sprintf("%.0f/%.3f", tput/1000, r.Latency(clients)))
+			}
+			tab.AddRow(cells...)
+		}
+		tab.Fprint(w)
+	}
+
+	mem := &Table{Title: "Figure 13: memory usage (reserved VM) at peak throughput",
+		Header: []string{"policy", "memcached", "apache", "nginx"}}
+	for _, pol := range PolicyNames {
+		row := []string{pol}
+		for _, app := range []string{"memcached", "apache", "nginx"} {
+			r := out[app][pol]
+			if r.Outcome.Crashed() {
+				row = append(row, "OOM")
+			} else {
+				row = append(row, FmtMB(r.PeakReserved))
+			}
+		}
+		mem.AddRow(row...)
+	}
+	mem.Fprint(w)
+	return out
+}

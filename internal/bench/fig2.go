@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/perf"
+)
+
+// Fig2 prints the memory-hierarchy cost model — the Figure 2 background:
+// each level of the hierarchy with its simulated access cost, inside and
+// outside the enclave, plus the paging costs. The *ratios* are the model's
+// encoding of the paper's relative-overhead figure.
+func Fig2(w io.Writer) {
+	m := perf.Default()
+	cfg := machine.DefaultConfig()
+	tab := &Table{Title: "Figure 2: memory hierarchy and relative access costs (simulated cycles)",
+		Header: []string{"level", "size", "native", "inside enclave", "vs L1"}}
+	row := func(name, size string, lvl perf.Level) {
+		in := m.AccessCost(lvl, true)
+		tab.AddRow(name, size,
+			fmt.Sprintf("%d", m.AccessCost(lvl, false)),
+			fmt.Sprintf("%d", in),
+			fmt.Sprintf("%.0fx", float64(in)/float64(m.AccessCost(perf.L1, true))))
+	}
+	row("L1", FmtMB(uint64(cfg.L1.Size)), perf.L1)
+	row("L2", FmtMB(uint64(cfg.L2.Size)), perf.L2)
+	row("LLC", FmtMB(uint64(cfg.L3.Size)), perf.L3)
+	row("DRAM (MEE)", "-", perf.DRAM)
+	tab.AddRow("EPC cold fault (EAUG)", FmtMB(6<<20),
+		"-", fmt.Sprintf("%d", m.ColdFaultCost), fmt.Sprintf("%.0fx", float64(m.ColdFaultCost)/float64(m.AccessCost(perf.L1, true))))
+	tab.AddRow("EPC paging fault", "-", "-",
+		fmt.Sprintf("%d", m.AccessCost(perf.Fault, true)),
+		fmt.Sprintf("%.0fx", float64(m.AccessCost(perf.Fault, true))/float64(m.AccessCost(perf.L1, true))))
+	tab.Fprint(w)
+}

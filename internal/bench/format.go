@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Gmean returns the geometric mean of the values, skipping NaNs (crashed
+// runs are excluded, as in the paper's figures, where crashed bars are
+// simply missing).
+func Gmean(vals []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range vals {
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// FmtX formats an overhead ratio as the paper writes them ("1.17x"); NaN
+// renders as the crash marker.
+func FmtX(v float64) string {
+	if math.IsNaN(v) {
+		return "OOM"
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
+
+// FmtMB formats a byte count with sensible units and precision.
+func FmtMB(b uint64) string {
+	if b < 1<<20 {
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+	mb := float64(b) / (1 << 20)
+	if mb < 10 {
+		return fmt.Sprintf("%.1fMB", mb)
+	}
+	return fmt.Sprintf("%.0fMB", mb)
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cache implements the set-associative cache simulator that models
+// the on-die part of the memory hierarchy in Figure 2 of the paper: private
+// per-core L1 and L2 caches and a shared last-level cache.
+//
+// The model is deliberately simple — physically-indexed, LRU per set,
+// allocate-on-miss for both reads and writes, no prefetching — because the
+// paper's arguments only need the first-order effect: metadata accesses that
+// break locality (AddressSanitizer's shadow memory, MPX's bounds tables)
+// cause more LLC misses than metadata that sits adjacent to the object
+// (SGXBounds' lower bound after the object).
+package cache
+
+import "sync"
+
+// LineShift is log2 of the cache line size.
+const LineShift = 6
+
+// LineSize is the cache line size in bytes (64, as on the paper's Skylake).
+const LineSize = 1 << LineShift
+
+// Config describes one cache level.
+type Config struct {
+	Size int // total bytes
+	Ways int // associativity
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Size / (LineSize * c.Ways) }
+
+// Cache is a single-level set-associative cache with per-set LRU
+// replacement. It is NOT safe for concurrent use; private levels belong to
+// one thread, and the shared level is wrapped by Shared.
+type Cache struct {
+	ways    int
+	setMask uint32
+	tags    []uint32 // sets*ways entries; tag 0 is "invalid" (tag stored +1)
+	stamp   []uint64 // LRU stamps, parallel to tags
+	clock   uint64
+}
+
+// New builds a cache from cfg. It panics on a degenerate configuration.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: number of sets must be a positive power of two")
+	}
+	return &Cache{
+		ways:    cfg.Ways,
+		setMask: uint32(sets - 1),
+		tags:    make([]uint32, sets*cfg.Ways),
+		stamp:   make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Access looks up the line containing addr, inserting it on a miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint32) bool {
+	line := addr >> LineShift
+	set := line & c.setMask
+	tag := line + 1 // +1 so that a zeroed entry is invalid
+	base := int(set) * c.ways
+	c.clock++
+	victim := base
+	oldest := c.stamp[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return true
+		}
+		if c.stamp[i] < oldest {
+			oldest = c.stamp[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Contains reports whether the line holding addr is present, without
+// updating replacement state. Intended for tests.
+func (c *Cache) Contains(addr uint32) bool {
+	line := addr >> LineShift
+	set := line & c.setMask
+	tag := line + 1
+	base := int(set) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+}
+
+// Shared wraps a Cache with a mutex so multiple simulated threads can share
+// it, modelling the shared LLC.
+type Shared struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+// NewShared builds a shared cache from cfg.
+func NewShared(cfg Config) *Shared { return &Shared{c: New(cfg)} }
+
+// Access is the thread-safe variant of Cache.Access.
+func (s *Shared) Access(addr uint32) bool {
+	s.mu.Lock()
+	hit := s.c.Access(addr)
+	s.mu.Unlock()
+	return hit
+}
+
+// Contains is the thread-safe variant of Cache.Contains.
+func (s *Shared) Contains(addr uint32) bool {
+	s.mu.Lock()
+	ok := s.c.Contains(addr)
+	s.mu.Unlock()
+	return ok
+}
+
+// Flush invalidates the shared cache.
+func (s *Shared) Flush() {
+	s.mu.Lock()
+	s.c.Flush()
+	s.mu.Unlock()
+}

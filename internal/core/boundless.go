@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sync"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// ChunkSize is the size of one boundless overlay chunk (1 KB, §5.1).
+const ChunkSize = 1024
+
+// DefaultBoundlessCap bounds the whole overlay LRU cache (1 MB, §4.2) so
+// that attacks spanning gigabytes of out-of-bounds memory — a frequent
+// consequence of integer overflows producing negative buffer sizes — cannot
+// exhaust enclave memory.
+const DefaultBoundlessCap = 1 << 20
+
+// lockCost approximates the instruction cost of taking the global lock.
+const lockCost = 20
+
+// Boundless implements boundless memory blocks (§4.2): a bounded
+// least-recently-used cache mapping out-of-bounds addresses to spare chunks
+// of overlay memory. Out-of-bounds stores land in overlay chunks (allocated
+// on demand, LRU-evicted at capacity); out-of-bounds loads read the overlay
+// or, on a miss, fall back to failure-oblivious zeros.
+//
+// All operations take one global lock, mirroring the paper's uthash-based
+// implementation: slow, but on the (supposedly rare) out-of-bounds slow
+// path.
+type Boundless struct {
+	m *machine.Machine
+
+	mu     sync.Mutex
+	base   uint32         // overlay arena base (MetaAlloc'd lazily)
+	nslots int            // capacity in chunks
+	slots  map[uint32]int // chunk key (addr >> 10) -> slot index
+	keys   []uint32       // slot -> chunk key
+	stamp  []uint64       // slot -> LRU stamp
+	clock  uint64
+	used   int
+
+	hits, misses, evicted uint64
+}
+
+// NewBoundless builds an overlay store with the given capacity in bytes.
+func NewBoundless(m *machine.Machine, capBytes uint32) *Boundless {
+	n := int(capBytes / ChunkSize)
+	if n < 1 {
+		n = 1
+	}
+	return &Boundless{
+		m:      m,
+		nslots: n,
+		slots:  make(map[uint32]int, n),
+		keys:   make([]uint32, n),
+		stamp:  make([]uint64, n),
+	}
+}
+
+// Stats returns (hits, misses, evictions) of the overlay cache.
+func (b *Boundless) Stats() (hits, misses, evicted uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses, b.evicted
+}
+
+// arena lazily maps the overlay memory. Called with b.mu held.
+func (b *Boundless) arena() uint32 {
+	if b.base == 0 {
+		b.base = harden.MustAlloc(b.m.MetaAlloc(uint32(b.nslots) * ChunkSize))
+	}
+	return b.base
+}
+
+// lookup finds the overlay address for the chunk covering addr. With
+// create, a missing chunk is allocated (evicting the LRU chunk at
+// capacity); otherwise a miss returns ok=false. Called with b.mu held.
+func (b *Boundless) lookup(t *machine.Thread, addr uint32, create bool) (uint32, bool) {
+	key := addr >> 10
+	b.clock++
+	if i, ok := b.slots[key]; ok {
+		b.stamp[i] = b.clock
+		b.hits++
+		return b.arena() + uint32(i)*ChunkSize + (addr & (ChunkSize - 1)), true
+	}
+	b.misses++
+	if !create {
+		return 0, false
+	}
+	var slot int
+	if b.used < b.nslots {
+		slot = b.used
+		b.used++
+	} else {
+		// Evict the least recently used chunk.
+		slot = 0
+		oldest := b.stamp[0]
+		for i := 1; i < b.nslots; i++ {
+			if b.stamp[i] < oldest {
+				oldest = b.stamp[i]
+				slot = i
+			}
+		}
+		delete(b.slots, b.keys[slot])
+		b.evicted++
+	}
+	b.slots[key] = slot
+	b.keys[slot] = key
+	b.stamp[slot] = b.clock
+	ov := b.arena() + uint32(slot)*ChunkSize
+	// Fresh (or recycled) chunks read as zeros.
+	t.Touch(ov, ChunkSize, true)
+	b.m.AS.Memset(ov, 0, ChunkSize)
+	return ov + (addr & (ChunkSize - 1)), true
+}
+
+// Load serves an out-of-bounds load: overlay contents on a hit, zeros on a
+// miss (failure-oblivious computing).
+func (b *Boundless) Load(t *machine.Thread, addr uint32, size uint8) uint64 {
+	t.Instr(lockCost)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var v uint64
+	for i := uint8(0); i < size; i++ { // chunks are 1 KB; accesses may straddle
+		if ov, ok := b.lookup(t, addr+uint32(i), false); ok {
+			v |= t.Load(ov, 1) << (8 * i)
+		}
+	}
+	return v
+}
+
+// Store redirects an out-of-bounds store into the overlay.
+func (b *Boundless) Store(t *machine.Thread, addr uint32, size uint8, v uint64) {
+	t.Instr(lockCost)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := uint8(0); i < size; i++ {
+		ov, _ := b.lookup(t, addr+uint32(i), true)
+		t.Store(ov, 1, v>>(8*i)&0xFF)
+	}
+}
+
+// ReadBytes fills dst with the overlay contents of [addr, addr+len(dst)),
+// zeros where no overlay chunk exists.
+func (b *Boundless) ReadBytes(t *machine.Thread, addr uint32, dst []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	t.Instr(lockCost)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range dst {
+		dst[i] = 0
+		if ov, ok := b.lookup(t, addr+uint32(i), false); ok {
+			dst[i] = byte(t.Load(ov, 1))
+		}
+	}
+}
+
+// WriteBytes stores src into overlay chunks covering [addr, addr+len(src)).
+func (b *Boundless) WriteBytes(t *machine.Thread, addr uint32, src []byte) {
+	if len(src) == 0 {
+		return
+	}
+	t.Instr(lockCost)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range src {
+		ov, _ := b.lookup(t, addr+uint32(i), true)
+		t.Store(ov, 1, uint64(src[i]))
+	}
+}
+
+// SetBytes fills n overlay bytes starting at addr with c.
+func (b *Boundless) SetBytes(t *machine.Thread, addr uint32, c byte, n uint32) {
+	if n == 0 {
+		return
+	}
+	t.Instr(lockCost)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := uint32(0); i < n; i++ {
+		ov, _ := b.lookup(t, addr+i, true)
+		t.Store(ov, 1, uint64(c))
+	}
+}

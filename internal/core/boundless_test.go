@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func newBoundless(t *testing.T) (*Policy, *harden.Ctx) {
+	t.Helper()
+	return newPolicy(t, Options{Boundless: true})
+}
+
+func TestBoundlessStoreDoesNotCorruptNeighbour(t *testing.T) {
+	_, c := newBoundless(t)
+	a := c.Malloc(64)
+	b := c.Malloc(64)
+	c.StoreAt(b, 0, 8, 0x1111111111111111)
+	// Overflow a by up to 64 bytes: must not touch b.
+	for off := int64(64); off < 128; off += 8 {
+		c.StoreAt(a, off, 8, 0xDEAD)
+	}
+	if got := c.LoadAt(b, 0, 8); got != 0x1111111111111111 {
+		t.Errorf("neighbour corrupted: %#x", got)
+	}
+	if c.T.C.Violations == 0 {
+		t.Error("violations not counted")
+	}
+}
+
+func TestBoundlessReadAfterWriteRoundTrips(t *testing.T) {
+	// §4.2: out-of-bounds stores land in the overlay; subsequent
+	// out-of-bounds loads of the same address observe them.
+	_, c := newBoundless(t)
+	a := c.Malloc(16)
+	c.StoreAt(a, 100, 8, 0xFACE)
+	if got := c.LoadAt(a, 100, 8); got != 0xFACE {
+		t.Errorf("overlay read-after-write = %#x", got)
+	}
+}
+
+func TestBoundlessMissReadsZero(t *testing.T) {
+	_, c := newBoundless(t)
+	a := c.Malloc(16)
+	if got := c.LoadAt(a, 999, 8); got != 0 {
+		t.Errorf("failure-oblivious read = %#x, want 0", got)
+	}
+}
+
+func TestBoundlessLRUCapBounded(t *testing.T) {
+	pl, c := newPolicy(t, Options{Boundless: true, BoundlessCapBytes: 4 * ChunkSize})
+	a := c.Malloc(8)
+	// Touch many distinct out-of-bounds chunks; the overlay must stay at 4.
+	for i := int64(0); i < 64; i++ {
+		c.StoreAt(a, 1000+i*ChunkSize, 1, uint64(i)&0xFF)
+	}
+	_, _, evicted := pl.Boundless().Stats()
+	if evicted != 64-4 {
+		t.Errorf("evictions = %d, want 60", evicted)
+	}
+}
+
+func TestBoundlessEvictionDropsOldData(t *testing.T) {
+	_, c := newPolicy(t, Options{Boundless: true, BoundlessCapBytes: 2 * ChunkSize})
+	a := c.Malloc(8)
+	c.StoreAt(a, 1000, 1, 0xAB)
+	for i := int64(1); i <= 2; i++ { // fill and overflow the 2-chunk cache
+		c.StoreAt(a, 1000+i*ChunkSize, 1, 1)
+	}
+	if got := c.LoadAt(a, 1000, 1); got != 0 {
+		t.Errorf("evicted overlay data still visible: %#x", got)
+	}
+}
+
+func TestBoundlessMemcpyHeartbleedShape(t *testing.T) {
+	// The §7 Apache result: an over-read memcpy copies the in-bounds part
+	// and zeros for the rest, so secrets adjacent to the source do not leak.
+	pl, c := newBoundless(t)
+	secretNeighbour := c.Malloc(64)
+	payload := c.Malloc(16)
+	secret := c.Malloc(64)
+	for off := int64(0); off < 64; off += 8 {
+		c.StoreAt(secret, off, 8, 0x5EC4E7)
+		c.StoreAt(secretNeighbour, off, 8, 0x5EC4E7)
+	}
+	for off := int64(0); off < 16; off++ {
+		c.StoreAt(payload, off, 1, 0x41)
+	}
+	reply := c.Malloc(256)
+	pl.Memcpy(c.T, reply, payload, 128) // classic over-read
+	for off := int64(0); off < 16; off++ {
+		if got := c.LoadAt(reply, off, 1); got != 0x41 {
+			t.Fatalf("in-bounds byte %d = %#x", off, got)
+		}
+	}
+	for off := int64(16); off < 128; off++ {
+		if got := c.LoadAt(reply, off, 1); got != 0 {
+			t.Fatalf("leaked byte at %d: %#x", off, got)
+		}
+	}
+}
+
+func TestBoundlessMemcpyOOBDestination(t *testing.T) {
+	pl, c := newBoundless(t)
+	src := c.Malloc(128)
+	for off := int64(0); off < 128; off++ {
+		c.StoreAt(src, off, 1, 7)
+	}
+	dst := c.Malloc(32)
+	guard := c.Malloc(32)
+	pl.Memcpy(c.T, dst, src, 128) // overflows dst by 96 bytes
+	for off := int64(0); off < 32; off++ {
+		if got := c.LoadAt(guard, off, 1); got != 0 {
+			t.Fatalf("guard object corrupted at %d", off)
+		}
+	}
+	// The spilled bytes are readable through the overlay.
+	if got := c.LoadAt(dst, 64, 1); got != 7 {
+		t.Errorf("overlayed destination byte = %#x", got)
+	}
+}
+
+func TestBoundlessMemsetClamps(t *testing.T) {
+	pl, c := newBoundless(t)
+	a := c.Malloc(32)
+	guard := c.Malloc(32)
+	pl.Memset(c.T, a, 0xEE, 64)
+	for off := int64(0); off < 32; off++ {
+		if got := c.LoadAt(a, off, 1); got != 0xEE {
+			t.Fatalf("in-bounds memset byte %d = %#x", off, got)
+		}
+		if got := c.LoadAt(guard, off, 1); got != 0 {
+			t.Fatalf("guard corrupted at %d", off)
+		}
+	}
+}
+
+func TestFailStopStillCrashesWithoutBoundless(t *testing.T) {
+	pl, c := newPolicy(t, Options{})
+	dst := c.Malloc(16)
+	src := c.Malloc(64)
+	out := harden.Capture(func() { pl.Memcpy(c.T, dst, src, 64) })
+	if out.Violation == nil {
+		t.Error("fail-stop memcpy overflow not detected")
+	}
+}
+
+func TestBoundlessUnderflowStillCrashes(t *testing.T) {
+	// Boundless memory covers *over*flows; an address below the lower bound
+	// in a bulk operation remains fail-stop (negative base is a different
+	// bug class than overrun length).
+	pl, c := newBoundless(t)
+	a := c.Malloc(32)
+	bad := c.Add(a, -8)
+	out := harden.Capture(func() { pl.Memset(c.T, bad, 1, 16) })
+	if out.Violation == nil {
+		t.Error("bulk underflow tolerated")
+	}
+}
+
+func TestBoundlessAccountsSlowPath(t *testing.T) {
+	_, c := newBoundless(t)
+	a := c.Malloc(8)
+	before := c.T.C.Cycles
+	c.StoreAt(a, 0, 8, 1) // fast path
+	fast := c.T.C.Cycles - before
+	before = c.T.C.Cycles
+	c.StoreAt(a, 5000, 8, 1) // slow path: overlay chunk allocation
+	slow := c.T.C.Cycles - before
+	if slow <= fast {
+		t.Errorf("overlay path (%d cycles) not more expensive than fast path (%d)", slow, fast)
+	}
+	_ = machine.StackSize // keep import balanced if refactored
+}

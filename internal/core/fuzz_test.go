@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// FuzzDifferentialAgainstReference drives random object/access sequences
+// through the SGXBounds policy and a plain Go reference model in lockstep:
+// every access the reference says is in bounds must succeed with the same
+// value; every access it says is out of bounds must raise a violation
+// (fail-stop mode has no false negatives and no false positives at object
+// granularity).
+func FuzzDifferentialAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 0, 2, 0, 8, 1, 1, 3})
+	f.Add([]byte{0, 64, 2, 0, 70, 0, 16, 1, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env := harden.NewEnv(machine.DefaultConfig())
+		pl := New(env, Options{}) // unoptimised: every access checked
+		c := harden.NewCtx(pl, env.M.NewThread())
+
+		type obj struct {
+			p    harden.Ptr
+			size uint32
+			ref  map[int64]uint64 // reference contents, 8-byte granular
+		}
+		var objs []obj
+		for len(data) >= 4 {
+			op := data[0] % 4
+			arg1 := uint32(data[1])
+			arg2 := int64(int8(data[2]))*8 + int64(data[3]%8)*64
+			data = data[4:]
+			switch op {
+			case 0: // allocate
+				size := arg1%256 + 8
+				objs = append(objs, obj{p: c.Malloc(size), size: size, ref: map[int64]uint64{}})
+			case 1, 2: // store / load at a signed offset
+				if len(objs) == 0 {
+					continue
+				}
+				o := &objs[int(arg1)%len(objs)]
+				off := arg2
+				inBounds := off >= 0 && off+8 <= int64(o.size)
+				if op == 1 {
+					v := uint64(arg1)*0x9E37 + uint64(off)
+					out := harden.Capture(func() { c.StoreAt(o.p, off, 8, v) })
+					if (out.Violation == nil) != inBounds {
+						t.Fatalf("store off=%d size=%d: violation=%v, want inBounds=%v",
+							off, o.size, out.Violation, inBounds)
+					}
+					if inBounds {
+						o.ref[off] = v
+					}
+				} else {
+					var got uint64
+					out := harden.Capture(func() { got = c.LoadAt(o.p, off, 8) })
+					if (out.Violation == nil) != inBounds {
+						t.Fatalf("load off=%d size=%d: violation=%v, want inBounds=%v",
+							off, o.size, out.Violation, inBounds)
+					}
+					if inBounds && o.ref[off] != 0 && got != o.ref[off] {
+						t.Fatalf("load off=%d = %#x, reference %#x", off, got, o.ref[off])
+					}
+				}
+			case 3: // pointer arithmetic round trip must preserve the tag
+				if len(objs) == 0 {
+					continue
+				}
+				o := objs[int(arg1)%len(objs)]
+				q := c.Add(c.Add(o.p, arg2), -arg2)
+				if ExtractUB(q) != ExtractUB(o.p) || ExtractP(q) != ExtractP(o.p) {
+					t.Fatalf("arith round trip changed the pointer: %#x -> %#x", o.p, q)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// Hooks is the metadata management API of Table 2. All SGXBounds
+// instrumentation is implemented as calls to auxiliary functions
+// ("instrumentation hooks"); exposing them lets new use cases attach
+// arbitrary per-object metadata — the paper's examples are probabilistic
+// double-free protection via a magic-number metadata item and richer
+// debugging information.
+//
+// OnCreate is called after an object is created (global, heap or stack);
+// OnAccess before every memory access; OnDelete before a heap object is
+// destroyed (globals are never deleted and stack deallocation cannot be
+// tracked, exactly as §4.3 notes). Any hook may be nil.
+type Hooks struct {
+	// OnCreate receives the object's base address, its payload size, and
+	// where it lives. The object's metadata area starts at objBase+objSize:
+	// word 0 is the LB; words 1..ExtraMetaWords are free for the hook's use.
+	OnCreate func(t *machine.Thread, objBase, objSize uint32, kind harden.ObjKind)
+	// OnAccess receives the concrete address, the access size, the address
+	// of the object's metadata area (the UB) and the access kind.
+	OnAccess func(t *machine.Thread, addr, size, meta uint32, kind harden.AccessKind)
+	// OnDelete receives the address of the object's metadata area.
+	OnDelete func(t *machine.Thread, meta uint32)
+}

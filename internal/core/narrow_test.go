@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/libc"
+)
+
+func TestNarrowConfinesToField(t *testing.T) {
+	pl, c := newPolicy(t, AllOptimizations())
+	// struct { a [16]byte; fp uint64; b [40]byte }
+	obj := c.Malloc(64)
+	field := pl.Narrow(c.T, obj, 0, 16)
+
+	// In-field accesses pass.
+	c.StoreAt(field, 8, 8, 42)
+	if got := c.LoadAt(field, 8, 8); got != 42 {
+		t.Errorf("in-field load = %d", got)
+	}
+	// Crossing into the sibling member is now detected — the in-struct
+	// overflow SGXBounds misses without narrowing (Table 4).
+	out := harden.Capture(func() { c.StoreAt(field, 16, 8, 0xBAD) })
+	if out.Violation == nil {
+		t.Error("in-struct overflow through narrowed pointer not detected")
+	}
+	// The object pointer itself is unaffected.
+	c.StoreAt(obj, 16, 8, 7)
+	if got := c.LoadAt(obj, 16, 8); got != 7 {
+		t.Errorf("object access after narrowing = %d", got)
+	}
+}
+
+func TestNarrowLowerBound(t *testing.T) {
+	pl, c := newPolicy(t, AllOptimizations())
+	obj := c.Malloc(64)
+	field := pl.Narrow(c.T, obj, 16, 16)
+	out := harden.Capture(func() { c.LoadAt(field, -8, 8) })
+	if out.Violation == nil {
+		t.Error("under-read of narrowed field not detected")
+	}
+}
+
+func TestNarrowOutOfObjectFieldRejected(t *testing.T) {
+	pl, c := newPolicy(t, AllOptimizations())
+	obj := c.Malloc(64)
+	out := harden.Capture(func() { pl.Narrow(c.T, obj, 60, 16) })
+	if out.Violation == nil {
+		t.Error("narrowing past the object accepted")
+	}
+}
+
+func TestNarrowedPointerSurvivesSpill(t *testing.T) {
+	pl, c := newPolicy(t, AllOptimizations())
+	obj := c.Malloc(64)
+	field := pl.Narrow(c.T, obj, 0, 16)
+	slot := c.Malloc(8)
+	c.StorePtrAt(slot, 0, field)
+	got := c.LoadPtrAt(slot, 0)
+	out := harden.Capture(func() { c.StoreAt(got, 16, 8, 0) })
+	if out.Violation == nil {
+		t.Error("narrowed bounds lost through pointer spill")
+	}
+}
+
+func TestNarrowLibcInterop(t *testing.T) {
+	pl, c := newPolicy(t, AllOptimizations())
+	obj := c.Malloc(128)
+	name := pl.Narrow(c.T, obj, 0, 16) // struct { char name[16]; fp } analogue
+	src := c.Malloc(64)
+	libc.WriteCString(c, src, "this-name-is-way-too-long-for-the-field")
+	out := harden.Capture(func() { libc.Strcpy(c, name, src) })
+	if out.Violation == nil {
+		t.Error("strcpy into narrowed field not confined")
+	}
+	// A fitting copy works.
+	libc.WriteCString(c, src, "short")
+	libc.Strcpy(c, name, src)
+	if got := libc.ReadCString(c, name); got != "short" {
+		t.Errorf("narrowed strcpy result = %q", got)
+	}
+}
+
+func TestNarrowFastPathUnchangedUntilUsed(t *testing.T) {
+	// Policies that never narrow must not pay the field-table lookup: the
+	// LB load count per check stays exactly one.
+	_, c := newPolicy(t, Options{})
+	p := c.Malloc(64)
+	c.StoreAt(p, 0, 8, 1) // warm
+	before := c.T.C.Loads
+	_ = c.LoadAt(p, 0, 8)
+	if delta := c.T.C.Loads - before; delta != 2 { // data + LB word
+		t.Errorf("checked load issued %d loads, want 2", delta)
+	}
+}

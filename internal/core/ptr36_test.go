@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPtr36RoundTrip(t *testing.T) {
+	p := Tag36(0x8_1234_5678, 0x8_1234_5700)
+	if p.Addr() != 0x8_1234_5678 {
+		t.Errorf("Addr = %#x", p.Addr())
+	}
+	if p.UB() != 0x8_1234_5700 {
+		t.Errorf("UB = %#x", p.UB())
+	}
+}
+
+func TestPtr36UnalignedUBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned upper bound accepted")
+		}
+	}()
+	Tag36(0x1000, 0x1010) // not 256-byte aligned
+}
+
+// Property: Tag36/extract round-trips for any 36-bit address and aligned
+// 36-bit bound.
+func TestQuickPtr36RoundTrip(t *testing.T) {
+	f := func(addrSeed, ubSeed uint64) bool {
+		addr := addrSeed & addr36Mask
+		ub := ubSeed & addr36Mask &^ (Align36 - 1)
+		p := Tag36(addr, ub)
+		return p.Addr() == addr && p.UB() == ub
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add36 never alters the bound, for any delta (§3.2 confinement
+// carried to the wider layout).
+func TestQuickAdd36PreservesBound(t *testing.T) {
+	f := func(addrSeed, ubSeed uint64, delta int64) bool {
+		addr := addrSeed & addr36Mask
+		ub := ubSeed & addr36Mask &^ (Align36 - 1)
+		p := Add36(Tag36(addr, ub), delta)
+		return p.UB() == ub && p.Addr() == uint64(int64(addr)+delta)&addr36Mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolated36(t *testing.T) {
+	lb, ub := uint64(0x1_0000_0000), uint64(0x1_0000_0040)
+	if Violated36(lb, 8, lb, ub) {
+		t.Error("in-bounds access flagged")
+	}
+	if !Violated36(ub-4, 8, lb, ub) {
+		t.Error("straddling access missed")
+	}
+	if !Violated36(lb-1, 1, lb, ub) {
+		t.Error("under-read missed")
+	}
+}

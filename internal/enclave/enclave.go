@@ -1,0 +1,149 @@
+// Package enclave models the SGX Enclave Page Cache (EPC) and the costs of
+// the memory encryption engine (MEE), following §2.1 of the paper.
+//
+// The EPC is a limited physical resource (94 MB usable on the paper's
+// hardware). Enclave pages beyond the EPC capacity are evicted by the OS to
+// untrusted memory: the page is re-encrypted on eviction and decrypted and
+// integrity-checked when brought back, which makes EPC paging two to three
+// orders of magnitude more expensive than a cache hit. This package tracks
+// which simulated pages are EPC-resident, charges page faults on misses, and
+// exposes the counters (page faults, evictions) that Table 3 of the paper
+// reports.
+//
+// Because the whole reproduction is scaled down (see DESIGN.md §1), the
+// default EPC size here is 6 MiB rather than 94 MB; the ratio of EPC size to
+// benchmark working-set sizes matches the paper's.
+package enclave
+
+import (
+	"sync"
+
+	"sgxbounds/internal/mem"
+)
+
+// DefaultEPCBytes is the scaled default EPC capacity.
+const DefaultEPCBytes = 6 << 20
+
+// Config controls the enclave model.
+type Config struct {
+	// Enabled selects shielded execution. When false the machine models a
+	// normal, unconstrained environment (used by the Figure 12 experiment):
+	// no EPC capacity limit and no MEE factor.
+	Enabled bool
+	// EPCBytes is the EPC capacity in bytes. Zero selects DefaultEPCBytes.
+	EPCBytes uint64
+}
+
+// EPC tracks enclave-page residency with a CLOCK (second-chance) eviction
+// policy, which approximates the kernel's page reclaim well enough to
+// reproduce the paper's sequential-vs-random paging behaviour: sequential
+// sweeps evict pages that are never touched again (cheap), while iterative
+// working sets larger than the EPC thrash (expensive).
+type EPC struct {
+	mu       sync.Mutex
+	capacity int            // pages
+	resident map[uint32]int // page number -> index in ring
+	ring     []uint32       // CLOCK ring of resident page numbers
+	refbit   []bool
+	hand     int
+	seen     map[uint32]struct{} // pages ever brought into the EPC
+
+	faults    uint64
+	evictions uint64
+}
+
+// New builds an EPC with the configured capacity.
+func New(cfg Config) *EPC {
+	bytes := cfg.EPCBytes
+	if bytes == 0 {
+		bytes = DefaultEPCBytes
+	}
+	pages := int(bytes / mem.PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	return &EPC{
+		capacity: pages,
+		resident: make(map[uint32]int, pages),
+		seen:     make(map[uint32]struct{}, 4*pages),
+	}
+}
+
+// Capacity returns the EPC capacity in pages.
+func (e *EPC) Capacity() int { return e.capacity }
+
+// Touch records an access to the page containing addr. It reports whether
+// the access caused an EPC page fault and, if so, whether it was a
+// compulsory (first-ever) fault. Compulsory faults model EAUG — the OS adds
+// a fresh zeroed page, no decryption or integrity check of evicted content
+// — and are far cheaper than paging back an evicted page, which must be
+// fetched from untrusted memory, decrypted and verified.
+func (e *EPC) Touch(addr uint32) (fault, cold bool) {
+	pn := addr >> mem.PageShift
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i, ok := e.resident[pn]; ok {
+		e.refbit[i] = true
+		return false, false
+	}
+	e.faults++
+	if _, ok := e.seen[pn]; !ok {
+		e.seen[pn] = struct{}{}
+		cold = true
+	}
+	if len(e.ring) < e.capacity {
+		e.resident[pn] = len(e.ring)
+		e.ring = append(e.ring, pn)
+		e.refbit = append(e.refbit, true)
+		return true, cold
+	}
+	// CLOCK eviction: find a page with a clear reference bit.
+	for {
+		if e.refbit[e.hand] {
+			e.refbit[e.hand] = false
+			e.hand = (e.hand + 1) % e.capacity
+			continue
+		}
+		victim := e.ring[e.hand]
+		delete(e.resident, victim)
+		e.evictions++
+		e.ring[e.hand] = pn
+		e.refbit[e.hand] = true
+		e.resident[pn] = e.hand
+		e.hand = (e.hand + 1) % e.capacity
+		return true, cold
+	}
+}
+
+// Resident reports whether the page containing addr is EPC-resident.
+func (e *EPC) Resident(addr uint32) bool {
+	pn := addr >> mem.PageShift
+	e.mu.Lock()
+	_, ok := e.resident[pn]
+	e.mu.Unlock()
+	return ok
+}
+
+// ResidentPages returns the number of EPC-resident pages.
+func (e *EPC) ResidentPages() int {
+	e.mu.Lock()
+	n := len(e.ring)
+	e.mu.Unlock()
+	return n
+}
+
+// Faults returns the cumulative number of EPC page faults.
+func (e *EPC) Faults() uint64 {
+	e.mu.Lock()
+	f := e.faults
+	e.mu.Unlock()
+	return f
+}
+
+// Evictions returns the cumulative number of EPC evictions.
+func (e *EPC) Evictions() uint64 {
+	e.mu.Lock()
+	v := e.evictions
+	e.mu.Unlock()
+	return v
+}

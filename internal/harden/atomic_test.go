@@ -1,0 +1,77 @@
+package harden
+
+import (
+	"testing"
+
+	"sgxbounds/internal/machine"
+)
+
+func nativeCtx(t *testing.T) *Ctx {
+	t.Helper()
+	env := NewEnv(machine.DefaultConfig())
+	return NewCtx(NewNative(env), env.M.NewThread())
+}
+
+func TestAtomicAdd(t *testing.T) {
+	c := nativeCtx(t)
+	p := c.Malloc(16)
+	c.StoreAt(p, 0, 8, 10)
+	if got := c.AtomicAddAt(p, 0, 5); got != 15 {
+		t.Errorf("fetch-add = %d", got)
+	}
+	if got := c.LoadAt(p, 0, 8); got != 15 {
+		t.Errorf("stored = %d", got)
+	}
+}
+
+func TestAtomicCAS(t *testing.T) {
+	c := nativeCtx(t)
+	p := c.Malloc(16)
+	c.StoreAt(p, 0, 8, 7)
+	if !c.AtomicCASAt(p, 0, 7, 9) {
+		t.Error("CAS with matching old failed")
+	}
+	if c.AtomicCASAt(p, 0, 7, 11) {
+		t.Error("CAS with stale old succeeded")
+	}
+	if got := c.LoadAt(p, 0, 8); got != 9 {
+		t.Errorf("value = %d", got)
+	}
+}
+
+// TestAtomicAddParallel: concurrent fetch-adds from many simulated threads
+// must not lose updates (the machine bus lock).
+func TestAtomicAddParallel(t *testing.T) {
+	env := NewEnv(machine.DefaultConfig())
+	pl := NewNative(env)
+	main := env.M.NewThread()
+	c := NewCtx(pl, main)
+	counter := c.Malloc(8)
+	c.StoreAt(counter, 0, 8, 0)
+	const workers, perWorker = 8, 500
+	env.M.Parallel(main, workers, func(w *machine.Thread, i int) {
+		wc := NewCtx(pl, w)
+		for j := 0; j < perWorker; j++ {
+			wc.AtomicAddAt(counter, 0, 1)
+		}
+	})
+	if got := c.LoadAt(counter, 0, 8); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+}
+
+// TestAtomicCostsMore: atomic operations carry the lock-prefix penalty.
+func TestAtomicCostsMore(t *testing.T) {
+	c := nativeCtx(t)
+	p := c.Malloc(8)
+	c.StoreAt(p, 0, 8, 0)
+	before := c.T.C.Cycles
+	c.StoreAt(p, 0, 8, 1)
+	plain := c.T.C.Cycles - before
+	before = c.T.C.Cycles
+	c.AtomicAddAt(p, 0, 1)
+	atomic := c.T.C.Cycles - before
+	if atomic <= plain {
+		t.Errorf("atomic (%d cycles) not more expensive than a plain store (%d)", atomic, plain)
+	}
+}

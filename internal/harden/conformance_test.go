@@ -1,0 +1,190 @@
+package harden_test
+
+import (
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+	"sgxbounds/internal/sfi"
+)
+
+// allPolicies builds every mechanism, each on a fresh machine.
+func allPolicies(t *testing.T) map[string]*harden.Ctx {
+	t.Helper()
+	out := make(map[string]*harden.Ctx)
+	mk := func(name string, build func(env *harden.Env) harden.Policy) {
+		env := harden.NewEnv(machine.DefaultConfig())
+		out[name] = harden.NewCtx(build(env), env.M.NewThread())
+	}
+	mk("sgx", func(env *harden.Env) harden.Policy { return harden.NewNative(env) })
+	mk("sgxbounds", func(env *harden.Env) harden.Policy { return core.New(env, core.AllOptimizations()) })
+	mk("sgxbounds-plain", func(env *harden.Env) harden.Policy { return core.New(env, core.Options{}) })
+	mk("asan", func(env *harden.Env) harden.Policy { return asan.New(env, asan.Options{}) })
+	mk("mpx", func(env *harden.Env) harden.Policy { return mpx.New(env) })
+	mk("sfi", func(env *harden.Env) harden.Policy { return sfi.New(env) })
+	mk("baggy", func(env *harden.Env) harden.Policy {
+		p, err := baggy.New(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	})
+	return out
+}
+
+// TestConformanceScalarSizes: every policy must faithfully round-trip every
+// access size at every alignment within bounds.
+func TestConformanceScalarSizes(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(128)
+		for _, size := range []uint8{1, 2, 4, 8} {
+			for off := int64(0); off < 16; off++ {
+				want := uint64(0xF1E2D3C4B5A69788) >> (8 * (8 - uint(size)))
+				c.StoreAt(p, off, size, want)
+				if got := c.LoadAt(p, off, size); got != want {
+					t.Fatalf("%s: size %d off %d: %#x != %#x", name, size, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceCalloc: calloc memory reads as zero everywhere.
+func TestConformanceCalloc(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Calloc(16, 8)
+		for off := int64(0); off < 128; off += 8 {
+			if got := c.LoadAt(p, off, 8); got != 0 {
+				t.Errorf("%s: calloc byte at %d = %#x", name, off, got)
+			}
+		}
+	}
+}
+
+// TestConformanceRealloc: realloc preserves the prefix under every policy.
+func TestConformanceRealloc(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(32)
+		for off := int64(0); off < 32; off += 8 {
+			c.StoreAt(p, off, 8, uint64(off)+1)
+		}
+		q := c.P.Realloc(c.T, p, 128)
+		for off := int64(0); off < 32; off += 8 {
+			if got := c.LoadAt(q, off, 8); got != uint64(off)+1 {
+				t.Errorf("%s: realloc lost data at %d: %#x", name, off, got)
+			}
+		}
+		c.StoreAt(q, 127, 1, 1) // the grown region is usable
+		// realloc(0) behaves like malloc.
+		r := c.P.Realloc(c.T, 0, 16)
+		c.StoreAt(r, 0, 8, 3)
+	}
+}
+
+// TestConformanceGlobalsAndStack: global and stack objects are usable and
+// frames unwind cleanly under every policy.
+func TestConformanceGlobalsAndStack(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		g := c.Global(64)
+		c.StoreAt(g, 56, 8, 9)
+		if c.LoadAt(g, 56, 8) != 9 {
+			t.Errorf("%s: global roundtrip failed", name)
+		}
+		for depth := 0; depth < 4; depth++ {
+			f := c.PushFrame()
+			s := f.Alloc(48)
+			c.StoreAt(s, 40, 8, uint64(depth))
+			if c.LoadAt(s, 40, 8) != uint64(depth) {
+				t.Errorf("%s: stack roundtrip failed at depth %d", name, depth)
+			}
+			f.Pop()
+		}
+	}
+}
+
+// TestConformanceSafeAndRawAccess: the Safe/Raw access paths must be
+// functionally identical to checked ones for in-bounds accesses.
+func TestConformanceSafeAndRawAccess(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(64)
+		c.StoreSafeAt(p, 0, 8, 0xAB)
+		if got := c.LoadSafeAt(p, 0, 8); got != 0xAB {
+			t.Errorf("%s: safe path = %#x", name, got)
+		}
+		c.CheckRange(p, 64, harden.ReadWrite)
+		c.StoreRawAt(p, 8, 8, 0xCD)
+		if got := c.LoadRawAt(p, 8, 8); got != 0xCD {
+			t.Errorf("%s: raw path = %#x", name, got)
+		}
+	}
+}
+
+// TestConformancePointerRoundTrip: a pointer spilled and filled must reach
+// the same object under every policy.
+func TestConformancePointerRoundTrip(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		obj := c.Malloc(32)
+		c.StoreAt(obj, 0, 8, 0x0B1EC7)
+		slot := c.Malloc(8)
+		c.StorePtrAt(slot, 0, obj)
+		got := c.LoadPtrAt(slot, 0)
+		if got.Addr() != obj.Addr() {
+			t.Errorf("%s: pointer address changed through spill", name)
+		}
+		if c.LoadAt(got, 0, 8) != 0x0B1EC7 {
+			t.Errorf("%s: dereference through reloaded pointer failed", name)
+		}
+	}
+}
+
+// TestConformanceAtomics: atomic helpers behave under every policy.
+func TestConformanceAtomics(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(8)
+		c.StoreAt(p, 0, 8, 1)
+		if got := c.AtomicAddAt(p, 0, 2); got != 3 {
+			t.Errorf("%s: atomic add = %d", name, got)
+		}
+		if !c.AtomicCASAt(p, 0, 3, 5) || c.LoadAt(p, 0, 8) != 5 {
+			t.Errorf("%s: atomic CAS failed", name)
+		}
+		obj := c.Malloc(16)
+		c.AtomicStorePtrAt(p, 0, obj)
+		if c.LoadPtrAt(p, 0).Addr() != obj.Addr() {
+			t.Errorf("%s: atomic pointer store failed", name)
+		}
+	}
+}
+
+// TestConformanceDetectionMatrix: which policies catch a plain heap
+// overflow through the scalar path.
+func TestConformanceDetectionMatrix(t *testing.T) {
+	expect := map[string]bool{
+		"sgx": false, "sgxbounds": true, "sgxbounds-plain": true,
+		"asan": true, "mpx": true, "baggy": true, "sfi": false,
+	}
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(64)
+		out := harden.Capture(func() { c.StoreAt(p, 64, 8, 1) })
+		if got := out.Violation != nil; got != expect[name] {
+			t.Errorf("%s: overflow detected=%v, want %v", name, got, expect[name])
+		}
+	}
+}
+
+// TestConformanceZeroSizeOps: zero-length ranges are no-ops, never faults.
+func TestConformanceZeroSizeOps(t *testing.T) {
+	for name, c := range allPolicies(t) {
+		p := c.Malloc(8)
+		out := harden.Capture(func() {
+			c.CheckRange(c.Add(p, 8), 0, harden.Read) // empty range at the end
+		})
+		if out.Crashed() {
+			t.Errorf("%s: zero-length range check crashed: %v", name, out)
+		}
+	}
+}

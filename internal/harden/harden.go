@@ -1,0 +1,234 @@
+// Package harden defines the contract between simulated programs and memory
+// protection mechanisms.
+//
+// In the paper, selecting a protection mechanism means recompiling the
+// program with a different instrumentation pass (Figure 4): the pass decides
+// what happens at each object creation, each memory access and each pointer
+// arithmetic operation. In this reproduction every workload is written once
+// against the Policy interface below, and choosing a Policy implementation —
+// native (no protection), SGXBounds, AddressSanitizer, Intel MPX or Baggy
+// Bounds — plays the role of recompiling.
+//
+// Pointer values are 64-bit Ptr. How the 64 bits are used is policy-specific
+// (SGXBounds packs the object's upper bound into the high 32 bits; MPX packs
+// a bounds-register identifier; native and ASan leave them zero), mirroring
+// the fact that all SGX CPUs are 64-bit machines whose enclaves only ever
+// address the low 32 bits (§3.1).
+package harden
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/alloc"
+	"sgxbounds/internal/machine"
+)
+
+// Ptr is a simulated 64-bit pointer. The low 32 bits are always the concrete
+// address; the high 32 bits carry policy-specific metadata.
+type Ptr uint64
+
+// Addr returns the concrete 32-bit address of p.
+func (p Ptr) Addr() uint32 { return uint32(p) }
+
+// AccessKind distinguishes reads, writes and read-modify-writes.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+	ReadWrite
+)
+
+// String returns "read", "write" or "read-write".
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadWrite:
+		return "read-write"
+	}
+	return "?"
+}
+
+// ObjKind identifies where an object lives, for the metadata hook API
+// (Table 2 of the paper).
+type ObjKind uint8
+
+// Object kinds.
+const (
+	ObjHeap ObjKind = iota
+	ObjGlobal
+	ObjStack
+)
+
+// String names the object kind.
+func (k ObjKind) String() string {
+	switch k {
+	case ObjHeap:
+		return "heap"
+	case ObjGlobal:
+		return "global"
+	case ObjStack:
+		return "stack"
+	}
+	return "?"
+}
+
+// Violation describes a detected memory-safety violation. Policies raise it
+// with panic; the Capture harness converts it back into a value. This is the
+// package-internal-panic-to-error pattern: simulated programs, like their C
+// originals, have no error paths at memory accesses.
+type Violation struct {
+	Policy string
+	Kind   AccessKind
+	Addr   uint32 // offending concrete address
+	Size   uint32 // access size in bytes
+	LB, UB uint32 // referent object bounds where known (0 if unknown)
+	Detail string
+}
+
+// Error formats the violation like the paper's diagnostic crash message.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: out-of-bounds %s of %d bytes at %#x (object bounds [%#x,%#x)) %s",
+		v.Policy, v.Kind, v.Size, v.Addr, v.LB, v.UB, v.Detail)
+}
+
+// Env is the per-run execution environment a policy operates in: one
+// machine and one heap. A fresh Env per benchmark run keeps runs independent.
+type Env struct {
+	M    *machine.Machine
+	Heap *alloc.Heap
+}
+
+// NewEnv builds an environment over a new machine with the given config.
+func NewEnv(cfg machine.Config) *Env {
+	m := machine.New(cfg)
+	return &Env{M: m, Heap: alloc.NewHeap(m)}
+}
+
+// Policy is the instrumentation contract. Every method that can fail raises
+// *Violation (bounds error) or machine.ErrOutOfMemory (enclave memory
+// exhausted — the MPX crash mode) via panic; see Capture.
+type Policy interface {
+	// Name returns the mechanism name used in reports ("sgx", "sgxbounds",
+	// "asan", "mpx", "baggy").
+	Name() string
+	// Env returns the environment the policy instance is bound to.
+	Env() *Env
+
+	// Malloc, Calloc, Realloc and Free wrap the allocator, attaching and
+	// detaching whatever metadata the mechanism keeps per object.
+	Malloc(t *machine.Thread, size uint32) Ptr
+	Calloc(t *machine.Thread, n, size uint32) Ptr
+	Realloc(t *machine.Thread, p Ptr, size uint32) Ptr
+	Free(t *machine.Thread, p Ptr)
+
+	// Global allocates a global object (instrumented at program start in
+	// the paper); StackAlloc allocates a stack object in the current frame
+	// and StackFree retires it when the frame pops.
+	Global(t *machine.Thread, size uint32) Ptr
+	StackAlloc(t *machine.Thread, size uint32) Ptr
+	StackFree(t *machine.Thread, p Ptr, size uint32)
+
+	// Load and Store are instrumented scalar accesses.
+	Load(t *machine.Thread, p Ptr, size uint8) uint64
+	Store(t *machine.Thread, p Ptr, size uint8, v uint64)
+
+	// LoadPtr and StorePtr are instrumented pointer fill/spill. They exist
+	// as separate operations because disjoint-metadata schemes (MPX) must
+	// move the pointer's bounds alongside the pointer value (bndldx /
+	// bndstx, Figure 4c lines 11 and 15), while tagged schemes move one
+	// 64-bit word atomically (§4.1).
+	LoadPtr(t *machine.Thread, p Ptr) Ptr
+	StorePtr(t *machine.Thread, p Ptr, q Ptr)
+
+	// Add is instrumented pointer arithmetic: the result carries the same
+	// referent metadata, and schemes with in-pointer tags confine the
+	// arithmetic to the low 32 bits (§3.2 "Pointer arithmetic").
+	Add(t *machine.Thread, p Ptr, delta int64) Ptr
+	// AddSafe is pointer arithmetic the compiler proved in-bounds and
+	// non-overflowing (struct-member offsets, constant indices into
+	// fixed-size arrays); it is never instrumented (§4.4).
+	AddSafe(t *machine.Thread, p Ptr, delta int64) Ptr
+
+	// CheckRange performs one check covering [p, p+n). It is the primitive
+	// behind libc wrappers and the hoisted-loop-check optimisation.
+	CheckRange(t *machine.Thread, p Ptr, n uint32, kind AccessKind)
+
+	// LoadRaw and StoreRaw access memory without a bounds check but with
+	// full performance accounting. They are valid only after CheckRange
+	// covered the range, or for compiler-proven-safe accesses (§4.4).
+	LoadRaw(t *machine.Thread, p Ptr, size uint8) uint64
+	StoreRaw(t *machine.Thread, p Ptr, size uint8, v uint64)
+}
+
+// BulkPolicy is implemented by policies that need to own bulk memory
+// operations end to end — the boundless-memory mode of SGXBounds redirects
+// the out-of-bounds portion of a copy into overlay chunks instead of letting
+// it clobber neighbours (§4.2).
+type BulkPolicy interface {
+	Memcpy(t *machine.Thread, dst, src Ptr, n uint32)
+	Memset(t *machine.Thread, p Ptr, b byte, n uint32)
+}
+
+// Outcome is the result of running a simulated program under Capture.
+type Outcome struct {
+	Violation *Violation // non-nil if a bounds violation crashed the run
+	OOM       bool       // true if the run died of enclave memory exhaustion
+	Panic     any        // any other panic (a bug in the harness or workload)
+}
+
+// Crashed reports whether the run terminated abnormally.
+func (o Outcome) Crashed() bool { return o.Violation != nil || o.OOM || o.Panic != nil }
+
+// String summarises the outcome.
+func (o Outcome) String() string {
+	switch {
+	case o.Violation != nil:
+		return "violation: " + o.Violation.Error()
+	case o.OOM:
+		return "crashed: out of memory"
+	case o.Panic != nil:
+		return fmt.Sprintf("panic: %v", o.Panic)
+	}
+	return "ok"
+}
+
+// Capture runs fn, converting the policy panic protocol back into values:
+// *Violation for bounds errors, machine.ErrOutOfMemory for enclave OOM.
+// Other panics are reported in Outcome.Panic rather than re-raised so that
+// benchmark sweeps survive a crashing configuration (as the paper's do:
+// "note the missing MPX bar").
+func Capture(fn func()) (out Outcome) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch e := r.(type) {
+		case *Violation:
+			out.Violation = e
+		case error:
+			if e == machine.ErrOutOfMemory {
+				out.OOM = true
+			} else {
+				out.Panic = r
+			}
+		default:
+			out.Panic = r
+		}
+	}()
+	fn()
+	return
+}
+
+// MustAlloc converts an allocator (addr, err) pair into the panic protocol.
+func MustAlloc(addr uint32, err error) uint32 {
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}

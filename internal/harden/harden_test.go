@@ -1,0 +1,118 @@
+package harden
+
+import (
+	"strings"
+	"testing"
+
+	"sgxbounds/internal/machine"
+)
+
+func TestCaptureViolation(t *testing.T) {
+	v := &Violation{Policy: "x", Kind: Write, Addr: 0x1000, Size: 8}
+	out := Capture(func() { panic(v) })
+	if out.Violation != v || out.OOM || out.Panic != nil {
+		t.Errorf("outcome = %+v", out)
+	}
+	if !out.Crashed() {
+		t.Error("violation outcome not marked crashed")
+	}
+	if !strings.Contains(out.String(), "out-of-bounds") {
+		t.Errorf("outcome string: %q", out.String())
+	}
+}
+
+func TestCaptureOOM(t *testing.T) {
+	out := Capture(func() { panic(machine.ErrOutOfMemory) })
+	if !out.OOM || out.Violation != nil {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestCaptureOtherPanic(t *testing.T) {
+	out := Capture(func() { panic("bug") })
+	if out.Panic == nil || out.OOM || out.Violation != nil {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestCaptureClean(t *testing.T) {
+	out := Capture(func() {})
+	if out.Crashed() {
+		t.Errorf("clean run marked crashed: %v", out)
+	}
+	if out.String() != "ok" {
+		t.Errorf("outcome string = %q", out.String())
+	}
+}
+
+func TestNativeDoesNotDetectOverflow(t *testing.T) {
+	env := NewEnv(machine.DefaultConfig())
+	c := NewCtx(NewNative(env), env.M.NewThread())
+	p := c.Malloc(16)
+	out := Capture(func() { c.StoreAt(p, 100, 8, 0xBAD) })
+	if out.Crashed() {
+		t.Errorf("native baseline crashed on overflow: %v", out)
+	}
+}
+
+func TestNativeOverflowCorruptsNeighbours(t *testing.T) {
+	env := NewEnv(machine.DefaultConfig())
+	c := NewCtx(NewNative(env), env.M.NewThread())
+	a := c.Malloc(16)
+	b := c.Malloc(16)
+	c.StoreAt(b, 0, 8, 0x1111)
+	delta := int64(b.Addr()) - int64(a.Addr())
+	c.StoreAt(a, delta, 8, 0x2222) // overflow from a into b
+	if got := c.LoadAt(b, 0, 8); got != 0x2222 {
+		t.Errorf("expected silent corruption, got %#x", got)
+	}
+}
+
+func TestFrameLifecycle(t *testing.T) {
+	env := NewEnv(machine.DefaultConfig())
+	c := NewCtx(NewNative(env), env.M.NewThread())
+	sp := c.T.StackPointer()
+	f := c.PushFrame()
+	p := f.Alloc(64)
+	c.StoreAt(p, 0, 8, 7)
+	f.Pop()
+	if c.T.StackPointer() != sp {
+		t.Error("frame did not restore the stack pointer")
+	}
+}
+
+func TestDefaultCapabilities(t *testing.T) {
+	env := NewEnv(machine.DefaultConfig())
+	n := NewNative(env)
+	if !Hoistable(n) || !SafeElidable(n) || !StringsChecked(n) {
+		t.Error("native defaults should be permissive-true")
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	v := &Violation{Policy: "sgxbounds", Kind: Read, Addr: 0x40, Size: 4, LB: 0x10, UB: 0x30}
+	msg := v.Error()
+	for _, want := range []string{"sgxbounds", "read", "0x40", "0x10", "0x30"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestAccessKindAndObjKindStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || ReadWrite.String() != "read-write" {
+		t.Error("AccessKind strings wrong")
+	}
+	if ObjHeap.String() != "heap" || ObjGlobal.String() != "global" || ObjStack.String() != "stack" {
+		t.Error("ObjKind strings wrong")
+	}
+}
+
+func TestMustAllocPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc did not panic")
+		}
+	}()
+	MustAlloc(0, machine.ErrOutOfMemory)
+}

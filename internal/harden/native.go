@@ -1,0 +1,142 @@
+package harden
+
+import (
+	"sgxbounds/internal/machine"
+)
+
+// Native is the uninstrumented baseline: the "native SGX" version of §6.1,
+// compiled under the shielded-execution infrastructure but with no memory
+// safety mechanism. Every measurement in the evaluation is normalised
+// against it.
+//
+// Native performs no checks at all: out-of-bounds accesses silently corrupt
+// adjacent memory, exactly like the original C programs. It still pays the
+// base instruction cost of each operation, so that instrumented policies are
+// compared against a realistic baseline rather than zero.
+type Native struct {
+	env *Env
+}
+
+// NewNative builds the baseline policy over env.
+func NewNative(env *Env) *Native { return &Native{env: env} }
+
+// Name returns "sgx" (the paper's label for the uninstrumented baseline).
+func (n *Native) Name() string { return "sgx" }
+
+// Env returns the bound environment.
+func (n *Native) Env() *Env { return n.env }
+
+// Malloc allocates size bytes with no metadata.
+func (n *Native) Malloc(t *machine.Thread, size uint32) Ptr {
+	return Ptr(MustAlloc(n.env.Heap.Alloc(t, size)))
+}
+
+// Calloc allocates zeroed memory.
+func (n *Native) Calloc(t *machine.Thread, num, size uint32) Ptr {
+	total := num * size
+	p := n.Malloc(t, total)
+	n.Memset(t, p, 0, total)
+	return p
+}
+
+// Realloc resizes an allocation, copying the payload.
+func (n *Native) Realloc(t *machine.Thread, p Ptr, size uint32) Ptr {
+	if p == 0 {
+		return n.Malloc(t, size)
+	}
+	old := n.env.Heap.SizeOf(t, p.Addr())
+	q := n.Malloc(t, size)
+	cp := old
+	if size < cp {
+		cp = size
+	}
+	n.Memcpy(t, q, p, cp)
+	n.Free(t, p)
+	return q
+}
+
+// Free releases a heap object. Errors (double free) are ignored: in the
+// uninstrumented baseline they are silent corruption, as in C.
+func (n *Native) Free(t *machine.Thread, p Ptr) {
+	_ = n.env.Heap.Free(t, p.Addr())
+}
+
+// Global allocates a global object.
+func (n *Native) Global(t *machine.Thread, size uint32) Ptr {
+	return Ptr(MustAlloc(n.env.M.GlobalAlloc(size)))
+}
+
+// StackAlloc allocates a stack object.
+func (n *Native) StackAlloc(t *machine.Thread, size uint32) Ptr {
+	return Ptr(t.StackAlloc(size))
+}
+
+// StackFree retires a stack object (no metadata to clear).
+func (n *Native) StackFree(t *machine.Thread, p Ptr, size uint32) {}
+
+// Load reads without any check.
+func (n *Native) Load(t *machine.Thread, p Ptr, size uint8) uint64 {
+	t.Instr(1)
+	return t.Load(p.Addr(), size)
+}
+
+// Store writes without any check.
+func (n *Native) Store(t *machine.Thread, p Ptr, size uint8, v uint64) {
+	t.Instr(1)
+	t.Store(p.Addr(), size, v)
+}
+
+// LoadPtr reads a stored pointer (a plain 8-byte load).
+func (n *Native) LoadPtr(t *machine.Thread, p Ptr) Ptr {
+	t.Instr(1)
+	return Ptr(t.Load(p.Addr(), 8))
+}
+
+// StorePtr spills a pointer (a plain 8-byte store).
+func (n *Native) StorePtr(t *machine.Thread, p Ptr, q Ptr) {
+	t.Instr(1)
+	t.Store(p.Addr(), 8, uint64(q))
+}
+
+// Add is one arithmetic instruction.
+func (n *Native) Add(t *machine.Thread, p Ptr, delta int64) Ptr {
+	t.Instr(1)
+	return Ptr(uint64(int64(uint64(p)) + delta))
+}
+
+// AddSafe is identical to Add in the baseline.
+func (n *Native) AddSafe(t *machine.Thread, p Ptr, delta int64) Ptr {
+	t.Instr(1)
+	return Ptr(uint64(int64(uint64(p)) + delta))
+}
+
+// CheckRange performs no check.
+func (n *Native) CheckRange(t *machine.Thread, p Ptr, nbytes uint32, kind AccessKind) {}
+
+// LoadRaw reads with accounting only.
+func (n *Native) LoadRaw(t *machine.Thread, p Ptr, size uint8) uint64 {
+	t.Instr(1)
+	return t.Load(p.Addr(), size)
+}
+
+// StoreRaw writes with accounting only.
+func (n *Native) StoreRaw(t *machine.Thread, p Ptr, size uint8, v uint64) {
+	t.Instr(1)
+	t.Store(p.Addr(), size, v)
+}
+
+// Memset fills n bytes, accounted at line granularity.
+func (n *Native) Memset(t *machine.Thread, p Ptr, b byte, nbytes uint32) {
+	t.Touch(p.Addr(), nbytes, true)
+	n.env.M.AS.Memset(p.Addr(), b, nbytes)
+}
+
+// Memcpy copies n bytes, accounted at line granularity.
+func (n *Native) Memcpy(t *machine.Thread, dst, src Ptr, nbytes uint32) {
+	t.Touch(src.Addr(), nbytes, false)
+	t.Touch(dst.Addr(), nbytes, true)
+	n.env.M.AS.Memmove(dst.Addr(), src.Addr(), nbytes)
+}
+
+var _ Policy = (*Native)(nil)
+var _ BulkPolicy = (*Native)(nil)

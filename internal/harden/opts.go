@@ -1,0 +1,69 @@
+package harden
+
+// HoistQuery is implemented by policies whose compile-time pass can hoist
+// loop bounds checks (§4.4 of the paper). Workloads with hoistable hot loops
+// ask Hoistable before choosing between the hoisted code shape (one
+// CheckRange followed by raw accesses) and the per-access-checked shape.
+type HoistQuery interface {
+	HoistEnabled() bool
+}
+
+// SafeQuery is implemented by policies that can elide checks the compiler
+// proved safe (struct-member offsets, constant indices into fixed arrays).
+type SafeQuery interface {
+	SafeElisionEnabled() bool
+}
+
+// StringUnchecked is implemented by policies whose libc string-function
+// interceptors are not active (the MPX port under static linking): str*
+// wrappers then perform no bounds checks for them.
+type StringUnchecked interface {
+	StringFunctionsUnchecked() bool
+}
+
+// StringsChecked reports whether libc string functions should bounds-check
+// their arguments under p.
+func StringsChecked(p Policy) bool {
+	if q, ok := p.(StringUnchecked); ok {
+		return !q.StringFunctionsUnchecked()
+	}
+	return true
+}
+
+// Hoistable reports whether p's instrumentation supports hoisted loop
+// checks. Policies that do not implement HoistQuery — including the native
+// baseline, where both code shapes are uninstrumented — default to true.
+func Hoistable(p Policy) bool {
+	if q, ok := p.(HoistQuery); ok {
+		return q.HoistEnabled()
+	}
+	return true
+}
+
+// SafeElidable reports whether p elides compiler-proven-safe checks.
+func SafeElidable(p Policy) bool {
+	if q, ok := p.(SafeQuery); ok {
+		return q.SafeElisionEnabled()
+	}
+	return true
+}
+
+// LoadSafeAt reads size bytes at p+off through an access the compiler
+// proved in-bounds: elided to a raw access when the policy's safe-access
+// optimisation is on, a fully checked access otherwise.
+func (c *Ctx) LoadSafeAt(p Ptr, off int64, size uint8) uint64 {
+	if SafeElidable(c.P) {
+		return c.P.LoadRaw(c.T, c.P.AddSafe(c.T, p, off), size)
+	}
+	return c.LoadAt(p, off, size)
+}
+
+// StoreSafeAt writes size bytes at p+off through a compiler-proven-safe
+// access.
+func (c *Ctx) StoreSafeAt(p Ptr, off int64, size uint8, v uint64) {
+	if SafeElidable(c.P) {
+		c.P.StoreRaw(c.T, c.P.AddSafe(c.T, p, off), size, v)
+		return
+	}
+	c.StoreAt(p, off, size, v)
+}

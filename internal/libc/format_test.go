@@ -1,0 +1,136 @@
+package libc
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+)
+
+func TestSnprintfBasics(t *testing.T) {
+	for name, c := range policies(t) {
+		dst := c.Malloc(128)
+		s := c.Malloc(32)
+		WriteCString(c, s, "world")
+		n := Snprintf(c, dst, 128, "hello %s: %d %u %x %c%%", Str(s), Int64(uint64(^uint64(41))), Int64(7), Int64(255), Int64('!'))
+		want := "hello world: -42 7 ff !%"
+		if got := ReadCString(c, dst); got != want {
+			t.Errorf("%s: snprintf = %q, want %q", name, got, want)
+		}
+		if n != uint32(len(want)) {
+			t.Errorf("%s: snprintf returned %d, want %d", name, n, len(want))
+		}
+	}
+}
+
+func TestSnprintfTruncates(t *testing.T) {
+	c := policies(t)["sgxbounds"]
+	dst := c.Malloc(8)
+	n := Snprintf(c, dst, 8, "0123456789")
+	if n != 10 {
+		t.Errorf("would-write = %d, want 10", n)
+	}
+	if got := ReadCString(c, dst); got != "0123456" {
+		t.Errorf("truncated = %q", got)
+	}
+}
+
+func TestSprintfOverflowMatrix(t *testing.T) {
+	// sprintf has no destination bound: the classic overflow. Hardened
+	// string wrappers detect it; MPX (inactive interceptors) and native do
+	// not.
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": false, "baggy": true,
+	}
+	for name, c := range policies(t) {
+		dst := c.Malloc(16)
+		long := c.Malloc(64)
+		WriteCString(c, long, "a-string-much-longer-than-sixteen-bytes")
+		out := harden.Capture(func() { Sprintf(c, dst, "%s", Str(long)) })
+		if got := out.Violation != nil; got != expectDetected[name] {
+			t.Errorf("%s: sprintf overflow detected=%v, want %v", name, got, expectDetected[name])
+		}
+	}
+}
+
+func TestSprintfFitsWrites(t *testing.T) {
+	for name, c := range policies(t) {
+		dst := c.Malloc(64)
+		n := Sprintf(c, dst, "pid=%d", Int64(1234))
+		if got := ReadCString(c, dst); got != "pid=1234" || n != 8 {
+			t.Errorf("%s: sprintf = %q (%d)", name, got, n)
+		}
+	}
+}
+
+func TestMemchr(t *testing.T) {
+	c := policies(t)["sgxbounds"]
+	p := c.Malloc(32)
+	WriteCString(c, p, "find/the/slash")
+	q := Memchr(c, p, '/', 14)
+	if q == 0 || q.Addr() != p.Addr()+4 {
+		t.Errorf("memchr = %#x", q)
+	}
+	if Memchr(c, p, 'z', 14) != 0 {
+		t.Error("memchr found absent byte")
+	}
+	// The search range is bounds-checked.
+	out := harden.Capture(func() { Memchr(c, p, 'q', 64) })
+	if out.Violation == nil {
+		t.Error("over-long memchr range not detected")
+	}
+}
+
+func TestStrstr(t *testing.T) {
+	c := policies(t)["sgxbounds"]
+	hay := c.Malloc(64)
+	needle := c.Malloc(16)
+	WriteCString(c, hay, "shielded execution with sgx")
+	WriteCString(c, needle, "with")
+	q := Strstr(c, hay, needle)
+	if q == 0 || q.Addr() != hay.Addr()+19 {
+		t.Errorf("strstr = %#x (hay=%#x)", q, hay.Addr())
+	}
+	WriteCString(c, needle, "absent")
+	if Strstr(c, hay, needle) != 0 {
+		t.Error("strstr found absent needle")
+	}
+	WriteCString(c, needle, "")
+	if Strstr(c, hay, needle) != hay {
+		t.Error("empty needle should match at the start")
+	}
+}
+
+func TestStrtoul(t *testing.T) {
+	c := policies(t)["sgxbounds"]
+	p := c.Malloc(32)
+	WriteCString(c, p, "40960kb")
+	v, used := Strtoul(c, p)
+	if v != 40960 || used != 5 {
+		t.Errorf("strtoul = %d (%d bytes)", v, used)
+	}
+	WriteCString(c, p, "nope")
+	if v, used := Strtoul(c, p); v != 0 || used != 0 {
+		t.Errorf("strtoul(nope) = %d (%d)", v, used)
+	}
+}
+
+func TestStrdup(t *testing.T) {
+	for name, c := range policies(t) {
+		p := c.Malloc(32)
+		WriteCString(c, p, "duplicate me")
+		q := Strdup(c, p)
+		if got := ReadCString(c, q); got != "duplicate me" {
+			t.Errorf("%s: strdup = %q", name, got)
+		}
+		if q.Addr() == p.Addr() {
+			t.Errorf("%s: strdup returned the original", name)
+		}
+		// The copy has its own (exact) bounds under hardened policies.
+		if name == "sgxbounds" {
+			out := harden.Capture(func() { c.StoreAt(q, 13, 1, 0) })
+			if out.Violation == nil {
+				t.Error("strdup copy has no bounds")
+			}
+		}
+	}
+}

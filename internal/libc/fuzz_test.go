@@ -1,0 +1,49 @@
+package libc
+
+import (
+	"testing"
+
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// FuzzSnprintf feeds arbitrary format strings and buffer sizes through the
+// wrapper under SGXBounds: the result must always be NUL-terminated within
+// the destination and never write past it.
+func FuzzSnprintf(f *testing.F) {
+	f.Add("hello %s %d %u %x %c %%", uint8(32))
+	f.Add("%", uint8(1))
+	f.Add("%z%%%s", uint8(7))
+	f.Fuzz(func(t *testing.T, format string, sizeSeed uint8) {
+		env := harden.NewEnv(machine.DefaultConfig())
+		c := harden.NewCtx(core.New(env, core.AllOptimizations()), env.M.NewThread())
+		size := uint32(sizeSeed)%64 + 1
+		dst := c.Malloc(size)
+		guard := c.Malloc(64)
+		s := c.Malloc(16)
+		WriteCString(c, s, "arg")
+		out := harden.Capture(func() {
+			Snprintf(c, dst, size, format, Str(s), Int64(42), Int64(7))
+		})
+		if out.Crashed() {
+			t.Fatalf("snprintf crashed within its own bound: %v", out)
+		}
+		// NUL-terminated within the buffer.
+		terminated := false
+		for i := int64(0); i < int64(size); i++ {
+			if c.LoadAt(dst, i, 1) == 0 {
+				terminated = true
+				break
+			}
+		}
+		if !terminated {
+			t.Fatal("result not NUL-terminated within size")
+		}
+		for i := int64(0); i < 64; i++ {
+			if c.LoadAt(guard, i, 1) != 0 {
+				t.Fatal("snprintf wrote past its destination")
+			}
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package libc provides the policy-aware C library wrappers of §3.2
+// ("Function calls") and §5.1 (the 4289-LOC wrapper layer of the paper's
+// runtime).
+//
+// The simulated programs never touch memory behind the policy's back; like
+// the paper's applications, they call libc through wrappers that follow the
+// standard pattern: extract the original pointer from the tagged argument,
+// check it against its bounds, and perform the real operation. Which checks
+// actually happen is policy-dependent, and deliberately so:
+//
+//   - SGXBounds, AddressSanitizer and Baggy wrappers check both mem* and
+//     str* argument ranges;
+//   - MPX's mem* wrappers check (bounds-register bounds permitting) but its
+//     str* interceptors are not active under static linking — the reason
+//     MPX misses the RIPE return-into-libc attacks on heap and data
+//     (Table 4);
+//   - the native baseline checks nothing, so overflows silently corrupt
+//     adjacent memory, exactly like unhardened C.
+//
+// Out-of-bounds behaviour in SGXBounds' boundless mode is delegated to the
+// policy's bulk operations, which clamp in-bounds portions and redirect the
+// rest to the overlay store (§4.2).
+package libc
+
+import (
+	"sgxbounds/internal/harden"
+)
+
+// Memcpy copies n bytes from src to dst (memmove semantics: overlap-safe).
+func Memcpy(c *harden.Ctx, dst, src harden.Ptr, n uint32) {
+	if n == 0 {
+		return
+	}
+	c.Work(8) // call overhead, wrapper prologue
+	if bp, ok := c.P.(harden.BulkPolicy); ok {
+		bp.Memcpy(c.T, dst, src, n)
+		return
+	}
+	c.P.CheckRange(c.T, src, n, harden.Read)
+	c.P.CheckRange(c.T, dst, n, harden.Write)
+	rawCopy(c, dst, src, n)
+}
+
+// Memmove is an alias for Memcpy (which already has memmove semantics).
+func Memmove(c *harden.Ctx, dst, src harden.Ptr, n uint32) { Memcpy(c, dst, src, n) }
+
+// rawCopy performs the unchecked accounted copy.
+func rawCopy(c *harden.Ctx, dst, src harden.Ptr, n uint32) {
+	c.T.Touch(src.Addr(), n, false)
+	c.T.Touch(dst.Addr(), n, true)
+	c.P.Env().M.AS.Memmove(dst.Addr(), src.Addr(), n)
+}
+
+// Memset fills n bytes at p with b.
+func Memset(c *harden.Ctx, p harden.Ptr, b byte, n uint32) {
+	if n == 0 {
+		return
+	}
+	c.Work(8)
+	if bp, ok := c.P.(harden.BulkPolicy); ok {
+		bp.Memset(c.T, p, b, n)
+		return
+	}
+	c.P.CheckRange(c.T, p, n, harden.Write)
+	c.T.Touch(p.Addr(), n, true)
+	c.P.Env().M.AS.Memset(p.Addr(), b, n)
+}
+
+// Memcmp compares n bytes at a and b, returning <0, 0 or >0.
+func Memcmp(c *harden.Ctx, a, b harden.Ptr, n uint32) int {
+	if n == 0 {
+		return 0
+	}
+	c.Work(8)
+	c.P.CheckRange(c.T, a, n, harden.Read)
+	c.P.CheckRange(c.T, b, n, harden.Read)
+	as := c.P.Env().M.AS
+	bufA := make([]byte, n)
+	bufB := make([]byte, n)
+	c.T.Touch(a.Addr(), n, false)
+	c.T.Touch(b.Addr(), n, false)
+	as.ReadBytes(a.Addr(), bufA)
+	as.ReadBytes(b.Addr(), bufB)
+	c.Work(uint64(n) / 8)
+	for i := uint32(0); i < n; i++ {
+		if bufA[i] != bufB[i] {
+			if bufA[i] < bufB[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// scanLen returns the distance to the first NUL byte at or after p,
+// accounting the scan.
+func scanLen(c *harden.Ctx, p harden.Ptr) uint32 {
+	as := c.P.Env().M.AS
+	addr := p.Addr()
+	var n uint32
+	for {
+		c.T.Touch(addr+n, 1, false)
+		if as.Load(addr+n, 1) == 0 {
+			return n
+		}
+		n++
+	}
+}
+
+// Strlen returns the length of the NUL-terminated string at p. Policies
+// with active string interceptors verify that the scanned range (including
+// the terminator) lies within the referent object, detecting over-reads of
+// unterminated buffers.
+func Strlen(c *harden.Ctx, p harden.Ptr) uint32 {
+	c.Work(8)
+	n := scanLen(c, p)
+	if harden.StringsChecked(c.P) {
+		c.P.CheckRange(c.T, p, n+1, harden.Read)
+	}
+	return n
+}
+
+// Strcpy copies the string at src (including the terminator) to dst,
+// returning dst. Under the native baseline and MPX this overflows dst
+// silently when src is longer — the classic attack vector.
+func Strcpy(c *harden.Ctx, dst, src harden.Ptr) harden.Ptr {
+	c.Work(8)
+	n := scanLen(c, src) + 1
+	if harden.StringsChecked(c.P) {
+		c.P.CheckRange(c.T, src, n, harden.Read)
+		if bp, ok := c.P.(harden.BulkPolicy); ok {
+			bp.Memcpy(c.T, dst, src, n)
+			return dst
+		}
+		c.P.CheckRange(c.T, dst, n, harden.Write)
+	}
+	rawCopy(c, dst, src, n)
+	return dst
+}
+
+// Strncpy copies at most n bytes of src to dst, NUL-padding like the real
+// strncpy.
+func Strncpy(c *harden.Ctx, dst, src harden.Ptr, n uint32) harden.Ptr {
+	c.Work(8)
+	l := scanLen(c, src)
+	if l > n {
+		l = n
+	}
+	if harden.StringsChecked(c.P) {
+		c.P.CheckRange(c.T, src, l, harden.Read)
+		c.P.CheckRange(c.T, dst, n, harden.Write)
+	}
+	rawCopy(c, dst, src, l)
+	if l < n {
+		c.T.Touch(dst.Addr()+l, n-l, true)
+		c.P.Env().M.AS.Memset(dst.Addr()+l, 0, n-l)
+	}
+	return dst
+}
+
+// Strcat appends the string at src to the string at dst.
+func Strcat(c *harden.Ctx, dst, src harden.Ptr) harden.Ptr {
+	c.Work(8)
+	dl := scanLen(c, dst)
+	sl := scanLen(c, src) + 1
+	if harden.StringsChecked(c.P) {
+		c.P.CheckRange(c.T, src, sl, harden.Read)
+		if bp, ok := c.P.(harden.BulkPolicy); ok {
+			bp.Memcpy(c.T, c.P.Add(c.T, dst, int64(dl)), src, sl)
+			return dst
+		}
+		c.P.CheckRange(c.T, dst, dl+sl, harden.Write)
+	}
+	rawCopy(c, c.P.Add(c.T, dst, int64(dl)), src, sl)
+	return dst
+}
+
+// Strcmp compares two NUL-terminated strings.
+func Strcmp(c *harden.Ctx, a, b harden.Ptr) int {
+	la, lb := Strlen(c, a), Strlen(c, b)
+	n := la
+	if lb < n {
+		n = lb
+	}
+	if r := Memcmp(c, a, b, n); r != 0 {
+		return r
+	}
+	switch {
+	case la < lb:
+		return -1
+	case la > lb:
+		return 1
+	}
+	return 0
+}
+
+// Strncmp compares at most n bytes of two strings.
+func Strncmp(c *harden.Ctx, a, b harden.Ptr, n uint32) int {
+	la, lb := Strlen(c, a), Strlen(c, b)
+	if la > n {
+		la = n
+	}
+	if lb > n {
+		lb = n
+	}
+	m := la
+	if lb < m {
+		m = lb
+	}
+	if r := Memcmp(c, a, b, m); r != 0 {
+		return r
+	}
+	switch {
+	case la < lb:
+		return -1
+	case la > lb:
+		return 1
+	}
+	return 0
+}
+
+// Strchr returns a pointer to the first occurrence of ch in the string at
+// p, or 0 if absent.
+func Strchr(c *harden.Ctx, p harden.Ptr, ch byte) harden.Ptr {
+	c.Work(8)
+	n := Strlen(c, p)
+	as := c.P.Env().M.AS
+	for i := uint32(0); i <= n; i++ {
+		if byte(as.Load(p.Addr()+i, 1)) == ch {
+			return c.P.Add(c.T, p, int64(i))
+		}
+	}
+	return 0
+}
+
+// WriteCString writes the Go string s plus a NUL terminator into simulated
+// memory at p, with a bounds check. It is the bridge test drivers and
+// protocol frontends use to inject data.
+func WriteCString(c *harden.Ctx, p harden.Ptr, s string) {
+	n := uint32(len(s)) + 1
+	c.P.CheckRange(c.T, p, n, harden.Write)
+	c.T.Touch(p.Addr(), n, true)
+	as := c.P.Env().M.AS
+	as.WriteBytes(p.Addr(), append([]byte(s), 0))
+}
+
+// ReadCString reads the NUL-terminated string at p out of simulated memory.
+func ReadCString(c *harden.Ctx, p harden.Ptr) string {
+	n := Strlen(c, p)
+	buf := make([]byte, n)
+	c.T.Touch(p.Addr(), n, false)
+	c.P.Env().M.AS.ReadBytes(p.Addr(), buf)
+	return string(buf)
+}
+
+// WriteBytes writes host bytes into simulated memory with a bounds check.
+func WriteBytes(c *harden.Ctx, p harden.Ptr, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	c.P.CheckRange(c.T, p, uint32(len(b)), harden.Write)
+	c.T.Touch(p.Addr(), uint32(len(b)), true)
+	c.P.Env().M.AS.WriteBytes(p.Addr(), b)
+}
+
+// ReadBytes reads n bytes of simulated memory into a host buffer with a
+// bounds check.
+func ReadBytes(c *harden.Ctx, p harden.Ptr, n uint32) []byte {
+	if n == 0 {
+		return nil
+	}
+	c.P.CheckRange(c.T, p, n, harden.Read)
+	buf := make([]byte, n)
+	c.T.Touch(p.Addr(), n, false)
+	c.P.Env().M.AS.ReadBytes(p.Addr(), buf)
+	return buf
+}
+
+// Qsort sorts n elements of the given size at base using cmp, mirroring the
+// paper's qsort wrapper (which needs a proxy for the comparison callback so
+// that the callback receives properly tagged pointers). The implementation
+// is an in-place quicksort with an insertion-sort base case.
+func Qsort(c *harden.Ctx, base harden.Ptr, n, size uint32, cmp func(a, b harden.Ptr) int) {
+	c.Work(12)
+	c.P.CheckRange(c.T, base, n*size, harden.ReadWrite)
+	tmp := make([]byte, size)
+	as := c.P.Env().M.AS
+	elem := func(i uint32) harden.Ptr { return c.P.Add(c.T, base, int64(i*size)) }
+	swap := func(i, j uint32) {
+		a, b := elem(i).Addr(), elem(j).Addr()
+		c.T.Touch(a, size, true)
+		c.T.Touch(b, size, true)
+		as.ReadBytes(a, tmp)
+		as.Memmove(a, b, size)
+		as.WriteBytes(b, tmp)
+	}
+	var sort func(lo, hi uint32)
+	sort = func(lo, hi uint32) {
+		if hi-lo < 8 {
+			for i := lo + 1; i < hi; i++ {
+				for j := i; j > lo && cmp(elem(j-1), elem(j)) > 0; j-- {
+					swap(j-1, j)
+					c.Work(6)
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		swap(mid, hi-1)
+		pivot := hi - 1
+		store := lo
+		for i := lo; i < pivot; i++ {
+			c.Work(4)
+			if cmp(elem(i), elem(pivot)) < 0 {
+				swap(i, store)
+				store++
+			}
+		}
+		swap(store, pivot)
+		sort(lo, store)
+		sort(store+1, hi)
+	}
+	if n > 1 {
+		sort(0, n)
+	}
+}

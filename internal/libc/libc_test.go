@@ -1,0 +1,285 @@
+package libc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+// policies builds one Ctx per policy, each on a fresh machine.
+func policies(t *testing.T) map[string]*harden.Ctx {
+	t.Helper()
+	out := make(map[string]*harden.Ctx)
+	{
+		env := harden.NewEnv(machine.DefaultConfig())
+		out["sgx"] = harden.NewCtx(harden.NewNative(env), env.M.NewThread())
+	}
+	{
+		env := harden.NewEnv(machine.DefaultConfig())
+		out["sgxbounds"] = harden.NewCtx(core.New(env, core.AllOptimizations()), env.M.NewThread())
+	}
+	{
+		env := harden.NewEnv(machine.DefaultConfig())
+		out["asan"] = harden.NewCtx(asan.New(env, asan.Options{}), env.M.NewThread())
+	}
+	{
+		env := harden.NewEnv(machine.DefaultConfig())
+		out["mpx"] = harden.NewCtx(mpx.New(env), env.M.NewThread())
+	}
+	{
+		env := harden.NewEnv(machine.DefaultConfig())
+		pl, err := baggy.New(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["baggy"] = harden.NewCtx(pl, env.M.NewThread())
+	}
+	return out
+}
+
+func TestStringRoundTripAllPolicies(t *testing.T) {
+	for name, c := range policies(t) {
+		p := c.Malloc(64)
+		WriteCString(c, p, "hello, enclave")
+		if got := ReadCString(c, p); got != "hello, enclave" {
+			t.Errorf("%s: round trip = %q", name, got)
+		}
+		if got := Strlen(c, p); got != 14 {
+			t.Errorf("%s: strlen = %d", name, got)
+		}
+	}
+}
+
+func TestMemcpyAllPolicies(t *testing.T) {
+	for name, c := range policies(t) {
+		src := c.Malloc(128)
+		dst := c.Malloc(128)
+		for off := int64(0); off < 128; off += 8 {
+			c.StoreAt(src, off, 8, uint64(off)*7)
+		}
+		Memcpy(c, dst, src, 128)
+		for off := int64(0); off < 128; off += 8 {
+			if got := c.LoadAt(dst, off, 8); got != uint64(off)*7 {
+				t.Errorf("%s: memcpy wrong at %d: %d", name, off, got)
+			}
+		}
+	}
+}
+
+func TestMemcpyOverflowDetectionMatrix(t *testing.T) {
+	// mem* wrappers check under sgxbounds, asan, baggy AND mpx (the GCC MPX
+	// runtime wraps memcpy); native checks nothing.
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": true, "baggy": true,
+	}
+	for name, c := range policies(t) {
+		src := c.Malloc(128)
+		dst := c.Malloc(64)
+		out := harden.Capture(func() { Memcpy(c, dst, src, 128) })
+		if got := out.Violation != nil; got != expectDetected[name] {
+			t.Errorf("%s: memcpy overflow detected=%v, want %v", name, got, expectDetected[name])
+		}
+	}
+}
+
+func TestStrcpyOverflowDetectionMatrix(t *testing.T) {
+	// str* wrappers check under sgxbounds, asan, baggy but NOT mpx (string
+	// interceptors inactive) and not native — the Table 4 asymmetry.
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": false, "baggy": true,
+	}
+	for name, c := range policies(t) {
+		src := c.Malloc(128)
+		WriteCString(c, src, "this string is much longer than the destination buffer")
+		dst := c.Malloc(16)
+		out := harden.Capture(func() { Strcpy(c, dst, src) })
+		if got := out.Violation != nil; got != expectDetected[name] {
+			t.Errorf("%s: strcpy overflow detected=%v, want %v", name, got, expectDetected[name])
+		}
+	}
+}
+
+func TestStrcpyCopiesWhenInBounds(t *testing.T) {
+	for name, c := range policies(t) {
+		src := c.Malloc(32)
+		dst := c.Malloc(32)
+		WriteCString(c, src, "fits fine")
+		Strcpy(c, dst, src)
+		if got := ReadCString(c, dst); got != "fits fine" {
+			t.Errorf("%s: strcpy result = %q", name, got)
+		}
+	}
+}
+
+func TestStrcmpAndStrncmp(t *testing.T) {
+	for name, c := range policies(t) {
+		a := c.Malloc(32)
+		b := c.Malloc(32)
+		WriteCString(c, a, "apple")
+		WriteCString(c, b, "apricot")
+		if Strcmp(c, a, b) >= 0 {
+			t.Errorf("%s: strcmp(apple, apricot) >= 0", name)
+		}
+		if Strncmp(c, a, b, 2) != 0 {
+			t.Errorf("%s: strncmp(apple, apricot, 2) != 0", name)
+		}
+		WriteCString(c, b, "apple")
+		if Strcmp(c, a, b) != 0 {
+			t.Errorf("%s: strcmp equal strings != 0", name)
+		}
+	}
+}
+
+func TestStrncpyPads(t *testing.T) {
+	for name, c := range policies(t) {
+		src := c.Malloc(16)
+		dst := c.Malloc(16)
+		Memset(c, dst, 0xFF, 16)
+		WriteCString(c, src, "ab")
+		Strncpy(c, dst, src, 8)
+		if got := ReadCString(c, dst); got != "ab" {
+			t.Errorf("%s: strncpy = %q", name, got)
+		}
+		for off := int64(2); off < 8; off++ {
+			if got := c.LoadAt(dst, off, 1); got != 0 {
+				t.Errorf("%s: strncpy did not pad at %d", name, off)
+			}
+		}
+	}
+}
+
+func TestStrcat(t *testing.T) {
+	for name, c := range policies(t) {
+		dst := c.Malloc(32)
+		src := c.Malloc(16)
+		WriteCString(c, dst, "foo")
+		WriteCString(c, src, "bar")
+		Strcat(c, dst, src)
+		if got := ReadCString(c, dst); got != "foobar" {
+			t.Errorf("%s: strcat = %q", name, got)
+		}
+	}
+}
+
+func TestStrchr(t *testing.T) {
+	for name, c := range policies(t) {
+		p := c.Malloc(32)
+		WriteCString(c, p, "find/the/slash")
+		q := Strchr(c, p, '/')
+		if q == 0 || q.Addr() != p.Addr()+4 {
+			t.Errorf("%s: strchr = %#x", name, q)
+		}
+		if Strchr(c, p, 'z') != 0 {
+			t.Errorf("%s: strchr found absent char", name)
+		}
+	}
+}
+
+func TestMemcmpMatrix(t *testing.T) {
+	for name, c := range policies(t) {
+		a := c.Malloc(16)
+		b := c.Malloc(16)
+		Memset(c, a, 3, 16)
+		Memset(c, b, 3, 16)
+		if Memcmp(c, a, b, 16) != 0 {
+			t.Errorf("%s: equal buffers differ", name)
+		}
+		c.StoreAt(b, 7, 1, 9)
+		if Memcmp(c, a, b, 16) >= 0 {
+			t.Errorf("%s: memcmp sign wrong", name)
+		}
+	}
+}
+
+func TestQsortSortsIntegers(t *testing.T) {
+	for name, c := range policies(t) {
+		const n = 64
+		arr := c.Malloc(n * 8)
+		for i := int64(0); i < n; i++ {
+			c.StoreAt(arr, i*8, 8, uint64((i*37+11)%n))
+		}
+		Qsort(c, arr, n, 8, func(a, b harden.Ptr) int {
+			av := c.Load(a, 8)
+			bv := c.Load(b, 8)
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		})
+		for i := int64(0); i < n; i++ {
+			if got := c.LoadAt(arr, i*8, 8); got != uint64(i) {
+				t.Fatalf("%s: arr[%d] = %d after sort", name, i, got)
+			}
+		}
+	}
+}
+
+func TestStrlenDetectsUnterminatedOverread(t *testing.T) {
+	// Only policies with string interceptors catch a strlen running off an
+	// unterminated buffer.
+	expectDetected := map[string]bool{
+		"sgx": false, "sgxbounds": true, "asan": true, "mpx": false, "baggy": true,
+	}
+	for name, c := range policies(t) {
+		p := c.Malloc(16)
+		Memset(c, p, 'A', 16) // no NUL inside the object
+		// Place a NUL shortly after so the native scan terminates.
+		next := c.Malloc(16)
+		Memset(c, next, 0, 16)
+		out := harden.Capture(func() { Strlen(c, p) })
+		if got := out.Violation != nil; got != expectDetected[name] {
+			t.Errorf("%s: unterminated strlen detected=%v, want %v", name, got, expectDetected[name])
+		}
+	}
+}
+
+// Property: Qsort sorts any random uint64 array exactly like the reference
+// sort, under the SGXBounds policy.
+func TestQuickQsortMatchesReference(t *testing.T) {
+	c := policies(t)["sgxbounds"]
+	f := func(vals []uint64) bool {
+		n := uint32(len(vals))
+		if n == 0 {
+			return true
+		}
+		if n > 200 {
+			vals = vals[:200]
+			n = 200
+		}
+		arr := c.Malloc(n * 8)
+		for i, v := range vals {
+			c.StoreAt(arr, int64(i)*8, 8, v)
+		}
+		Qsort(c, arr, n, 8, func(a, b harden.Ptr) int {
+			av, bv := c.Load(a, 8), c.Load(b, 8)
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		})
+		want := append([]uint64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, v := range want {
+			if got := c.LoadAt(arr, int64(i)*8, 8); got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

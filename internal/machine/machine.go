@@ -1,0 +1,432 @@
+// Package machine composes the simulated substrate — the 32-bit address
+// space (internal/mem), the cache hierarchy (internal/cache) and the EPC
+// model (internal/enclave) — into the execution environment that hardening
+// policies and workloads run on.
+//
+// A Machine is the shared state (memory, LLC, EPC, cost model, virtual
+// memory budget); a Thread is one simulated hardware thread with private
+// L1/L2 caches and its own performance counters. Workloads run on threads;
+// parallel sections are expressed with Machine.Parallel, which accounts the
+// elapsed simulated time of a parallel phase as the maximum over the
+// workers' cycles — the critical path — while still aggregating every
+// worker's events into the machine totals for reporting.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sgxbounds/internal/cache"
+	"sgxbounds/internal/enclave"
+	"sgxbounds/internal/mem"
+	"sgxbounds/internal/perf"
+)
+
+// Address-space layout. The enclave is mapped at address 0 (the paper
+// modifies the SGX driver and vm.mmap_min_addr so enclaves start at 0x0,
+// §5.1); the first page stays unmapped to catch null dereferences, and the
+// last page is unaddressable to protect the hoisted-check optimisation from
+// 32-bit wrap-around (§4.4).
+const (
+	NullGuardTop = 0x0000_1000 // first page: never addressable
+	GlobalsBase  = 0x0000_1000 // global objects, bump-allocated
+	GlobalsTop   = 0x1000_0000
+	HeapBase     = 0x1000_0000 // heap (managed by internal/alloc)
+	HeapTop      = 0x8000_0000
+	MmapBase     = 0x8000_0000 // page-granular mappings
+	MmapTop      = 0xC000_0000
+	StackBase    = 0xC000_0000 // per-thread stacks
+	StackTop     = 0xD000_0000
+	MetaBase     = 0xD000_0000 // policy metadata (shadow memory, bounds tables)
+	MetaTop      = 0xFFFF_F000
+	TopGuard     = 0xFFFF_F000 // last page: never addressable
+)
+
+// StackSize is the stack region reserved per simulated thread. (SCONE uses
+// small per-thread stacks; the scaled workloads need far less than this.)
+const StackSize = 256 << 10
+
+// ErrOutOfMemory is returned when an allocation would exceed the enclave's
+// virtual memory budget. This is the failure mode behind the paper's "Intel
+// MPX crashes due to insufficient memory" results (Fig. 1, Fig. 7, Fig. 11).
+var ErrOutOfMemory = errors.New("machine: enclave out of memory")
+
+// Config parameterises a Machine.
+type Config struct {
+	Enclave enclave.Config
+	Cost    perf.CostModel
+
+	// MemoryBudget caps reserved virtual memory (bytes). Zero selects
+	// DefaultMemoryBudget inside an enclave and no limit outside.
+	MemoryBudget uint64
+
+	L1, L2, L3 cache.Config
+}
+
+// DefaultMemoryBudget is the scaled default enclave size (virtual memory
+// available to the shielded application).
+const DefaultMemoryBudget = 256 << 20
+
+// DefaultConfig returns the in-enclave configuration used throughout the
+// evaluation: Skylake-like private caches, a scaled LLC and EPC (see
+// DESIGN.md §1 for the scaling argument).
+func DefaultConfig() Config {
+	return Config{
+		Enclave:      enclave.Config{Enabled: true},
+		Cost:         perf.Default(),
+		MemoryBudget: DefaultMemoryBudget,
+		L1:           cache.Config{Size: 32 << 10, Ways: 8},
+		L2:           cache.Config{Size: 256 << 10, Ways: 8},
+		L3:           cache.Config{Size: 2 << 20, Ways: 16},
+	}
+}
+
+// NativeConfig returns the outside-enclave configuration (Figure 12): same
+// caches, no EPC, no MEE, no memory budget.
+func NativeConfig() Config {
+	c := DefaultConfig()
+	c.Enclave.Enabled = false
+	c.MemoryBudget = 1 << 40
+	return c
+}
+
+// Machine is the shared simulated hardware.
+type Machine struct {
+	AS  *mem.AddressSpace
+	Cfg Config
+	L3  *cache.Shared
+	EPC *enclave.EPC
+
+	atomicMu sync.Mutex // the lock-prefix bus lock for atomic RMW
+
+	mu         sync.Mutex
+	globalsBrk uint32
+	mmapBrk    uint32
+	metaBrk    uint32
+	nextStack  uint32
+	workers    []*Thread // reusable worker pool for Parallel
+	totals     perf.Counters
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.MemoryBudget == 0 {
+		if cfg.Enclave.Enabled {
+			cfg.MemoryBudget = DefaultMemoryBudget
+		} else {
+			cfg.MemoryBudget = 1 << 40
+		}
+	}
+	if cfg.Cost.Instr == 0 {
+		cfg.Cost = perf.Default()
+	}
+	m := &Machine{
+		AS:         mem.New(),
+		Cfg:        cfg,
+		L3:         cache.NewShared(cfg.L3),
+		globalsBrk: GlobalsBase,
+		mmapBrk:    MmapBase,
+		metaBrk:    MetaBase,
+		nextStack:  StackBase,
+	}
+	if cfg.Enclave.Enabled {
+		m.EPC = enclave.New(cfg.Enclave)
+	}
+	return m
+}
+
+// TryReserve reserves size bytes of virtual memory, failing with
+// ErrOutOfMemory if it would exceed the enclave budget.
+func (m *Machine) TryReserve(size uint64) error {
+	if m.AS.Reserved()+size > m.Cfg.MemoryBudget {
+		return ErrOutOfMemory
+	}
+	m.AS.Reserve(size)
+	return nil
+}
+
+// GlobalAlloc carves size bytes (8-byte aligned) out of the globals region.
+func (m *Machine) GlobalAlloc(size uint32) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := (m.globalsBrk + 7) &^ 7
+	if base+size > GlobalsTop || base+size < base {
+		return 0, ErrOutOfMemory
+	}
+	if err := m.TryReserve(uint64(size)); err != nil {
+		return 0, err
+	}
+	m.globalsBrk = base + size
+	return base, nil
+}
+
+// Mmap maps size bytes (page-aligned) in the mmap region.
+func (m *Machine) Mmap(size uint32) (uint32, error) {
+	size = (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mmapBrk+size > MmapTop || m.mmapBrk+size < m.mmapBrk {
+		return 0, ErrOutOfMemory
+	}
+	if err := m.TryReserve(uint64(size)); err != nil {
+		return 0, err
+	}
+	base := m.mmapBrk
+	m.mmapBrk += size
+	return base, nil
+}
+
+// Munmap releases a mapping's reservation and decommits its pages. The
+// region allocator is bump-only, so the addresses are not recycled; this
+// matches the reproduction's reserved-VM accounting needs.
+func (m *Machine) Munmap(addr, size uint32) {
+	size = (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	m.AS.Release(uint64(size))
+	for p := addr; p < addr+size; p += mem.PageSize {
+		m.AS.Decommit(p)
+	}
+}
+
+// MetaAlloc carves size bytes (page-aligned) out of the metadata region.
+// Policies use it for shadow memory and bounds tables.
+func (m *Machine) MetaAlloc(size uint32) (uint32, error) {
+	size = (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.metaBrk+size > MetaTop || m.metaBrk+size < m.metaBrk {
+		return 0, ErrOutOfMemory
+	}
+	if err := m.TryReserve(uint64(size)); err != nil {
+		return 0, err
+	}
+	base := m.metaBrk
+	m.metaBrk += size
+	return base, nil
+}
+
+// Thread is one simulated hardware thread.
+type Thread struct {
+	M  *Machine
+	ID int
+	C  perf.Counters
+
+	// Scratch is per-thread state for policies that model per-hart
+	// resources — the MPX policy keeps its four-entry bounds-register file
+	// here.
+	Scratch [8]uint64
+
+	l1, l2 *cache.Cache
+
+	stackLo uint32 // bottom of this thread's stack region
+	sp      uint32 // current stack pointer (grows down)
+}
+
+// SpillBase returns a small per-thread region at the bottom of the stack
+// used by policies to model register spills (e.g. bndmov slots).
+func (t *Thread) SpillBase() uint32 { return t.stackLo }
+
+// NewThread creates a thread with fresh private caches and its own stack.
+func (m *Machine) NewThread() *Thread {
+	m.mu.Lock()
+	id := int((m.nextStack - StackBase) / StackSize)
+	lo := m.nextStack
+	if lo+StackSize > StackTop {
+		m.mu.Unlock()
+		panic("machine: out of stack regions")
+	}
+	m.nextStack += StackSize
+	m.mu.Unlock()
+	m.AS.Reserve(StackSize)
+	return &Thread{
+		M:       m,
+		ID:      id,
+		l1:      cache.New(m.Cfg.L1),
+		l2:      cache.New(m.Cfg.L2),
+		stackLo: lo,
+		sp:      lo + StackSize,
+	}
+}
+
+// Instr retires n non-memory instructions.
+func (t *Thread) Instr(n uint64) {
+	t.C.Instr += n
+	t.C.Cycles += n * t.M.Cfg.Cost.Instr
+}
+
+// accessLine runs one cache-line access through the hierarchy and charges
+// its cost.
+func (t *Thread) accessLine(addr uint32) {
+	cost := &t.M.Cfg.Cost
+	enclaveOn := t.M.EPC != nil
+	var lvl perf.Level
+	switch {
+	case t.l1.Access(addr):
+		lvl = perf.L1
+	case t.l2.Access(addr):
+		lvl = perf.L2
+	case t.M.L3.Access(addr):
+		lvl = perf.L3
+	default:
+		lvl = perf.DRAM
+		if enclaveOn {
+			if fault, cold := t.M.EPC.Touch(addr); fault {
+				if cold {
+					// Compulsory fault: a fresh page is added (EAUG), far
+					// cheaper than paging an evicted page back in.
+					t.C.ColdFaults++
+					t.C.Cycles += cost.ColdFaultCost
+				} else {
+					lvl = perf.Fault
+					t.C.PageFaults++
+				}
+			}
+		}
+	}
+	t.C.Hits[lvl]++
+	t.C.Cycles += cost.AccessCost(lvl, enclaveOn)
+}
+
+// access accounts one scalar access of the given size at addr.
+func (t *Thread) access(addr uint32, size uint8, write bool) {
+	if write {
+		t.C.Stores++
+	} else {
+		t.C.Loads++
+	}
+	t.accessLine(addr)
+	if last := addr + uint32(size) - 1; last>>cache.LineShift != addr>>cache.LineShift {
+		t.accessLine(last)
+	}
+}
+
+// Load performs an accounted scalar load.
+func (t *Thread) Load(addr uint32, size uint8) uint64 {
+	t.access(addr, size, false)
+	return t.M.AS.Load(addr, size)
+}
+
+// Store performs an accounted scalar store.
+func (t *Thread) Store(addr uint32, size uint8, v uint64) {
+	t.access(addr, size, true)
+	t.M.AS.Store(addr, size, v)
+}
+
+// Touch accounts accesses to the n bytes starting at addr at cache-line
+// granularity without transferring data. Bulk operations (memcpy, shadow
+// poisoning) combine Touch with raw address-space transfers.
+func (t *Thread) Touch(addr uint32, n uint32, write bool) {
+	if n == 0 {
+		return
+	}
+	first := addr >> cache.LineShift
+	last := (addr + n - 1) >> cache.LineShift
+	for line := first; ; line++ {
+		if write {
+			t.C.Stores++
+		} else {
+			t.C.Loads++
+		}
+		t.accessLine(line << cache.LineShift)
+		if line == last {
+			break
+		}
+	}
+}
+
+// StackPointer returns the current stack pointer.
+func (t *Thread) StackPointer() uint32 { return t.sp }
+
+// PushFrame opens a stack frame, returning a token for PopFrame.
+func (t *Thread) PushFrame() uint32 { return t.sp }
+
+// PopFrame closes a stack frame opened by PushFrame.
+func (t *Thread) PopFrame(token uint32) { t.sp = token }
+
+// StackAlloc allocates size bytes (8-byte aligned) on this thread's stack.
+// It panics on stack overflow, as real hardware would fault.
+func (t *Thread) StackAlloc(size uint32) uint32 {
+	size = (size + 7) &^ 7
+	if t.sp-size < t.stackLo || size > t.sp {
+		panic(fmt.Sprintf("machine: thread %d stack overflow", t.ID))
+	}
+	t.sp -= size
+	return t.sp
+}
+
+// Parallel runs n workers concurrently on the machine's worker-thread pool
+// (hardware threads are a fixed resource; repeated parallel phases reuse
+// them, keeping their caches warm and their stacks reserved once). The
+// calling thread is charged the critical path (the maximum of the workers'
+// cycles), and all worker events are merged into the machine totals. Worker
+// panics are re-raised on the caller after all workers finish, so that a
+// bounds violation in any worker fails the whole parallel section
+// deterministically.
+func (m *Machine) Parallel(caller *Thread, n int, body func(w *Thread, i int)) {
+	m.mu.Lock()
+	for len(m.workers) < n {
+		m.mu.Unlock()
+		w := m.NewThread()
+		m.mu.Lock()
+		m.workers = append(m.workers, w)
+	}
+	workers := m.workers[:n]
+	m.mu.Unlock()
+
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			body(workers[i], i)
+		}(i)
+	}
+	wg.Wait()
+	var maxCycles uint64
+	for _, w := range workers {
+		if w.C.Cycles > maxCycles {
+			maxCycles = w.C.Cycles
+		}
+		m.mu.Lock()
+		m.totals.Add(&w.C)
+		m.mu.Unlock()
+		w.C = perf.Counters{} // drained into totals; the pool thread is reused
+	}
+	caller.C.Cycles += maxCycles
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Finish folds the main thread's counters into the totals and returns the
+// final aggregate. Elapsed simulated time is the main thread's cycle count
+// (parallel phases already contributed their critical path to it).
+func (m *Machine) Finish(main *Thread) perf.Counters {
+	m.mu.Lock()
+	m.totals.Add(&main.C)
+	t := m.totals
+	m.mu.Unlock()
+	return t
+}
+
+// Atomically runs fn under the machine's bus lock, charging t the
+// lock-prefix penalty. Simulated atomic read-modify-write operations
+// (checked per §3.2, like any load or store) are built on it.
+func (m *Machine) Atomically(t *Thread, fn func()) {
+	t.Instr(12) // lock prefix + fence cost
+	m.atomicMu.Lock()
+	fn()
+	m.atomicMu.Unlock()
+}
+
+// PageFaults returns total EPC page faults (0 outside an enclave).
+func (m *Machine) PageFaults() uint64 {
+	if m.EPC == nil {
+		return 0
+	}
+	return m.EPC.Faults()
+}

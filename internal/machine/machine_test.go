@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"testing"
+
+	"sgxbounds/internal/perf"
+)
+
+func TestAccessCostOrdering(t *testing.T) {
+	// Figure 2: each level of the hierarchy is strictly more expensive, and
+	// the enclave MEE factor applies only to memory traffic.
+	cost := perf.Default()
+	var prev uint64
+	for _, l := range []perf.Level{perf.L1, perf.L2, perf.L3, perf.DRAM, perf.Fault} {
+		c := cost.AccessCost(l, true)
+		if c <= prev {
+			t.Errorf("cost(%v)=%d not greater than previous %d", l, c, prev)
+		}
+		prev = c
+	}
+	if cost.AccessCost(perf.DRAM, true) <= cost.AccessCost(perf.DRAM, false) {
+		t.Error("MEE factor not applied inside enclave")
+	}
+	if cost.AccessCost(perf.L1, true) != cost.AccessCost(perf.L1, false) {
+		t.Error("MEE factor wrongly applied to cache hits")
+	}
+}
+
+func TestLoadStoreThroughHierarchy(t *testing.T) {
+	m := New(DefaultConfig())
+	th := m.NewThread()
+	th.Store(0x1000, 8, 0xFEEDFACE)
+	if got := th.Load(0x1000, 8); got != 0xFEEDFACE {
+		t.Errorf("load = %#x", got)
+	}
+	// The first store missed everywhere and added a fresh page (a
+	// compulsory fault); the second access must be an L1 hit.
+	if th.C.ColdFaults != 1 {
+		t.Errorf("cold faults = %d, want 1", th.C.ColdFaults)
+	}
+	if th.C.Hits[perf.L1] != 1 {
+		t.Errorf("warm access L1 hits = %d, want 1", th.C.Hits[perf.L1])
+	}
+}
+
+func TestOutsideEnclaveNoFaults(t *testing.T) {
+	m := New(NativeConfig())
+	th := m.NewThread()
+	for i := uint32(0); i < 100; i++ {
+		th.Store(0x1000+i*4096, 4, 1)
+	}
+	if th.C.PageFaults != 0 {
+		t.Errorf("page faults outside enclave: %d", th.C.PageFaults)
+	}
+	if m.PageFaults() != 0 {
+		t.Error("machine reports EPC faults without an EPC")
+	}
+}
+
+func TestRegionAllocators(t *testing.T) {
+	m := New(DefaultConfig())
+	g, err := m.GlobalAlloc(100)
+	if err != nil || g < GlobalsBase || g >= GlobalsTop {
+		t.Errorf("global alloc %#x err %v", g, err)
+	}
+	mm, err := m.Mmap(5000)
+	if err != nil || mm < MmapBase || mm%4096 != 0 {
+		t.Errorf("mmap %#x err %v", mm, err)
+	}
+	mt, err := m.MetaAlloc(100)
+	if err != nil || mt < MetaBase {
+		t.Errorf("meta alloc %#x err %v", mt, err)
+	}
+}
+
+func TestMemoryBudgetEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBudget = 1 << 20
+	m := New(cfg)
+	if _, err := m.Mmap(2 << 20); err != ErrOutOfMemory {
+		t.Errorf("over-budget mmap err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.Mmap(512 << 10); err != nil {
+		t.Errorf("within-budget mmap failed: %v", err)
+	}
+}
+
+func TestMunmapReleasesBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBudget = 1 << 20
+	m := New(cfg)
+	a, err := m.Mmap(768 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Munmap(a, 768<<10)
+	if _, err := m.Mmap(768 << 10); err != nil {
+		t.Errorf("budget not returned by munmap: %v", err)
+	}
+	// Peak accounting must remember the first mapping.
+	if m.AS.PeakReserved() < 768<<10 {
+		t.Errorf("peak reserved = %d", m.AS.PeakReserved())
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	m := New(DefaultConfig())
+	th := m.NewThread()
+	top := th.StackPointer()
+	tok := th.PushFrame()
+	a := th.StackAlloc(64)
+	b := th.StackAlloc(32)
+	if a <= b {
+		t.Error("stack must grow down")
+	}
+	if a%8 != 0 || b%8 != 0 {
+		t.Error("stack objects must be 8-byte aligned")
+	}
+	th.PopFrame(tok)
+	if th.StackPointer() != top {
+		t.Error("frame pop did not restore the stack pointer")
+	}
+}
+
+func TestStackOverflowPanics(t *testing.T) {
+	m := New(DefaultConfig())
+	th := m.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("stack overflow did not panic")
+		}
+	}()
+	for {
+		th.StackAlloc(StackSize / 4)
+	}
+}
+
+func TestThreadsGetDistinctStacks(t *testing.T) {
+	m := New(DefaultConfig())
+	t1, t2 := m.NewThread(), m.NewThread()
+	if t1.ID == t2.ID {
+		t.Error("duplicate thread IDs")
+	}
+	a := t1.StackAlloc(64)
+	b := t2.StackAlloc(64)
+	if a/StackSize == b/StackSize {
+		t.Error("threads share a stack region")
+	}
+}
+
+func TestParallelCriticalPath(t *testing.T) {
+	m := New(DefaultConfig())
+	main := m.NewThread()
+	before := main.C.Cycles
+	m.Parallel(main, 4, func(w *Thread, i int) {
+		// Worker i does (i+1)*1000 instructions; the critical path is the
+		// slowest worker.
+		w.Instr(uint64(i+1) * 1000)
+	})
+	elapsed := main.C.Cycles - before
+	if elapsed != 4000*m.Cfg.Cost.Instr {
+		t.Errorf("parallel elapsed = %d, want %d (max of workers)", elapsed, 4000*m.Cfg.Cost.Instr)
+	}
+	total := m.Finish(main)
+	if total.Instr != 1000+2000+3000+4000 {
+		t.Errorf("total instructions = %d, want 10000", total.Instr)
+	}
+}
+
+func TestParallelPropagatesPanics(t *testing.T) {
+	m := New(DefaultConfig())
+	main := m.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("worker panic not propagated")
+		}
+	}()
+	m.Parallel(main, 2, func(w *Thread, i int) {
+		if i == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestTouchCountsLines(t *testing.T) {
+	m := New(DefaultConfig())
+	th := m.NewThread()
+	th.Touch(0x1000, 256, true) // 4 lines
+	if th.C.Stores != 4 {
+		t.Errorf("stores = %d, want 4", th.C.Stores)
+	}
+	th.Touch(0x203F, 2, false) // straddles a line boundary: 2 lines
+	if th.C.Loads != 2 {
+		t.Errorf("loads = %d, want 2", th.C.Loads)
+	}
+}

@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzAddressSpaceOps interprets the fuzz input as a little op program over
+// the address space and cross-checks every load against a shadow Go map.
+func FuzzAddressSpaceOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		as := New()
+		ref := make(map[uint32]byte)
+		for len(data) >= 7 {
+			op := data[0] % 3
+			addr := binary.LittleEndian.Uint32(data[1:5])%0xFFFF_0000 + PageSize
+			size := []uint8{1, 2, 4, 8}[data[5]%4]
+			val := uint64(data[6]) * 0x0101010101010101
+			data = data[7:]
+			switch op {
+			case 0:
+				as.Store(addr, size, val)
+				for i := uint8(0); i < size; i++ {
+					ref[addr+uint32(i)] = byte(val >> (8 * i))
+				}
+			case 1:
+				got := as.Load(addr, size)
+				for i := uint8(0); i < size; i++ {
+					if byte(got>>(8*i)) != ref[addr+uint32(i)] {
+						t.Fatalf("load(%#x,%d) byte %d = %#x, ref %#x",
+							addr, size, i, byte(got>>(8*i)), ref[addr+uint32(i)])
+					}
+				}
+			case 2:
+				n := uint32(size) * 16
+				as.Memset(addr, byte(val), n)
+				for i := uint32(0); i < n; i++ {
+					ref[addr+i] = byte(val)
+				}
+			}
+		}
+	})
+}

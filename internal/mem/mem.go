@@ -1,0 +1,241 @@
+// Package mem implements the simulated 32-bit enclave address space that
+// every other component operates on.
+//
+// The paper's key architectural premise (§3.1) is that SGX enclaves confine
+// all application code and data to the low 32 bits of the virtual address
+// space, leaving the upper 32 bits of every 64-bit pointer free for the
+// SGXBounds tag. This package provides exactly that substrate: a sparse,
+// page-granular 4 GiB space addressed by uint32, with an explicit
+// reserve/commit split so that the evaluation can report "maximum amount of
+// reserved virtual memory" the same way §6.1 of the paper does (the Linux
+// kernel cannot see the resident set inside an enclave, so the paper — and
+// this reproduction — accounts reserved virtual memory and, separately,
+// committed pages).
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the page size of the simulated address space (4 KiB).
+	PageSize = 1 << PageShift
+	// NumPages is the number of pages in the 32-bit space.
+	NumPages = 1 << (32 - PageShift)
+)
+
+type page [PageSize]byte
+
+// AddressSpace is a sparse 32-bit byte-addressable memory. Pages are
+// committed (backed by real storage) on first touch. All methods are safe
+// for concurrent use by multiple simulated threads; races on the *contents*
+// of memory are the simulated program's own business, exactly as on real
+// hardware.
+type AddressSpace struct {
+	pages []atomic.Pointer[page] // NumPages entries, allocated lazily in chunks
+
+	commitMu sync.Mutex // serializes page commits
+
+	committed atomic.Uint64 // bytes backed by committed pages
+
+	reserved     atomic.Uint64 // bytes of reserved virtual memory
+	peakReserved atomic.Uint64 // high-water mark of reserved
+	peakCommit   atomic.Uint64 // high-water mark of committed
+}
+
+// New returns an empty address space.
+func New() *AddressSpace {
+	return &AddressSpace{pages: make([]atomic.Pointer[page], NumPages)}
+}
+
+// Reserve records size bytes of reserved virtual memory (the analogue of
+// mmap with PROT_NONE or of carving out a shadow region). Reservation is
+// pure accounting: no pages are committed.
+func (as *AddressSpace) Reserve(size uint64) {
+	cur := as.reserved.Add(size)
+	for {
+		peak := as.peakReserved.Load()
+		if cur <= peak || as.peakReserved.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Release returns size bytes of reserved virtual memory.
+func (as *AddressSpace) Release(size uint64) {
+	as.reserved.Add(^(size - 1)) // atomic subtract
+}
+
+// Reserved returns the current amount of reserved virtual memory in bytes.
+func (as *AddressSpace) Reserved() uint64 { return as.reserved.Load() }
+
+// PeakReserved returns the high-water mark of reserved virtual memory. This
+// is the "memory overhead" metric of the paper's evaluation.
+func (as *AddressSpace) PeakReserved() uint64 { return as.peakReserved.Load() }
+
+// Committed returns the bytes currently backed by committed pages.
+func (as *AddressSpace) Committed() uint64 { return as.committed.Load() }
+
+// PeakCommitted returns the high-water mark of committed bytes.
+func (as *AddressSpace) PeakCommitted() uint64 { return as.peakCommit.Load() }
+
+// Decommit drops the page containing addr, returning its storage. It models
+// freeing whole pages back to the (simulated) OS.
+func (as *AddressSpace) Decommit(addr uint32) {
+	pn := addr >> PageShift
+	as.commitMu.Lock()
+	if as.pages[pn].Load() != nil {
+		as.pages[pn].Store(nil)
+		as.committed.Add(^uint64(PageSize - 1))
+	}
+	as.commitMu.Unlock()
+}
+
+// pageFor returns the page containing addr, committing it if needed.
+func (as *AddressSpace) pageFor(addr uint32) *page {
+	pn := addr >> PageShift
+	if p := as.pages[pn].Load(); p != nil {
+		return p
+	}
+	as.commitMu.Lock()
+	p := as.pages[pn].Load()
+	if p == nil {
+		p = new(page)
+		as.pages[pn].Store(p)
+		cur := as.committed.Add(PageSize)
+		for {
+			peak := as.peakCommit.Load()
+			if cur <= peak || as.peakCommit.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+	}
+	as.commitMu.Unlock()
+	return p
+}
+
+// IsCommitted reports whether the page containing addr is committed.
+func (as *AddressSpace) IsCommitted(addr uint32) bool {
+	return as.pages[addr>>PageShift].Load() != nil
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, little-endian.
+func (as *AddressSpace) Load(addr uint32, size uint8) uint64 {
+	if off := addr & (PageSize - 1); off+uint32(size) <= PageSize {
+		p := as.pageFor(addr)
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(p[off]) | uint64(p[off+1])<<8
+		case 4:
+			return uint64(p[off]) | uint64(p[off+1])<<8 |
+				uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+		case 8:
+			lo := uint64(p[off]) | uint64(p[off+1])<<8 |
+				uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+			hi := uint64(p[off+4]) | uint64(p[off+5])<<8 |
+				uint64(p[off+6])<<16 | uint64(p[off+7])<<24
+			return lo | hi<<32
+		default:
+			panic(fmt.Sprintf("mem: bad access size %d", size))
+		}
+	}
+	// Access straddles a page boundary: assemble byte-wise.
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		p := as.pageFor(addr + uint32(i))
+		v |= uint64(p[(addr+uint32(i))&(PageSize-1)]) << (8 * i)
+	}
+	return v
+}
+
+// Store writes size bytes (1, 2, 4 or 8) of v at addr, little-endian.
+func (as *AddressSpace) Store(addr uint32, size uint8, v uint64) {
+	if off := addr & (PageSize - 1); off+uint32(size) <= PageSize {
+		p := as.pageFor(addr)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+		case 2:
+			p[off], p[off+1] = byte(v), byte(v>>8)
+		case 4:
+			p[off], p[off+1], p[off+2], p[off+3] =
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		case 8:
+			p[off], p[off+1], p[off+2], p[off+3] =
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			p[off+4], p[off+5], p[off+6], p[off+7] =
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		default:
+			panic(fmt.Sprintf("mem: bad access size %d", size))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		p := as.pageFor(addr + uint32(i))
+		p[(addr+uint32(i))&(PageSize-1)] = byte(v >> (8 * i))
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into dst (len(dst) >= n).
+func (as *AddressSpace) ReadBytes(addr uint32, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint32(len(dst)) < n {
+			n = uint32(len(dst))
+		}
+		p := as.pageFor(addr)
+		copy(dst[:n], p[off:off+n])
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (as *AddressSpace) WriteBytes(addr uint32, src []byte) {
+	for len(src) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint32(len(src)) < n {
+			n = uint32(len(src))
+		}
+		p := as.pageFor(addr)
+		copy(p[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// Memset fills n bytes starting at addr with b.
+func (as *AddressSpace) Memset(addr uint32, b byte, n uint32) {
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		c := uint32(PageSize) - off
+		if n < c {
+			c = n
+		}
+		p := as.pageFor(addr)
+		s := p[off : off+c]
+		for i := range s {
+			s[i] = b
+		}
+		n -= c
+		addr += c
+	}
+}
+
+// Memmove copies n bytes from src to dst, handling overlap like memmove(3).
+func (as *AddressSpace) Memmove(dst, src uint32, n uint32) {
+	if n == 0 || dst == src {
+		return
+	}
+	buf := make([]byte, n)
+	as.ReadBytes(src, buf)
+	as.WriteBytes(dst, buf)
+}

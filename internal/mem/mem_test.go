@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	as := New()
+	cases := []struct {
+		addr uint32
+		size uint8
+		val  uint64
+	}{
+		{0x1000, 1, 0xAB},
+		{0x1001, 2, 0xBEEF},
+		{0x1004, 4, 0xDEADBEEF},
+		{0x1008, 8, 0x0123456789ABCDEF},
+		{0x2FFF, 1, 0x7F}, // last byte of a page
+	}
+	for _, c := range cases {
+		as.Store(c.addr, c.size, c.val)
+		if got := as.Load(c.addr, c.size); got != c.val {
+			t.Errorf("Load(%#x, %d) = %#x, want %#x", c.addr, c.size, got, c.val)
+		}
+	}
+}
+
+func TestLoadTruncatesToSize(t *testing.T) {
+	as := New()
+	as.Store(0x1000, 8, 0xFFFFFFFFFFFFFFFF)
+	as.Store(0x1000, 2, 0x1234)
+	if got := as.Load(0x1000, 2); got != 0x1234 {
+		t.Errorf("2-byte load = %#x, want 0x1234", got)
+	}
+	// Bytes 2..7 must be untouched by the 2-byte store.
+	if got := as.Load(0x1002, 2); got != 0xFFFF {
+		t.Errorf("adjacent bytes clobbered: %#x", got)
+	}
+}
+
+func TestPageStraddlingAccess(t *testing.T) {
+	as := New()
+	addr := uint32(PageSize - 3) // 8-byte access crossing into page 1
+	as.Store(addr, 8, 0x1122334455667788)
+	if got := as.Load(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("straddling load = %#x", got)
+	}
+	// Byte-wise verification across the boundary.
+	for i, want := range []uint64{0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11} {
+		if got := as.Load(addr+uint32(i), 1); got != want {
+			t.Errorf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	as := New()
+	as.Store(0x1000, 4, 0xAABBCCDD)
+	if got := as.Load(0x1000, 1); got != 0xDD {
+		t.Errorf("LSB first: got %#x, want 0xDD", got)
+	}
+	if got := as.Load(0x1003, 1); got != 0xAA {
+		t.Errorf("MSB last: got %#x, want 0xAA", got)
+	}
+}
+
+func TestCommitAccounting(t *testing.T) {
+	as := New()
+	if as.Committed() != 0 {
+		t.Fatalf("fresh space committed = %d", as.Committed())
+	}
+	as.Store(0x1000, 1, 1)
+	if as.Committed() != PageSize {
+		t.Errorf("one page touched, committed = %d", as.Committed())
+	}
+	as.Store(0x1001, 1, 1) // same page
+	if as.Committed() != PageSize {
+		t.Errorf("same page recommitted: %d", as.Committed())
+	}
+	as.Store(0x5000, 1, 1) // second page
+	if as.Committed() != 2*PageSize {
+		t.Errorf("two pages, committed = %d", as.Committed())
+	}
+	if !as.IsCommitted(0x1000) || as.IsCommitted(0x9000) {
+		t.Error("IsCommitted mismatch")
+	}
+	as.Decommit(0x1000)
+	if as.Committed() != PageSize {
+		t.Errorf("after decommit, committed = %d", as.Committed())
+	}
+	if as.PeakCommitted() != 2*PageSize {
+		t.Errorf("peak committed = %d, want %d", as.PeakCommitted(), 2*PageSize)
+	}
+}
+
+func TestReserveReleaseAndPeak(t *testing.T) {
+	as := New()
+	as.Reserve(100)
+	as.Reserve(50)
+	if as.Reserved() != 150 {
+		t.Errorf("reserved = %d", as.Reserved())
+	}
+	as.Release(120)
+	if as.Reserved() != 30 {
+		t.Errorf("after release, reserved = %d", as.Reserved())
+	}
+	if as.PeakReserved() != 150 {
+		t.Errorf("peak = %d, want 150", as.PeakReserved())
+	}
+	as.Reserve(10)
+	if as.PeakReserved() != 150 {
+		t.Errorf("peak moved backwards: %d", as.PeakReserved())
+	}
+}
+
+func TestBulkReadWrite(t *testing.T) {
+	as := New()
+	src := make([]byte, 3*PageSize+17)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	as.WriteBytes(0x1800, src) // deliberately page-misaligned
+	dst := make([]byte, len(src))
+	as.ReadBytes(0x1800, dst)
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("bulk roundtrip differs at %d: %#x != %#x", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestMemset(t *testing.T) {
+	as := New()
+	as.Memset(0x1FF0, 0x5A, 64) // crosses a page boundary
+	for i := uint32(0); i < 64; i++ {
+		if got := as.Load(0x1FF0+i, 1); got != 0x5A {
+			t.Fatalf("byte %d = %#x", i, got)
+		}
+	}
+	if got := as.Load(0x1FF0+64, 1); got != 0 {
+		t.Errorf("memset overran: %#x", got)
+	}
+}
+
+func TestMemmoveOverlap(t *testing.T) {
+	as := New()
+	for i := uint32(0); i < 16; i++ {
+		as.Store(0x1000+i, 1, uint64(i))
+	}
+	as.Memmove(0x1004, 0x1000, 12) // forward overlap
+	for i := uint32(0); i < 12; i++ {
+		if got := as.Load(0x1004+i, 1); got != uint64(i) {
+			t.Fatalf("overlap copy wrong at %d: %d", i, got)
+		}
+	}
+}
+
+// Property: any store followed by a load of the same size and address
+// returns the stored value truncated to the size.
+func TestQuickStoreLoad(t *testing.T) {
+	as := New()
+	f := func(addrSeed uint32, sizeSel uint8, val uint64) bool {
+		addr := addrSeed%0xFFFF_0000 + PageSize // keep off the guard pages
+		size := []uint8{1, 2, 4, 8}[sizeSel%4]
+		as.Store(addr, size, val)
+		mask := uint64(1)<<(8*uint(size)) - 1
+		if size == 8 {
+			mask = ^uint64(0)
+		}
+		return as.Load(addr, size) == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WriteBytes then ReadBytes is the identity for any buffer.
+func TestQuickBulkRoundTrip(t *testing.T) {
+	as := New()
+	f := func(addrSeed uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := addrSeed%0xF000_0000 + PageSize
+		as.WriteBytes(addr, data)
+		out := make([]byte, len(data))
+		as.ReadBytes(addr, out)
+		for i := range data {
+			if data[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

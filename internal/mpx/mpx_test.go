@@ -1,0 +1,197 @@
+package mpx
+
+import (
+	"sync"
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func newCtx(t *testing.T) (*Policy, *harden.Ctx) {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env)
+	return pl, harden.NewCtx(pl, env.M.NewThread())
+}
+
+func TestRegisterBoundsChecks(t *testing.T) {
+	_, c := newCtx(t)
+	p := c.Malloc(64)
+	c.StoreAt(p, 56, 8, 42)
+	if got := c.LoadAt(p, 56, 8); got != 42 {
+		t.Errorf("load = %d", got)
+	}
+	out := harden.Capture(func() { c.StoreAt(p, 64, 1, 0) })
+	if out.Violation == nil {
+		t.Error("direct overflow not detected")
+	}
+	out = harden.Capture(func() { c.LoadAt(p, -1, 1) })
+	if out.Violation == nil {
+		t.Error("underflow not detected")
+	}
+}
+
+func TestChecksCostNoMemoryTraffic(t *testing.T) {
+	// bndcl/bndcu work on register bounds: a checked access must issue
+	// exactly one memory access (the data itself) — why matrixmul under
+	// MPX performs on par with SGXBounds (§6.3).
+	_, c := newCtx(t)
+	p := c.Malloc(64)
+	c.StoreAt(p, 0, 8, 1) // warm the line
+	before := c.T.C.Loads
+	_ = c.LoadAt(p, 0, 8)
+	if delta := c.T.C.Loads - before; delta != 1 {
+		t.Errorf("checked load issued %d loads, want 1", delta)
+	}
+}
+
+func TestPointerSpillAllocatesBoundsTable(t *testing.T) {
+	pl, c := newCtx(t)
+	if pl.BoundsTables() != 0 {
+		t.Fatalf("fresh policy has %d BTs", pl.BoundsTables())
+	}
+	slot := c.Malloc(8)
+	obj := c.Malloc(32)
+	c.StorePtrAt(slot, 0, obj)
+	if pl.BoundsTables() != 1 {
+		t.Errorf("after one spill, BTs = %d, want 1", pl.BoundsTables())
+	}
+	// A spill in the same 1 MB region reuses the table.
+	slot2 := c.Malloc(8)
+	c.StorePtrAt(slot2, 0, obj)
+	if pl.BoundsTables() != 1 {
+		t.Errorf("same-region spill allocated another BT: %d", pl.BoundsTables())
+	}
+}
+
+func TestBoundsSurviveSpillAndFill(t *testing.T) {
+	_, c := newCtx(t)
+	slot := c.Malloc(8)
+	obj := c.Malloc(32)
+	c.StorePtrAt(slot, 0, obj)
+	got := c.LoadPtrAt(slot, 0)
+	if got.Addr() != obj.Addr() {
+		t.Fatalf("pointer value lost: %#x", got.Addr())
+	}
+	out := harden.Capture(func() { c.StoreAt(got, 32, 1, 0) })
+	if out.Violation == nil {
+		t.Error("bounds lost through bndstx/bndldx round trip")
+	}
+}
+
+func TestUninstrumentedStoreYieldsInitBounds(t *testing.T) {
+	// A pointer written with a plain 8-byte store (no bndstx) — e.g. by
+	// uninstrumented code — fills with INIT bounds: permissive, unchecked.
+	_, c := newCtx(t)
+	slot := c.Malloc(8)
+	obj := c.Malloc(32)
+	c.StoreAt(slot, 0, 8, uint64(obj.Addr())) // raw store, no bounds spill
+	got := c.LoadPtrAt(slot, 0)
+	out := harden.Capture(func() { c.StoreAt(got, 1000, 1, 0) })
+	if out.Violation != nil {
+		t.Error("INIT-bounds pointer was checked; MPX would be permissive")
+	}
+}
+
+func TestBTEntryPointerMismatchIsPermissive(t *testing.T) {
+	// Overwrite the pointer after its bounds were spilled: bndldx sees the
+	// mismatch and returns INIT bounds (false negative by design).
+	_, c := newCtx(t)
+	slot := c.Malloc(8)
+	obj1 := c.Malloc(32)
+	obj2 := c.Malloc(32)
+	c.StorePtrAt(slot, 0, obj1)
+	c.StoreAt(slot, 0, 8, uint64(obj2.Addr())) // raw overwrite, stale BT entry
+	got := c.LoadPtrAt(slot, 0)
+	if got.Addr() != obj2.Addr() {
+		t.Fatal("wrong pointer value")
+	}
+	out := harden.Capture(func() { c.StoreAt(got, 999, 1, 0) })
+	if out.Violation != nil {
+		t.Error("stale BT entry applied to a different pointer")
+	}
+}
+
+// TestMultithreadTornBounds demonstrates the §4.1 failure mode: two threads
+// racing on the same pointer slot tear pointer and bounds apart, and the
+// reader ends up with permissive bounds — an undetected attack window. The
+// SGXBounds equivalent (a single 64-bit tagged word) cannot tear.
+func TestMultithreadTornBounds(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("deliberately races on simulated memory (the point of the test)")
+	}
+	pl, c := newCtx(t)
+	env := pl.Env()
+	slot := c.Malloc(8)
+	objA := c.Malloc(32)
+	objB := c.Malloc(64)
+	c.StorePtrAt(slot, 0, objA)
+
+	const iters = 2000
+	var torn int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	writer := harden.NewCtx(pl, env.M.NewThread())
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				writer.StorePtrAt(slot, 0, objB)
+			} else {
+				writer.StorePtrAt(slot, 0, objA)
+			}
+		}
+	}()
+	reader := harden.NewCtx(pl, env.M.NewThread())
+	for i := 0; i < iters; i++ {
+		got := reader.LoadPtrAt(slot, 0)
+		if idOf(got) == 0 && (got.Addr() == objA.Addr() || got.Addr() == objB.Addr()) {
+			torn++ // valid pointer, no bounds: the race window
+		}
+	}
+	wg.Wait()
+	t.Logf("torn reads: %d/%d", torn, iters)
+	// The race is probabilistic; on a single-core scheduler it may not
+	// fire every run, so only assert that the mechanism exists (the
+	// deterministic variant is TestBTEntryPointerMismatchIsPermissive).
+}
+
+func TestBTAllocationCanExhaustEnclave(t *testing.T) {
+	// Spilling pointers across many 1 MB regions allocates a 4 MB BT per
+	// region until the enclave budget is exhausted — the Figure 1 / dedup /
+	// mcf crash mode.
+	cfg := machine.DefaultConfig()
+	cfg.MemoryBudget = 64 << 20
+	env := harden.NewEnv(cfg)
+	pl := New(env)
+	c := harden.NewCtx(pl, env.M.NewThread())
+	obj := c.Malloc(32)
+	out := harden.Capture(func() {
+		for i := 0; i < 256; i++ {
+			// One large object per iteration lands in a fresh mmap region;
+			// spilling a pointer into it forces a fresh BT.
+			buf := c.Malloc(1 << 20)
+			c.StorePtrAt(buf, 0, obj)
+		}
+	})
+	if !out.OOM {
+		t.Errorf("BT flood did not exhaust the enclave: %v (BTs=%d)", out, pl.BoundsTables())
+	}
+}
+
+func TestStringFunctionsUnchecked(t *testing.T) {
+	pl, _ := newCtx(t)
+	if harden.StringsChecked(pl) {
+		t.Error("MPX model must report inactive string interceptors")
+	}
+}
+
+func TestDirectoryIsReserved(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	before := env.M.AS.Reserved()
+	New(env)
+	if env.M.AS.Reserved()-before < BDEntries*BDEntrySize {
+		t.Error("bounds directory not reserved")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpx
+
+const raceDetectorEnabled = false

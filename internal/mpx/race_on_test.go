@@ -1,0 +1,8 @@
+//go:build race
+
+package mpx
+
+// raceDetectorEnabled reports that the Go race detector is active: the
+// torn-bounds demonstration deliberately races on simulated memory and is
+// skipped under -race.
+const raceDetectorEnabled = true

@@ -1,0 +1,66 @@
+package mpx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// Property: the bounds-table entry address is a function of the pointer
+// location only, distinct 8-byte-aligned locations in one region get
+// distinct entries, and entries stay inside their 4 MB table.
+func TestQuickBTEntryAddressing(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env)
+	th := env.M.NewThread()
+	f := func(a, b uint32) bool {
+		// Two aligned locations in the same 1 MB region.
+		region := uint32(machine.HeapBase) >> RegionShift
+		la := region<<RegionShift | a&(1<<RegionShift-1)&^7
+		lb := region<<RegionShift | b&(1<<RegionShift-1)&^7
+		ea, ok1 := pl.btEntry(th, la, true)
+		eb, ok2 := pl.btEntry(th, lb, true)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if la == lb {
+			return ea == eb
+		}
+		if ea == eb {
+			return false
+		}
+		// Same region -> same table; both entries within its 4 MB.
+		base := ea &^ (BTSize - 1)
+		_ = base
+		return (ea-eb < BTSize || eb-ea < BTSize) && pl.BoundsTables() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bounds survive any spill/fill round trip through any aligned
+// heap location (the Figure 4c bndstx/bndldx contract).
+func TestQuickSpillFillRoundTrip(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	pl := New(env)
+	c := harden.NewCtx(pl, env.M.NewThread())
+	slots := c.Malloc(4096)
+	f := func(slotSeed uint16, sizeSeed uint8) bool {
+		obj := c.Malloc(uint32(sizeSeed)%256 + 8)
+		off := int64(slotSeed) % 512 * 8
+		c.StorePtrAt(slots, off, obj)
+		got := c.LoadPtrAt(slots, off)
+		if got.Addr() != obj.Addr() {
+			return false
+		}
+		lb, ub, ok := pl.boundsOf(idOf(got))
+		wantLB, wantUB, _ := pl.boundsOf(idOf(obj))
+		return ok && lb == wantLB && ub == wantUB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package origin
+
+import (
+	"strings"
+	"testing"
+
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func setup(t *testing.T) (*Tracker, *harden.Ctx) {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	opts := core.Options{} // unoptimised: every access goes through OnAccess
+	tr := Attach(&opts)
+	return tr, harden.NewCtx(core.New(env, opts), env.M.NewThread())
+}
+
+func TestTracksCreation(t *testing.T) {
+	tr, c := setup(t)
+	p := c.Malloc(48)
+	info, ok := tr.Lookup(core.ExtractUB(p))
+	if !ok {
+		t.Fatal("object not tracked")
+	}
+	if info.Size != 48 || info.Kind != harden.ObjHeap {
+		t.Errorf("info = %+v", info)
+	}
+	if !strings.Contains(info.CreatedAt, "origin_test.go") {
+		t.Errorf("allocation site = %q, want this test file", info.CreatedAt)
+	}
+}
+
+func TestCountsAccesses(t *testing.T) {
+	tr, c := setup(t)
+	p := c.Malloc(64)
+	for i := int64(0); i < 5; i++ {
+		c.StoreAt(p, i*8, 8, 1)
+	}
+	_ = c.LoadAt(p, 0, 8)
+	info, _ := tr.Lookup(core.ExtractUB(p))
+	if info.Accesses != 6 {
+		t.Errorf("accesses = %d, want 6", info.Accesses)
+	}
+	if info.LastKind != harden.Read {
+		t.Errorf("last access kind = %v", info.LastKind)
+	}
+}
+
+func TestDescribeViolation(t *testing.T) {
+	tr, c := setup(t)
+	p := c.Malloc(32)
+	c.StoreAt(p, 0, 8, 1)
+	out := harden.Capture(func() { c.StoreAt(p, 32, 1, 0) })
+	if out.Violation == nil {
+		t.Fatal("no violation")
+	}
+	desc := tr.Describe(out.Violation)
+	// OnAccess fires before the bounds comparison (Table 2), so the count
+	// includes the faulting access itself: 1 store + the violation = 2.
+	for _, want := range []string{"heap object of 32 bytes", "origin_test.go", "2 prior accesses"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe = %q, missing %q", desc, want)
+		}
+	}
+}
+
+func TestDeleteUntracked(t *testing.T) {
+	tr, c := setup(t)
+	p := c.Malloc(16)
+	meta := core.ExtractUB(p)
+	c.Free(p)
+	if _, ok := tr.Lookup(meta); ok {
+		t.Error("freed object still tracked")
+	}
+	if tr.Live() != 0 {
+		t.Errorf("live = %d", tr.Live())
+	}
+	v := &harden.Violation{Policy: "sgxbounds", UB: meta}
+	if !strings.Contains(tr.Describe(v), "referent unknown") {
+		t.Error("describe of freed referent should say so")
+	}
+}
+
+func TestHookChaining(t *testing.T) {
+	env := harden.NewEnv(machine.DefaultConfig())
+	var created int
+	opts := core.Options{Hooks: core.Hooks{
+		OnCreate: func(*machine.Thread, uint32, uint32, harden.ObjKind) { created++ },
+	}}
+	tr := Attach(&opts)
+	c := harden.NewCtx(core.New(env, opts), env.M.NewThread())
+	c.Malloc(8)
+	if created != 1 {
+		t.Error("pre-existing hook not chained")
+	}
+	if tr.Live() != 1 {
+		t.Error("tracker did not observe the creation")
+	}
+}
+
+func TestDescribeNil(t *testing.T) {
+	tr, _ := setup(t)
+	if tr.Describe(nil) != "no violation" {
+		t.Error("nil describe")
+	}
+}

@@ -1,0 +1,138 @@
+// Package perf provides the simulated-performance accounting used by every
+// component of the SGXBounds reproduction: per-thread event counters and the
+// cycle cost model that converts events (instructions, cache hits at each
+// level, EPC page faults) into simulated cycles.
+//
+// The absolute constants are model parameters, not hardware measurements;
+// they are chosen so that the *relative* costs match the memory hierarchy in
+// Figure 2 of the paper (L1 < L2 < LLC < enclave DRAM < EPC paging, with
+// paging orders of magnitude more expensive than a cache hit).
+package perf
+
+// Level identifies where a memory access was served from.
+type Level uint8
+
+// Memory-hierarchy levels, ordered from cheapest to most expensive.
+const (
+	L1 Level = iota
+	L2
+	L3
+	DRAM  // served by memory; inside an enclave this pays the MEE factor
+	Fault // served by memory after an EPC page fault (eviction + decryption)
+	numLevels
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case DRAM:
+		return "DRAM"
+	case Fault:
+		return "FAULT"
+	}
+	return "?"
+}
+
+// Counters aggregates the events observed by one simulated thread. A
+// Counters value is owned by a single thread while it runs; cross-thread
+// aggregation happens only after join via Add.
+type Counters struct {
+	Instr  uint64 // retired non-memory instructions
+	Loads  uint64 // memory read accesses
+	Stores uint64 // memory write accesses
+
+	Hits [numLevels]uint64 // accesses served at each level
+
+	PageFaults uint64 // EPC page faults (paging an evicted page back in)
+	ColdFaults uint64 // compulsory EPC faults (fresh pages, EAUG-style)
+	Allocs     uint64 // heap allocations
+	Frees      uint64 // heap frees
+	Checks     uint64 // bounds checks executed
+	Violations uint64 // bounds violations observed (boundless mode)
+
+	Cycles uint64 // total simulated cycles
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Instr += o.Instr
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	for i := range c.Hits {
+		c.Hits[i] += o.Hits[i]
+	}
+	c.PageFaults += o.PageFaults
+	c.ColdFaults += o.ColdFaults
+	c.Allocs += o.Allocs
+	c.Frees += o.Frees
+	c.Checks += o.Checks
+	c.Violations += o.Violations
+	c.Cycles += o.Cycles
+}
+
+// Accesses returns the total number of memory accesses.
+func (c *Counters) Accesses() uint64 { return c.Loads + c.Stores }
+
+// LLCMisses returns the number of accesses that missed the last-level cache.
+func (c *Counters) LLCMisses() uint64 { return c.Hits[DRAM] + c.Hits[Fault] }
+
+// CostModel maps events to simulated cycles.
+type CostModel struct {
+	Instr uint64 // cycles per retired instruction
+
+	LevelCost [numLevels]uint64 // cycles for an access served at each level
+
+	// MEEFactor multiplies the DRAM portion of an access cost when the
+	// enclave is enabled: traffic between LLC and memory is encrypted,
+	// integrity-checked and decrypted by the memory encryption engine.
+	MEEFactor uint64
+
+	// PageFaultCost is the cycle cost of an EPC page fault: exiting the
+	// enclave, evicting (re-encrypting) a victim page and decrypting the
+	// faulting page on the way back in.
+	PageFaultCost uint64
+
+	// ColdFaultCost is the cycle cost of a compulsory fault: the OS
+	// augments the enclave with a fresh zeroed page (EAUG/EACCEPT), with no
+	// eviction or decryption of previous content.
+	ColdFaultCost uint64
+}
+
+// Default returns the cost model used throughout the evaluation. The ratios
+// follow Figure 2 of the paper: LLC misses inside the enclave are a small
+// multiple of native misses (MEE), while EPC paging is ~100-1000x an LLC
+// miss, matching the paper's "2x for sequential and up to 2000x for random"
+// paging overheads.
+func Default() CostModel {
+	m := CostModel{
+		Instr:         1,
+		MEEFactor:     3,
+		PageFaultCost: 40000,
+		ColdFaultCost: 3000,
+	}
+	m.LevelCost[L1] = 4
+	m.LevelCost[L2] = 14
+	m.LevelCost[L3] = 50
+	m.LevelCost[DRAM] = 120
+	m.LevelCost[Fault] = 120 // plus PageFaultCost, added separately
+	return m
+}
+
+// AccessCost returns the cycle cost of a memory access served at the given
+// level. enclave selects whether the MEE factor applies to memory traffic.
+func (m *CostModel) AccessCost(l Level, enclave bool) uint64 {
+	c := m.LevelCost[l]
+	if enclave && (l == DRAM || l == Fault) {
+		c *= m.MEEFactor
+	}
+	if l == Fault {
+		c += m.PageFaultCost
+	}
+	return c
+}

@@ -1,0 +1,72 @@
+package perf
+
+import "testing"
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Instr: 1, Loads: 2, Stores: 3, PageFaults: 4, ColdFaults: 5,
+		Allocs: 6, Frees: 7, Checks: 8, Violations: 9, Cycles: 10}
+	a.Hits[L1] = 11
+	a.Hits[Fault] = 12
+	b := a
+	b.Add(&a)
+	if b.Instr != 2 || b.Loads != 4 || b.Stores != 6 || b.Cycles != 20 {
+		t.Errorf("Add: %+v", b)
+	}
+	if b.Hits[L1] != 22 || b.Hits[Fault] != 24 {
+		t.Errorf("Hits not accumulated: %v", b.Hits)
+	}
+	if b.PageFaults != 8 || b.ColdFaults != 10 || b.Checks != 16 || b.Violations != 18 {
+		t.Errorf("counters not accumulated: %+v", b)
+	}
+}
+
+func TestDerivedCounters(t *testing.T) {
+	var c Counters
+	c.Loads, c.Stores = 3, 4
+	c.Hits[DRAM], c.Hits[Fault] = 5, 6
+	if c.Accesses() != 7 {
+		t.Errorf("Accesses = %d", c.Accesses())
+	}
+	if c.LLCMisses() != 11 {
+		t.Errorf("LLCMisses = %d", c.LLCMisses())
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{L1: "L1", L2: "L2", L3: "L3", DRAM: "DRAM", Fault: "FAULT"}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%v.String() = %q", l, l.String())
+		}
+	}
+	if Level(99).String() != "?" {
+		t.Error("unknown level string")
+	}
+}
+
+func TestAccessCostModel(t *testing.T) {
+	m := Default()
+	// The Figure 2 ordering inside the enclave.
+	var prev uint64
+	for _, l := range []Level{L1, L2, L3, DRAM, Fault} {
+		c := m.AccessCost(l, true)
+		if c <= prev {
+			t.Errorf("cost(%v)=%d not increasing", l, c)
+		}
+		prev = c
+	}
+	// MEE applies to memory traffic only, and only inside the enclave.
+	if m.AccessCost(DRAM, true) != m.LevelCost[DRAM]*m.MEEFactor {
+		t.Error("MEE factor not applied to enclave DRAM")
+	}
+	if m.AccessCost(L2, true) != m.AccessCost(L2, false) {
+		t.Error("MEE factor applied to a cache hit")
+	}
+	// Paging adds the fault cost on top of the (MEE-scaled) transfer.
+	if m.AccessCost(Fault, true) != m.LevelCost[Fault]*m.MEEFactor+m.PageFaultCost {
+		t.Error("fault cost composition wrong")
+	}
+	if m.ColdFaultCost == 0 || m.ColdFaultCost >= m.PageFaultCost {
+		t.Error("compulsory faults must be cheap relative to paging")
+	}
+}

@@ -1,0 +1,293 @@
+// Package ripe implements the runtime-intrusion-prevention benchmark of
+// §6.6 (after Wilander et al.'s RIPE): a matrix of buffer-overflow attacks
+// crossed over target location, target kind, and overflow technique.
+//
+// Of RIPE's 850 attack builds, 46 work natively on the paper's testbed and
+// 16 survive under the SCONE infrastructure (SGX disallows the int
+// instruction used by the shellcode payloads, leaving the return-into-libc
+// style attacks). This package implements those 16:
+//
+//   - 8 *inter-object* attacks (overflow from a buffer into an adjacent
+//     object): detected by AddressSanitizer and SGXBounds. Intel MPX
+//     detects only the two direct-write stack-smashing variants, because
+//     its libc string interceptors are not active under static linking —
+//     the return-into-libc attacks on heap and data go unseen (Table 4).
+//   - 8 *in-struct* attacks (overflow within one object, clobbering a
+//     function pointer member): undetected by every object-granularity
+//     mechanism, including AddressSanitizer and SGXBounds ("the in-struct
+//     overflows could not be detected because both operate at the
+//     granularity of whole objects").
+//
+// An attack "succeeds" when the simulated control data (function pointer,
+// return address, longjmp buffer) holds the attacker's value afterwards.
+package ripe
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/libc"
+)
+
+// Location is where the vulnerable buffer lives.
+type Location int
+
+// Locations.
+const (
+	Stack Location = iota
+	Heap
+	Data
+)
+
+// String names the location.
+func (l Location) String() string { return [...]string{"stack", "heap", "data"}[l] }
+
+// Target is the control data the attack overwrites.
+type Target int
+
+// Targets.
+const (
+	FuncPtr Target = iota
+	ReturnAddress
+	LongjmpBuf
+)
+
+// String names the target.
+func (t Target) String() string { return [...]string{"funcptr", "retaddr", "longjmpbuf"}[t] }
+
+// Technique is the overflow vehicle.
+type Technique int
+
+// Techniques.
+const (
+	DirectWrite Technique = iota // instrumented store loop
+	Strcpy                       // uninstrumented-under-MPX libc string copy
+	Strcat
+	Shellcode // payload executes injected code via the int instruction
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	return [...]string{"direct", "strcpy", "strcat", "shellcode"}[t]
+}
+
+// Attack is one benchmark scenario.
+type Attack struct {
+	Loc      Location
+	Target   Target
+	Tech     Technique
+	InStruct bool // overflow stays within one object
+	Variant  int  // payload-encoding variant (shellcode attacks)
+}
+
+// Name is the attack's identifier in reports.
+func (a Attack) Name() string {
+	kind := "inter"
+	if a.InStruct {
+		kind = "instruct"
+	}
+	if a.Tech == Shellcode {
+		return fmt.Sprintf("%s-%s-%s-%s-v%d", kind, a.Loc, a.Target, a.Tech, a.Variant)
+	}
+	return fmt.Sprintf("%s-%s-%s-%s", kind, a.Loc, a.Target, a.Tech)
+}
+
+// ShellcodeAttacks are the 30 additional attacks that work on the paper's
+// native testbed but fail under shielded execution regardless of the
+// memory-safety mechanism: their payloads execute injected code that issues
+// system calls via the int instruction, which SGX disallows inside an
+// enclave (§6.6: "the shellcode attacks failed because SGX disallows the
+// int instruction used in shellcode"). Together with Attacks they are the
+// 46 natively working RIPE builds.
+var ShellcodeAttacks = func() []Attack {
+	var out []Attack
+	for _, loc := range []Location{Stack, Heap, Data} {
+		for _, target := range []Target{FuncPtr, ReturnAddress, LongjmpBuf} {
+			for v := 0; v < 4; v++ { // payload-encoding variants
+				if len(out) == 30 {
+					return out
+				}
+				out = append(out, Attack{Loc: loc, Target: target, Tech: Shellcode, Variant: v})
+			}
+		}
+	}
+	return out
+}()
+
+// Attacks is the RIPE working set under shielded execution: 8 in-struct +
+// 8 inter-object scenarios.
+var Attacks = []Attack{
+	// In-struct: missed by every object-granularity mechanism.
+	{Loc: Stack, Target: FuncPtr, Tech: DirectWrite, InStruct: true},
+	{Loc: Stack, Target: FuncPtr, Tech: Strcpy, InStruct: true},
+	{Loc: Stack, Target: LongjmpBuf, Tech: DirectWrite, InStruct: true},
+	{Loc: Heap, Target: FuncPtr, Tech: DirectWrite, InStruct: true},
+	{Loc: Heap, Target: FuncPtr, Tech: Strcpy, InStruct: true},
+	{Loc: Heap, Target: LongjmpBuf, Tech: DirectWrite, InStruct: true},
+	{Loc: Data, Target: FuncPtr, Tech: DirectWrite, InStruct: true},
+	{Loc: Data, Target: FuncPtr, Tech: Strcpy, InStruct: true},
+	// Inter-object, direct write: the two stack-smashing attacks MPX
+	// detects (register-held bounds check the store).
+	{Loc: Stack, Target: FuncPtr, Tech: DirectWrite, InStruct: false},
+	{Loc: Stack, Target: LongjmpBuf, Tech: DirectWrite, InStruct: false},
+	// Inter-object via libc string functions: return-into-libc style,
+	// missed by MPX (inactive interceptors), caught by ASan and SGXBounds.
+	{Loc: Stack, Target: ReturnAddress, Tech: Strcpy, InStruct: false},
+	{Loc: Stack, Target: FuncPtr, Tech: Strcat, InStruct: false},
+	{Loc: Heap, Target: FuncPtr, Tech: Strcpy, InStruct: false},
+	{Loc: Heap, Target: LongjmpBuf, Tech: Strcat, InStruct: false},
+	{Loc: Data, Target: FuncPtr, Tech: Strcpy, InStruct: false},
+	{Loc: Data, Target: FuncPtr, Tech: Strcat, InStruct: false},
+}
+
+// Result classifies one attack execution.
+type Result int
+
+// Results.
+const (
+	Prevented Result = iota // the mechanism detected the overflow
+	Succeeded               // control data holds the attacker's value
+	Failed                  // the overflow missed (layout defeated it)
+)
+
+// String names the result.
+func (r Result) String() string { return [...]string{"PREVENTED", "SUCCEEDED", "failed"}[r] }
+
+// attackerValue is the control-data value the payload plants. Every byte is
+// non-zero so string techniques can carry it.
+const attackerValue = 0x4242424242424242
+
+const bufSize = 64
+
+// Execute runs one attack under the context's policy.
+func Execute(c *harden.Ctx, a Attack) Result {
+	if a.Tech == Shellcode {
+		// The overflow itself would land, but the injected payload's first
+		// syscall attempt (int 0x80) raises #UD inside the enclave: the
+		// attack fails in every configuration, before any memory-safety
+		// mechanism matters. This is the environment filter that reduces
+		// RIPE's 46 natively working attacks to the 16 of Table 4.
+		c.Work(40)
+		return Failed
+	}
+	var frame *harden.Frame
+	if a.Loc == Stack {
+		frame = c.PushFrame()
+		defer frame.Pop()
+	}
+	alloc := func(size uint32) harden.Ptr {
+		switch a.Loc {
+		case Stack:
+			return frame.Alloc(size)
+		case Heap:
+			return c.Malloc(size)
+		default:
+			return c.Global(size)
+		}
+	}
+
+	var buf, target harden.Ptr // target = the object containing control data
+	var targetOff int64        // offset of the control word within target
+	if a.InStruct {
+		// struct { char buf[64]; ...; void (*fp)(); char tail[8]; } — one
+		// object with room for the copy's NUL terminator after the pointer.
+		obj := alloc(112)
+		buf = obj
+		target = obj
+		targetOff = 96
+	} else {
+		// Adjacent objects: the control data follows the buffer in memory.
+		// The stack grows down, so the earlier allocation has the higher
+		// address; on heap and in data, later allocations are higher.
+		if a.Loc == Stack {
+			target = alloc(8)
+			buf = alloc(bufSize)
+		} else {
+			buf = alloc(bufSize)
+			target = alloc(8)
+		}
+		targetOff = 0
+	}
+	c.Store(c.Add(target, targetOff), 8, 0x1111111111111111) // legitimate value
+
+	// The overflow distance from buf to the control word (RIPE computes
+	// target addresses the same way).
+	delta := int64(target.Addr()) + targetOff - int64(buf.Addr())
+	if delta < 0 || delta > 1<<20 {
+		return Failed
+	}
+	payloadLen := uint32(delta) + 8
+
+	out := harden.Capture(func() {
+		switch a.Tech {
+		case DirectWrite:
+			// for (i = 0; i <= delta; i += 8) buf[i] = payload[i];
+			for off := int64(0); off <= delta; off += 8 {
+				v := uint64(0x4141414141414141)
+				if off == delta {
+					v = attackerValue
+				}
+				c.StoreAt(buf, off, 8, v)
+			}
+		case Strcpy:
+			src := c.Malloc(payloadLen + 8)
+			fillPayload(c, src, delta)
+			libc.Strcpy(c, buf, src)
+		case Strcat:
+			// dst already holds a short string; the concatenation overflows.
+			c.StoreAt(buf, 0, 8, 0x0041414141414141) // "AAAAAA\0"
+			src := c.Malloc(payloadLen + 8)
+			fillPayload(c, src, delta-7) // account for the existing prefix
+			libc.Strcat(c, buf, src)
+		}
+	})
+	if out.Violation != nil {
+		return Prevented
+	}
+	if out.Crashed() {
+		return Failed
+	}
+	if c.Load(c.Add(target, targetOff), 8) == attackerValue {
+		return Succeeded
+	}
+	return Failed
+}
+
+// fillPayload writes a NUL-free filler with the attacker value at offset
+// delta, NUL-terminated, into src.
+func fillPayload(c *harden.Ctx, src harden.Ptr, delta int64) {
+	buf := make([]byte, delta+9)
+	for i := range buf {
+		buf[i] = 0x41
+	}
+	for i := 0; i < 8; i++ {
+		buf[delta+int64(i)] = 0x42
+	}
+	buf[delta+8] = 0
+	libc.WriteBytes(c, src, buf)
+}
+
+// Summary counts results per classification.
+type Summary struct {
+	Prevented, Succeeded, Failed int
+	PerAttack                    map[string]Result
+}
+
+// RunAll executes every attack under one policy. Each attack gets a fresh
+// machine via the factory to keep layouts independent.
+func RunAll(newCtx func() *harden.Ctx) Summary {
+	s := Summary{PerAttack: make(map[string]Result, len(Attacks))}
+	for _, a := range Attacks {
+		r := Execute(newCtx(), a)
+		s.PerAttack[a.Name()] = r
+		switch r {
+		case Prevented:
+			s.Prevented++
+		case Succeeded:
+			s.Succeeded++
+		default:
+			s.Failed++
+		}
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package ripe
+
+import (
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+func factory(t testing.TB, policy string) func() *harden.Ctx {
+	t.Helper()
+	return func() *harden.Ctx {
+		env := harden.NewEnv(machine.DefaultConfig())
+		var p harden.Policy
+		var err error
+		switch policy {
+		case "sgx":
+			p = harden.NewNative(env)
+		case "sgxbounds":
+			p = core.New(env, core.AllOptimizations())
+		case "asan":
+			p = asan.New(env, asan.Options{})
+		case "mpx":
+			p = mpx.New(env)
+		case "baggy":
+			p, err = baggy.New(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return harden.NewCtx(p, env.M.NewThread())
+	}
+}
+
+// TestRIPEMatrix asserts Table 4: MPX prevents 2/16 (only the direct-write
+// stack-smashing attacks), AddressSanitizer and SGXBounds prevent 8/16
+// (everything except the in-struct overflows), and the native baseline
+// prevents none. The Baggy extension detects the 4 heap/data inter-object
+// attacks and *defeats* the 4 stack ones by relocating stack objects into
+// its aligned arena (the attack misses), so 8/16 attacks do not succeed.
+func TestRIPEMatrix(t *testing.T) {
+	want := map[string]struct{ prevented, succeeded, failed int }{
+		"sgx":       {0, 16, 0},
+		"mpx":       {2, 14, 0},
+		"asan":      {8, 8, 0},
+		"sgxbounds": {8, 8, 0},
+		"baggy":     {4, 8, 4}, // failed = stack attacks defeated by relocation
+	}
+	for pol, w := range want {
+		s := RunAll(factory(t, pol))
+		if s.Prevented != w.prevented || s.Succeeded != w.succeeded || s.Failed != w.failed {
+			for name, r := range s.PerAttack {
+				t.Logf("%s: %-40s %s", pol, name, r)
+			}
+			t.Errorf("%s: prevented/succeeded/failed = %d/%d/%d, want %d/%d/%d",
+				pol, s.Prevented, s.Succeeded, s.Failed, w.prevented, w.succeeded, w.failed)
+		}
+	}
+}
+
+// TestMPXPreventsExactlyTheStackSmashes pins down *which* two attacks MPX
+// stops, matching the paper's description.
+func TestMPXPreventsExactlyTheStackSmashes(t *testing.T) {
+	s := RunAll(factory(t, "mpx"))
+	for name, r := range s.PerAttack {
+		prevented := r == Prevented
+		wantPrevented := name == "inter-stack-funcptr-direct" || name == "inter-stack-longjmpbuf-direct"
+		if prevented != wantPrevented {
+			t.Errorf("mpx: %s = %v", name, r)
+		}
+	}
+}
+
+// TestInStructMissedByAll verifies the shared blind spot: every in-struct
+// attack succeeds under every object-granularity mechanism.
+func TestInStructMissedByAll(t *testing.T) {
+	for _, pol := range []string{"asan", "sgxbounds", "baggy"} {
+		s := RunAll(factory(t, pol))
+		for _, a := range Attacks {
+			if !a.InStruct {
+				continue
+			}
+			if r := s.PerAttack[a.Name()]; r != Succeeded {
+				t.Errorf("%s: in-struct attack %s = %v, want SUCCEEDED", pol, a.Name(), r)
+			}
+		}
+	}
+}
+
+// TestAllSucceedNatively: the unprotected baseline stops nothing.
+func TestAllSucceedNatively(t *testing.T) {
+	s := RunAll(factory(t, "sgx"))
+	if s.Succeeded != len(Attacks) {
+		for name, r := range s.PerAttack {
+			if r != Succeeded {
+				t.Errorf("sgx: %s = %v", name, r)
+			}
+		}
+	}
+}
+
+func TestAttackNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Attacks {
+		if seen[a.Name()] {
+			t.Errorf("duplicate attack name %s", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	if len(Attacks) != 16 {
+		t.Errorf("attack count = %d, want 16", len(Attacks))
+	}
+}
+
+// TestShellcodeFunnel asserts the §6.6 funnel: of the 46 attacks that work
+// natively on the paper's testbed, the 30 shellcode-based ones fail under
+// shielded execution (SGX disallows the int instruction), leaving the 16
+// attacks of Table 4 — under every policy, including no policy at all.
+func TestShellcodeFunnel(t *testing.T) {
+	if got := len(ShellcodeAttacks) + len(Attacks); got != 46 {
+		t.Fatalf("native working set = %d, want 46", got)
+	}
+	if len(ShellcodeAttacks) != 30 {
+		t.Fatalf("shellcode attacks = %d, want 30", len(ShellcodeAttacks))
+	}
+	seen := map[string]bool{}
+	for _, a := range ShellcodeAttacks {
+		if a.Tech != Shellcode {
+			t.Errorf("%s: wrong technique", a.Name())
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate shellcode attack %s", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	for _, pol := range []string{"sgx", "sgxbounds"} {
+		mk := factory(t, pol)
+		for _, a := range ShellcodeAttacks[:6] { // a sample is enough per policy
+			if r := Execute(mk(), a); r != Failed {
+				t.Errorf("%s under %s = %v, want failed (int disallowed in enclave)", a.Name(), pol, r)
+			}
+		}
+	}
+}

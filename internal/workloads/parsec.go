@@ -1,0 +1,467 @@
+// The nine PARSEC 3.0 kernels the paper evaluates (§6.1): blackscholes,
+// bodytrack, dedup, ferret, fluidanimate, streamcluster, swaptions, vips
+// and x264 (raytrace, freqmine, facesim and canneal are excluded, as in the
+// paper).
+
+package workloads
+
+import (
+	"sgxbounds/internal/harden"
+)
+
+func init() {
+	register(Workload{Name: "blackscholes", Suite: "parsec", Run: runBlackscholes})
+	register(Workload{Name: "bodytrack", Suite: "parsec", PtrIntensive: true, Run: runBodytrack})
+	register(Workload{Name: "dedup", Suite: "parsec", PtrIntensive: true, Run: runDedup})
+	register(Workload{Name: "ferret", Suite: "parsec", Run: runFerret})
+	register(Workload{Name: "fluidanimate", Suite: "parsec", PtrIntensive: true, Run: runFluidanimate})
+	register(Workload{Name: "streamcluster", Suite: "parsec", Run: runStreamcluster})
+	register(Workload{Name: "swaptions", Suite: "parsec", PtrIntensive: true, Run: runSwaptions})
+	register(Workload{Name: "vips", Suite: "parsec", Run: runVips})
+	register(Workload{Name: "x264", Suite: "parsec", Run: runX264})
+}
+
+// runBlackscholes: price an array of option records with a compute-heavy
+// closed-form formula. Pointer-free and compute-bound: the benchmark where
+// every mechanism shows almost zero overhead in Figure 7.
+func runBlackscholes(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 16 << 10 * size.Factor() // options; 32 bytes each
+	opts := c.Malloc(n * 32)
+	r := newRNG(101)
+	fill64(c, opts, n*4, func(uint32) uint64 { return r.next()%10000 + 1 })
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(n, threads, t)
+		var wd uint64
+		for i := lo; i < hi; i++ {
+			s := w.LoadAt(opts, int64(i)*32, 8)
+			k := w.LoadAt(opts, int64(i)*32+8, 8)
+			rr := w.LoadAt(opts, int64(i)*32+16, 8)
+			v := w.LoadAt(opts, int64(i)*32+24, 8)
+			// Fixed-point CNDF-flavoured arithmetic: heavy compute per
+			// element relative to memory traffic.
+			price := s
+			for it := 0; it < 8; it++ {
+				price = (price*k + rr*v + uint64(it)) % 1000003
+				w.Work(12)
+			}
+			wd = mix(wd, price)
+		}
+		return wd
+	})
+}
+
+// runBodytrack: a particle-filter sketch — an array of particle pointers,
+// each particle scored against a small model with random-access reads.
+// Pointer-heavy (Figure 7 shows ~4x MPX memory overhead).
+func runBodytrack(c *harden.Ctx, threads int, size Size) uint64 {
+	particles := 4 << 10 * size.Factor()
+	arr := c.Malloc(particles * 8)
+	r := newRNG(103)
+	for i := uint32(0); i < particles; i++ {
+		p := c.Malloc(64) // 8 pose parameters
+		fill64(c, p, 8, func(uint32) uint64 { return r.next() % 4096 })
+		c.StorePtrAt(arr, int64(i)*8, p)
+	}
+	model := c.Global(1024)
+	fill64(c, model, 128, func(uint32) uint64 { return r.next() % 4096 })
+	const frames = 3
+	var digest uint64
+	for fr := 0; fr < frames; fr++ {
+		d := parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+			lo, hi := chunk(particles, threads, t)
+			var wd uint64
+			for i := lo; i < hi; i++ {
+				p := w.LoadPtrAt(arr, int64(i)*8)
+				var score uint64
+				for f := int64(0); f < 8; f++ {
+					pose := w.LoadAt(p, f*8, 8)
+					mv := w.LoadSafeAt(model, int64(pose%128)*8, 8)
+					score += (pose ^ mv) % 977
+					w.Work(6)
+				}
+				w.StoreAt(p, 0, 8, score%4096) // resample in place
+				wd = mix(wd, score)
+			}
+			return wd
+		})
+		digest = mix(digest, d)
+	}
+	return digest
+}
+
+// runDedup: content-addressed chunking. Large chunk buffers churn through
+// the mmap region, a hash table of small entry structs indexes them, and
+// every retained chunk stores a back-pointer to its entry in its header —
+// so pointer locations spread across the whole (tens of MB) chunk span and
+// MPX materialises a 4 MB bounds table for each megabyte of it until the
+// enclave runs out of memory (the missing dedup bar in Figure 7).
+func runDedup(c *harden.Ctx, threads int, size Size) uint64 {
+	chunks := 940 * size.Factor()
+	const chunkSize = 32 << 10
+	const fill = 1 << 10 // content bytes written at each end of the chunk
+	table := c.Calloc(1024, 8)
+	r := newRNG(107)
+	var kept, dups uint64
+	var first harden.Ptr
+	for i := uint32(0); i < chunks; i++ {
+		ch := c.Malloc(chunkSize)
+		seed := uint64(r.intn(chunks / 3)) // ~3x duplication
+		var h uint64
+		// Write the chunk header region and a trailing checksum region
+		// (the interior is transferred with bulk writes that the rolling
+		// hash does not re-read).
+		for off := int64(16); off < 16+fill; off += 8 {
+			v := seed*0x9E3779B9 + uint64(off)
+			c.StoreAt(ch, off, 8, v)
+			h = mix(h, v)
+			c.Work(4)
+		}
+		for off := int64(chunkSize - fill); off < chunkSize; off += 8 {
+			v := seed*0x61C88647 + uint64(off)
+			c.StoreAt(ch, off, 8, v)
+			h = mix(h, v)
+			c.Work(4)
+		}
+		bucket := int64(h % 1024)
+		node := c.LoadPtrAt(table, bucket*8)
+		found := false
+		for node != 0 {
+			if c.LoadAt(node, 8, 8) == h {
+				found = true
+				break
+			}
+			node = c.LoadPtrAt(node, 0)
+		}
+		if found {
+			dups++
+			refs := c.LoadAt(node, 24, 8)
+			c.StoreAt(node, 24, 8, refs+1)
+			c.Free(ch)
+			continue
+		}
+		kept++
+		// Fresh content: a small index entry {next, hash, chunk, refs}.
+		node = c.Malloc(32)
+		next := c.LoadPtrAt(table, bucket*8)
+		c.StorePtrAt(node, 0, next)
+		c.StoreAt(node, 8, 8, h)
+		c.StorePtrAt(node, 16, ch)
+		c.StoreAt(node, 24, 8, 1)
+		c.StorePtrAt(table, bucket*8, node)
+		c.StorePtrAt(ch, 0, node) // back-pointer spilled into the chunk span
+		if first == 0 {
+			first = node
+		}
+	}
+	// Compress phase: walk the index and fold each chunk's header.
+	var d uint64
+	for b := int64(0); b < 1024; b++ {
+		node := c.LoadPtrAt(table, b*8)
+		for node != 0 {
+			d = mix(d, c.LoadAt(node, 8, 8))
+			d = mix(d, c.LoadAt(node, 24, 8))
+			node = c.LoadPtrAt(node, 0)
+			c.Work(10)
+		}
+	}
+	_ = first
+	return mix(mix(d, kept), dups)
+}
+
+// runFerret: content-based similarity search — a query batch scanned
+// against a flat feature database with a small candidate heap per query.
+func runFerret(c *harden.Ctx, threads int, size Size) uint64 {
+	const dim = 16
+	db := 8 << 10 * size.Factor() // database vectors
+	vecs := c.Malloc(db * dim * 4)
+	r := newRNG(109)
+	fill32(c, vecs, db*dim, func(uint32) uint32 { return r.intn(256) })
+	queries := uint32(64)
+	q := c.Malloc(queries * dim * 4)
+	fill32(c, q, queries*dim, func(uint32) uint32 { return r.intn(256) })
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(queries, threads, t)
+		var wd uint64
+		for qi := lo; qi < hi; qi++ {
+			var qv [dim]uint64
+			for d := 0; d < dim; d++ {
+				qv[d] = w.LoadAt(q, int64(qi)*dim*4+int64(d)*4, 4)
+			}
+			best := ^uint64(0)
+			hoist := harden.Hoistable(w.P)
+			if hoist {
+				w.CheckRange(vecs, db*dim*4, harden.Read)
+			}
+			for v := uint32(0); v < db; v++ {
+				var dist uint64
+				for d := 0; d < dim; d += 2 {
+					var dv uint64
+					if hoist {
+						dv = w.LoadRawAt(vecs, int64(v)*dim*4+int64(d)*4, 4)
+					} else {
+						dv = w.LoadAt(vecs, int64(v)*dim*4+int64(d)*4, 4)
+					}
+					diff := int64(qv[d]) - int64(dv)
+					dist += uint64(diff * diff)
+					w.Work(4)
+				}
+				if dist < best {
+					best = dist
+				}
+			}
+			wd = mix(wd, best)
+		}
+		return wd
+	})
+}
+
+// runFluidanimate: a particle grid where every cell owns a malloc'd
+// particle list reached through a cell-pointer array; neighbour updates
+// chase those pointers. Pointer-dense (Figure 7: ~4x MPX memory).
+func runFluidanimate(c *harden.Ctx, threads int, size Size) uint64 {
+	cells := 2 << 10 * size.Factor()
+	grid := c.Malloc(cells * 8)
+	r := newRNG(113)
+	const perCell = 8
+	for i := uint32(0); i < cells; i++ {
+		cell := c.Malloc(perCell * 8)
+		fill64(c, cell, perCell, func(uint32) uint64 { return r.next() % 1000 })
+		c.StorePtrAt(grid, int64(i)*8, cell)
+	}
+	const steps = 2
+	var digest uint64
+	for s := 0; s < steps; s++ {
+		d := parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+			lo, hi := chunk(cells, threads, t)
+			var wd uint64
+			for i := lo; i < hi; i++ {
+				cell := w.LoadPtrAt(grid, int64(i)*8)
+				// Neighbour cells: left and right.
+				var acc uint64
+				for _, ni := range []uint32{(i + cells - 1) % cells, (i + 1) % cells} {
+					nb := w.LoadPtrAt(grid, int64(ni)*8)
+					for p := int64(0); p < perCell; p += 2 {
+						acc += w.LoadAt(nb, p*8, 8)
+						w.Work(5)
+					}
+				}
+				for p := int64(0); p < perCell; p++ {
+					v := w.LoadAt(cell, p*8, 8)
+					w.StoreAt(cell, p*8, 8, (v+acc)%100003)
+					w.Work(4)
+				}
+				wd = mix(wd, acc)
+			}
+			return wd
+		})
+		digest = mix(digest, d)
+	}
+	return digest
+}
+
+// runStreamcluster: online clustering of a flat point stream against a
+// small set of medians. Flat arrays, medium working set.
+func runStreamcluster(c *harden.Ctx, threads int, size Size) uint64 {
+	const dim = 16
+	points := 8 << 10 * size.Factor()
+	data := c.Malloc(points * dim * 4)
+	r := newRNG(127)
+	fill32(c, data, points*dim, func(uint32) uint32 { return r.intn(512) })
+	medians := c.Global(8 * dim * 4)
+	fill32(c, medians, 8*dim, func(uint32) uint32 { return r.intn(512) })
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(points, threads, t)
+		var cost uint64
+		hoist := harden.Hoistable(w.P)
+		if hoist {
+			w.CheckRange(data, points*dim*4, harden.Read)
+		}
+		for i := lo; i < hi; i++ {
+			best := ^uint64(0)
+			for m := int64(0); m < 8; m++ {
+				var dist uint64
+				for d := int64(0); d < dim; d += 2 {
+					var pv uint64
+					if hoist {
+						pv = w.LoadRawAt(data, int64(i)*dim*4+d*4, 4)
+					} else {
+						pv = w.LoadAt(data, int64(i)*dim*4+d*4, 4)
+					}
+					mv := w.LoadSafeAt(medians, m*dim*4+d*4, 4)
+					diff := int64(pv) - int64(mv)
+					dist += uint64(diff * diff)
+					w.Work(4)
+				}
+				if dist < best {
+					best = dist
+				}
+			}
+			cost += best
+		}
+		return mix(0, cost)
+	})
+}
+
+// runSwaptions: HJM-style Monte-Carlo pricing with a tiny working set but
+// relentless allocation and freeing of small temporaries — the benchmark
+// that blows ASan's quarantine up to 125x memory (Figure 7) and costs MPX
+// a dozen bounds tables.
+func runSwaptions(c *harden.Ctx, threads int, size Size) uint64 {
+	trials := 2 << 10 * size.Factor()
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(trials, threads, t)
+		wr := newRNG(uint64(131 + t))
+		var wd uint64
+		for tr := lo; tr < hi; tr++ {
+			// Each trial allocates a handful of small path arrays, fills
+			// them, prices, and frees them — the churn is the point.
+			var bufs [6]harden.Ptr
+			for b := range bufs {
+				bufs[b] = w.Malloc(uint32(48 + 16*b))
+			}
+			slot := w.Malloc(8) // a pointer cell, spilled per trial (MPX BT traffic)
+			w.StorePtrAt(slot, 0, bufs[0])
+			var price uint64
+			for b, p := range bufs {
+				n := int64(48+16*b) / 8
+				for i := int64(0); i < n; i++ {
+					v := wr.next() % 997
+					w.StoreAt(p, i*8, 8, v)
+					price += v
+					w.Work(6)
+				}
+			}
+			// HJM path simulation: several compute-heavy passes over the
+			// forward-rate buffers (the originals spend most of their time
+			// here, not in the allocator).
+			for pass := 0; pass < 4; pass++ {
+				for b, p := range bufs {
+					n := int64(48+16*b) / 8
+					for i := int64(0); i < n; i++ {
+						v := w.LoadAt(p, i*8, 8)
+						price = (price + v*v) % 1000003
+						w.Work(25)
+					}
+				}
+			}
+			wd = mix(wd, price%100003)
+			for _, p := range bufs {
+				w.Free(p)
+			}
+			w.Free(slot)
+		}
+		return wd
+	})
+}
+
+// runVips: an image pipeline — rows stream through two transforms with a
+// per-row temporary buffer. Streaming access, modest allocation churn.
+func runVips(c *harden.Ctx, threads int, size Size) uint64 {
+	const rowBytes = 4 << 10
+	rows := 128 * size.Factor()
+	img := c.Malloc(rows * rowBytes)
+	fill(c, img, rows*rowBytes, 137)
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(rows, threads, t)
+		var wd uint64
+		for row := lo; row < hi; row++ {
+			tmp := w.Malloc(rowBytes)
+			base := int64(row) * rowBytes
+			hoist := harden.Hoistable(w.P)
+			if hoist {
+				w.CheckRange(w.Add(img, base), rowBytes, harden.Read)
+				w.CheckRange(tmp, rowBytes, harden.Write)
+			}
+			// Transform 1: convolve-ish into tmp.
+			for off := int64(0); off < rowBytes; off += 8 {
+				var v uint64
+				if hoist {
+					v = w.LoadRawAt(img, base+off, 8)
+				} else {
+					v = w.LoadAt(img, base+off, 8)
+				}
+				v = v>>1 + v>>3
+				if hoist {
+					w.StoreRawAt(tmp, off, 8, v)
+				} else {
+					w.StoreAt(tmp, off, 8, v)
+				}
+				w.Work(5)
+			}
+			// Transform 2: reduce tmp.
+			var sum uint64
+			for off := int64(0); off < rowBytes; off += 8 {
+				sum += w.LoadAt(tmp, off, 8)
+				w.Work(2)
+			}
+			w.Free(tmp)
+			wd = mix(wd, sum)
+		}
+		return wd
+	})
+}
+
+// runX264: motion estimation — every 16x16 macroblock of the current frame
+// is compared against a window of candidate positions in the reference
+// frame. The fixed in-block offsets are compiler-provably safe, which is
+// why the safe-access optimisation helps x264 by up to 20% (§6.5); the
+// macroblock record array adds the pointer traffic that hurts MPX in
+// Figure 7.
+func runX264(c *harden.Ctx, threads int, size Size) uint64 {
+	// Frame dimensions scale with input class.
+	wpx := uint32(320) * size.Factor() / 2
+	if wpx < 320 {
+		wpx = 320
+	}
+	const hpx = 144
+	cur := c.Malloc(wpx * hpx)
+	ref := c.Malloc(wpx * hpx)
+	rc, rn := newRNG(139), newRNG(140)
+	fill64(c, cur, wpx*hpx/8, func(uint32) uint64 { return rc.next() })
+	rc2 := newRNG(139)
+	fill64(c, ref, wpx*hpx/8, func(uint32) uint64 { return rc2.next() ^ (rn.next() & 0x0101010101010101) })
+	mbw, mbh := wpx/16, uint32(hpx/16)
+	mbs := c.Malloc(mbw * mbh * 8) // per-macroblock record pointers
+	for i := uint32(0); i < mbw*mbh; i++ {
+		rec := c.Malloc(16)
+		c.StorePtrAt(mbs, int64(i)*8, rec)
+	}
+	return parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(mbw*mbh, threads, t)
+		var wd uint64
+		for mb := lo; mb < hi; mb++ {
+			mx, my := mb%mbw, mb/mbw
+			base := int64(my*16*wpx + mx*16)
+			bestSAD, bestOff := ^uint64(0), int64(0)
+			// Search 5 candidate offsets in the reference window.
+			for _, cand := range []int64{0, -16, 16, -int64(wpx) * 4, int64(wpx) * 4} {
+				rbase := base + cand
+				if rbase < 0 || uint32(rbase)+16*wpx >= wpx*hpx {
+					continue
+				}
+				// Per-candidate cost model lookup through the record
+				// pointer (mb->lambda etc. in the original).
+				rec := w.LoadPtrAt(mbs, int64(mb)*8)
+				sad := w.LoadAt(rec, 8, 8) & 0xF
+				for row := int64(0); row < 16; row += 2 {
+					for col := int64(0); col < 16; col += 8 {
+						// In-block offsets are fixed and provably safe.
+						a := w.LoadSafeAt(cur, base+row*int64(wpx)+col, 8)
+						b := w.LoadSafeAt(ref, rbase+row*int64(wpx)+col, 8)
+						sad += (a ^ b) & 0x00FF00FF00FF00FF
+						w.Work(6)
+					}
+				}
+				if sad < bestSAD {
+					bestSAD, bestOff = sad, cand
+				}
+			}
+			rec := w.LoadPtrAt(mbs, int64(mb)*8)
+			w.StoreAt(rec, 0, 8, bestSAD)
+			_ = rec
+			w.StoreAt(rec, 8, 8, uint64(bestOff)&0xFFFF)
+			wd = mix(wd, bestSAD)
+		}
+		return wd
+	})
+}

@@ -1,0 +1,381 @@
+// The seven Phoenix 2.0 kernels (§6.1). Phoenix is a map-reduce style
+// suite: every kernel partitions its input across worker threads and merges
+// worker-local results, which is how the originals behave and why they
+// scale without shared-structure synchronisation.
+
+package workloads
+
+import (
+	"sgxbounds/internal/harden"
+)
+
+func init() {
+	register(Workload{Name: "histogram", Suite: "phoenix", Run: runHistogram})
+	register(Workload{Name: "kmeans", Suite: "phoenix", PtrIntensive: true, Run: runKmeans})
+	register(Workload{Name: "linear_regression", Suite: "phoenix", Run: runLinearRegression})
+	register(Workload{Name: "matrixmul", Suite: "phoenix", Run: runMatrixmul})
+	register(Workload{Name: "pca", Suite: "phoenix", PtrIntensive: true, Run: runPCA})
+	register(Workload{Name: "string_match", Suite: "phoenix", Run: runStringMatch})
+	register(Workload{Name: "wordcount", Suite: "phoenix", PtrIntensive: true, Run: runWordCount})
+}
+
+// runHistogram: sequential sweep over a pixel buffer, counting R/G/B
+// intensity frequencies in small global tables. Flat array, pointer-free —
+// the paper's example of a benchmark where every mechanism is nearly free.
+func runHistogram(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 256 << 10 * size.Factor() // bytes of pixel data
+	buf := c.Malloc(n)
+	fill(c, buf, n, 42)
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(n/8, threads, i)
+		var bins [3][256]uint64
+		hoist := harden.Hoistable(w.P)
+		if hoist {
+			w.CheckRange(buf, n, harden.Read)
+		}
+		for j := lo; j < hi; j++ {
+			var v uint64
+			if hoist {
+				v = w.LoadRawAt(buf, int64(j)*8, 8)
+			} else {
+				v = w.LoadAt(buf, int64(j)*8, 8)
+			}
+			w.Work(6)
+			bins[0][v&0xFF]++
+			bins[1][v>>8&0xFF]++
+			bins[2][v>>16&0xFF]++
+		}
+		var d uint64
+		for b := 0; b < 3; b++ {
+			for v := 0; v < 256; v++ {
+				d = mix(d, bins[b][v])
+			}
+		}
+		return d
+	})
+}
+
+const (
+	kmeansDim      = 16
+	kmeansClusters = 4
+	kmeansIters    = 3
+)
+
+// runKmeans: iterative clustering over an array of *pointers to* points
+// (Phoenix represents the dataset as int**). The row-pointer loads are what
+// cost MPX its bounds-table traffic, and the iteration over the whole
+// working set is what drives the Figure 8 EPC-thrashing crossover.
+func runKmeans(c *harden.Ctx, threads int, size Size) uint64 {
+	points := 14 << 10 * size.Factor()
+	rows := c.Malloc(points * 8) // the int** array
+	r := newRNG(7)
+	for i := uint32(0); i < points; i++ {
+		row := c.Malloc(kmeansDim * 4)
+		fill32(c, row, kmeansDim, func(uint32) uint32 { return r.intn(1000) })
+		c.StorePtrAt(rows, int64(i)*8, row)
+	}
+	// Centroids are small globals that stay cached.
+	cent := c.Global(kmeansClusters * kmeansDim * 4)
+	for k := 0; k < kmeansClusters*kmeansDim; k++ {
+		c.StoreAt(cent, int64(k)*4, 4, uint64(r.intn(1000)))
+	}
+
+	var digest uint64
+	for iter := 0; iter < kmeansIters; iter++ {
+		d := parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+			lo, hi := chunk(points, threads, i)
+			var sums [kmeansClusters][kmeansDim]uint64
+			var counts [kmeansClusters]uint64
+			for p := lo; p < hi; p++ {
+				row := w.LoadPtrAt(rows, int64(p)*8)
+				var vals [kmeansDim]uint64
+				if harden.Hoistable(w.P) {
+					w.CheckRange(row, kmeansDim*4, harden.Read)
+					for d := 0; d < kmeansDim; d++ {
+						vals[d] = w.LoadRawAt(row, int64(d)*4, 4)
+					}
+				} else {
+					for d := 0; d < kmeansDim; d++ {
+						vals[d] = w.LoadAt(row, int64(d)*4, 4)
+					}
+				}
+				best, bestDist := 0, ^uint64(0)
+				for k := 0; k < kmeansClusters; k++ {
+					var dist uint64
+					for d := 0; d < kmeansDim; d++ {
+						cv := w.LoadSafeAt(cent, int64(k*kmeansDim+d)*4, 4)
+						diff := int64(vals[d]) - int64(cv)
+						dist += uint64(diff * diff)
+						w.Work(3)
+					}
+					if dist < bestDist {
+						bestDist, best = dist, k
+					}
+					w.Work(2)
+				}
+				counts[best]++
+				for d := 0; d < kmeansDim; d++ {
+					sums[best][d] += vals[d]
+				}
+				w.Work(kmeansDim)
+			}
+			var wd uint64
+			for k := 0; k < kmeansClusters; k++ {
+				wd = mix(wd, counts[k])
+				for d := 0; d < kmeansDim; d++ {
+					wd = mix(wd, sums[k][d])
+				}
+			}
+			return wd
+		})
+		digest = mix(digest, d)
+		// Nudge centroids deterministically between iterations.
+		for k := 0; k < kmeansClusters*kmeansDim; k++ {
+			v := c.LoadAt(cent, int64(k)*4, 4)
+			c.StoreAt(cent, int64(k)*4, 4, (v+uint64(iter)+1)%1000)
+		}
+	}
+	return digest
+}
+
+// runLinearRegression: one sequential reduction over an array of (x, y)
+// samples. Flat and streaming: the EPC is filled once and never revisited.
+func runLinearRegression(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 64 << 10 * size.Factor() // samples; 8 bytes each
+	buf := c.Malloc(n * 8)
+	r := newRNG(11)
+	fill64(c, buf, n, func(uint32) uint64 { return r.next() & 0xFFFF_FFFF_FFFF })
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(n, threads, i)
+		var sx, sy, sxx, sxy uint64
+		hoist := harden.Hoistable(w.P)
+		if hoist {
+			w.CheckRange(buf, n*8, harden.Read)
+		}
+		for j := lo; j < hi; j++ {
+			var v uint64
+			if hoist {
+				v = w.LoadRawAt(buf, int64(j)*8, 8)
+			} else {
+				v = w.LoadAt(buf, int64(j)*8, 8)
+			}
+			x, y := v&0xFFFFFF, v>>24&0xFFFFFF
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			w.Work(8)
+		}
+		return mix(mix(mix(mix(0, sx), sy), sxx), sxy)
+	})
+}
+
+// matrixmulN maps a size class to the matrix dimension (working set =
+// 3·n²·4 bytes, ~196 KB at XS up to ~5 MB at XL; at XL the B matrix alone
+// approaches the LLC size, so AddressSanitizer's shadow traffic tips the
+// working set out of cache — the paper's Figure 8 matrixmul spike).
+func matrixmulN(size Size) uint32 {
+	return [...]uint32{128, 180, 256, 384, 672}[size]
+}
+
+// runMatrixmul: C = A·B over int32 matrices with the classic (cache-hostile
+// for B) i-j-k loop. Only three objects exist, so MPX holds all bounds in
+// registers and matches SGXBounds — the §6.3 observation. The inner loop
+// strides to keep simulation time at scale (the column-major B pattern is
+// preserved).
+func runMatrixmul(c *harden.Ctx, threads int, size Size) uint64 {
+	n := matrixmulN(size)
+	a := c.Malloc(n * n * 4)
+	b := c.Malloc(n * n * 4)
+	res := c.Malloc(n * n * 4)
+	r := newRNG(5)
+	fill32(c, a, n*n, func(uint32) uint32 { return r.intn(100) })
+	fill32(c, b, n*n, func(uint32) uint32 { return r.intn(100) })
+	const stride = 16
+	d := parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+		lo, hi := chunk(n, threads, t)
+		hoist := harden.Hoistable(w.P)
+		if hoist {
+			w.CheckRange(a, n*n*4, harden.Read)
+			w.CheckRange(b, n*n*4, harden.Read)
+			w.CheckRange(res, n*n*4, harden.Write)
+		}
+		var wd uint64
+		for i := lo; i < hi; i++ {
+			for j := uint32(0); j < n; j++ {
+				var sum uint64
+				for k := uint32(0); k < n; k += stride {
+					var av, bv uint64
+					if hoist {
+						av = w.LoadRawAt(a, int64(i*n+k)*4, 4)
+						bv = w.LoadRawAt(b, int64(k*n+j)*4, 4)
+					} else {
+						av = w.LoadAt(a, int64(i*n+k)*4, 4)
+						bv = w.LoadAt(b, int64(k*n+j)*4, 4)
+					}
+					sum += av * bv
+					w.Work(4)
+				}
+				if hoist {
+					w.StoreRawAt(res, int64(i*n+j)*4, 4, sum&0xFFFFFFFF)
+				} else {
+					w.StoreAt(res, int64(i*n+j)*4, 4, sum&0xFFFFFFFF)
+				}
+			}
+		}
+		for i := lo; i < hi; i++ {
+			wd = mix(wd, w.LoadAt(res, int64(i*n+i)*4, 4))
+		}
+		return wd
+	})
+	return d
+}
+
+const pcaDim = 128
+
+// runPCA: mean and (sampled) covariance of a matrix stored as an array of
+// row pointers, indexed matrix[i][j] — every element access re-loads the
+// row pointer, exactly the pattern that multiplies MPX's instruction and
+// L1 counts in Figure 7 (pca is the paper's worst case for MPX, 6.3x).
+func runPCA(c *harden.Ctx, threads int, size Size) uint64 {
+	rows := 512 * size.Factor()
+	mat := c.Malloc(rows * 8)
+	r := newRNG(13)
+	for i := uint32(0); i < rows; i++ {
+		row := c.Malloc(pcaDim * 4)
+		fill32(c, row, pcaDim, func(uint32) uint32 { return r.intn(256) })
+		c.StorePtrAt(mat, int64(i)*8, row)
+	}
+	var digest uint64
+	for comp := 0; comp < 2; comp++ { // two deflation rounds
+		// Phase 1: per-row means.
+		means := parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+			lo, hi := chunk(rows, threads, t)
+			var wd uint64
+			for i := lo; i < hi; i++ {
+				var sum uint64
+				for j := 0; j < pcaDim; j++ {
+					row := w.LoadPtrAt(mat, int64(i)*8) // matrix[i][j]: row pointer per access
+					sum += w.LoadAt(row, int64(j)*4, 4)
+					w.Work(3)
+				}
+				wd = mix(wd, sum/pcaDim)
+			}
+			return wd
+		})
+		// Phase 2: sampled covariance pairs.
+		samples := rows * 4
+		cov := parallel(c, threads, func(w *harden.Ctx, t int) uint64 {
+			lo, hi := chunk(samples, threads, t)
+			wr := newRNG(uint64(17 + t + comp))
+			var wd uint64
+			for s := lo; s < hi; s++ {
+				i, j := wr.intn(rows), wr.intn(rows)
+				var dot uint64
+				for d := 0; d < pcaDim; d += 2 {
+					ri := w.LoadPtrAt(mat, int64(i)*8)
+					rj := w.LoadPtrAt(mat, int64(j)*8)
+					dot += w.LoadAt(ri, int64(d)*4, 4) * w.LoadAt(rj, int64(d)*4, 4)
+					w.Work(4)
+				}
+				wd = mix(wd, dot)
+			}
+			return wd
+		})
+		digest = mix(digest, mix(means, cov))
+	}
+	return digest
+}
+
+// runStringMatch: stream a text buffer and test every 16-byte chunk against
+// four "encrypted" keys (Phoenix's string_match scans a word list against
+// fixed keys). Flat, sequential, compute-light.
+func runStringMatch(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 512 << 10 * size.Factor() // bytes
+	buf := c.Malloc(n)
+	fill(c, buf, n, 23)
+	keys := [4]uint64{0xDEAD, 0xBEEF, 0xCAFE, 0xF00D}
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(n/16, threads, i)
+		var hits [4]uint64
+		hoist := harden.Hoistable(w.P)
+		if hoist {
+			w.CheckRange(buf, n, harden.Read)
+		}
+		for j := lo; j < hi; j++ {
+			var h uint64
+			for q := 0; q < 2; q++ {
+				var v uint64
+				if hoist {
+					v = w.LoadRawAt(buf, int64(j)*16+int64(q)*8, 8)
+				} else {
+					v = w.LoadAt(buf, int64(j)*16+int64(q)*8, 8)
+				}
+				h = mix(h, v)
+			}
+			w.Work(12)
+			for k, key := range keys {
+				if h&0xFFFF == key {
+					hits[k]++
+				}
+			}
+		}
+		return mix(mix(mix(mix(0, hits[0]), hits[1]), hits[2]), hits[3])
+	})
+}
+
+const wcBuckets = 4096
+
+// runWordCount: tokenize a text buffer and count word frequencies in a
+// chained hash table. Node allocation and next-pointer chasing make this a
+// pointer-intensive workload; workers keep private tables (Phoenix's map
+// phase) that are merged by digest.
+func runWordCount(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 256 << 10 * size.Factor() // bytes of text
+	buf := c.Malloc(n)
+	r := newRNG(31)
+	// Synthetic "words": 8-byte tokens from a zipf-ish pool.
+	fill64(c, buf, n/8, func(uint32) uint64 { return r.next() % (1 << (10 + uint(size))) })
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(n/8, threads, i)
+		table := w.Calloc(wcBuckets, 8) // bucket heads
+		var nodes uint64
+		for j := lo; j < hi; j++ {
+			word := w.LoadAt(buf, int64(j)*8, 8)
+			bucket := int64(word % wcBuckets)
+			w.Work(8)
+			node := w.LoadPtrAt(table, bucket*8)
+			found := false
+			for node != 0 {
+				if w.LoadAt(node, 0, 8) == word {
+					cnt := w.LoadAt(node, 8, 8)
+					w.StoreAt(node, 8, 8, cnt+1)
+					found = true
+					break
+				}
+				node = w.LoadPtrAt(node, 16)
+				w.Work(2)
+			}
+			if !found {
+				nn := w.Malloc(24) // {word, count, next}
+				w.StoreAt(nn, 0, 8, word)
+				w.StoreAt(nn, 8, 8, 1)
+				head := w.LoadPtrAt(table, bucket*8)
+				w.StorePtrAt(nn, 16, head)
+				w.StorePtrAt(table, bucket*8, nn)
+				nodes++
+			}
+		}
+		// Digest: fold counts in bucket order.
+		var wd uint64
+		for b := int64(0); b < wcBuckets; b++ {
+			node := w.LoadPtrAt(table, b*8)
+			for node != 0 {
+				wd = mix(wd, w.LoadAt(node, 0, 8))
+				wd = mix(wd, w.LoadAt(node, 8, 8))
+				node = w.LoadPtrAt(node, 16)
+			}
+		}
+		return mix(wd, nodes)
+	})
+}

@@ -1,0 +1,522 @@
+// The 13 SPEC CPU2006 programs of §6.7 (perlbench, gcc, soplex, dealII,
+// omnetpp and povray are excluded, as in the paper). SPEC programs are
+// single-threaded; the kernels here ignore the thread parameter.
+//
+// The three programs whose MPX builds crash out of memory in Figure 11 —
+// astar, mcf and xalancbmk — share one trait: pointer-dense structures
+// spread across tens of megabytes of address space, so a 4 MB bounds table
+// materialises for every megabyte that ever holds a spilled pointer.
+
+package workloads
+
+import (
+	"sgxbounds/internal/harden"
+)
+
+func init() {
+	register(Workload{Name: "astar", Suite: "spec", PtrIntensive: true, Run: runAstar})
+	register(Workload{Name: "bzip2", Suite: "spec", Run: runBzip2})
+	register(Workload{Name: "gobmk", Suite: "spec", Run: runGobmk})
+	register(Workload{Name: "h264ref", Suite: "spec", Run: runH264ref})
+	register(Workload{Name: "hmmer", Suite: "spec", Run: runHmmer})
+	register(Workload{Name: "lbm", Suite: "spec", Run: runLbm})
+	register(Workload{Name: "libquantum", Suite: "spec", Run: runLibquantum})
+	register(Workload{Name: "mcf", Suite: "spec", PtrIntensive: true, Run: runMcf})
+	register(Workload{Name: "milc", Suite: "spec", Run: runMilc})
+	register(Workload{Name: "namd", Suite: "spec", Run: runNamd})
+	register(Workload{Name: "sjeng", Suite: "spec", Run: runSjeng})
+	register(Workload{Name: "sphinx3", Suite: "spec", Run: runSphinx3})
+	register(Workload{Name: "xalancbmk", Suite: "spec", PtrIntensive: true, Run: runXalancbmk})
+}
+
+// arenaPool allocates `count` 1 MB arenas and returns their pointers. The
+// pool is the allocation pattern of the big SPEC pointer programs: node
+// storage carved out of large mapped regions.
+func arenaPool(c *harden.Ctx, count uint32) []harden.Ptr {
+	arenas := make([]harden.Ptr, count)
+	for i := range arenas {
+		arenas[i] = c.Malloc(1 << 20)
+	}
+	return arenas
+}
+
+// runAstar: grid pathfinding over a node pool spread across 1 MB arenas;
+// every expanded node stores a parent pointer back into the pool. MPX
+// needs a bounds table per arena and crashes (Figure 11).
+func runAstar(c *harden.Ctx, threads int, size Size) uint64 {
+	arenaCount := 8 * size.Factor() // 64 MB at L
+	arenas := arenaPool(c, arenaCount)
+	const nodeSize = 64
+	nodesPerArena := uint32((1 << 20) / nodeSize)
+	total := arenaCount * nodesPerArena
+	node := func(i uint32) (harden.Ptr, int64) {
+		return arenas[i/nodesPerArena], int64(i%nodesPerArena) * nodeSize
+	}
+	r := newRNG(211)
+	// Initialise costs.
+	for i := uint32(0); i < total; i += 8 { // sparse init: every 8th node
+		a, off := node(i)
+		c.StoreAt(a, off, 8, r.next()%1000)
+	}
+	// Search: expand frontier nodes, store parent pointers.
+	var d uint64
+	cur := uint32(0)
+	for step := uint32(0); step < total/16; step++ {
+		a, off := node(cur)
+		cost := c.LoadAt(a, off, 8)
+		next := (cur*2654435761 + uint32(cost)) % total
+		na, noff := node(next)
+		c.StoreAt(na, noff, 8, cost+1)
+		c.StorePtrAt(na, noff+8, c.Add(a, off)) // parent pointer spill
+		c.Work(15)
+		d = mix(d, cost)
+		cur = next
+	}
+	return d
+}
+
+// runBzip2: block-sorting compression sketch — byte block plus rank arrays,
+// a radix pass and a scan. Flat arrays, mixed sequential/random access.
+func runBzip2(c *harden.Ctx, threads int, size Size) uint64 {
+	n := 256 << 10 * size.Factor() // block bytes
+	block := c.Malloc(n)
+	freq := c.Calloc(256, 8)
+	ranks := c.Malloc(n * 4)
+	fill(c, block, n, 223)
+	// Radix pass: byte frequencies.
+	for off := uint32(0); off < n; off += 8 {
+		v := c.LoadAt(block, int64(off), 8)
+		for b := 0; b < 8; b++ {
+			idx := int64(v >> (8 * b) & 0xFF)
+			cnt := c.LoadSafeAt(freq, idx*8, 8)
+			c.StoreSafeAt(freq, idx*8, 8, cnt+1)
+			c.Work(4)
+		}
+	}
+	// Rank assignment: prefix sums then a scatter.
+	var run uint64
+	for i := int64(0); i < 256; i++ {
+		cnt := c.LoadAt(freq, i*8, 8)
+		c.StoreAt(freq, i*8, 8, run)
+		run += cnt
+	}
+	for off := uint32(0); off < n; off += 16 {
+		v := c.LoadAt(block, int64(off), 1)
+		slot := c.LoadAt(freq, int64(v)*8, 8)
+		c.StoreAt(freq, int64(v)*8, 8, slot+1)
+		c.StoreAt(ranks, int64(slot%uint64(n))*4, 4, uint64(off))
+		c.Work(8)
+	}
+	var d uint64
+	for off := uint32(0); off < n; off += 256 {
+		d = mix(d, c.LoadAt(ranks, int64(off), 4))
+	}
+	return d
+}
+
+// runGobmk: game-tree search — a board array copied into a fresh stack
+// frame at every recursion level, evaluated, and unwound. Stack-object
+// heavy with bulk copies.
+func runGobmk(c *harden.Ctx, threads int, size Size) uint64 {
+	const boardBytes = 19 * 19 * 4
+	root := c.Malloc(boardBytes)
+	r := newRNG(227)
+	for i := int64(0); i < 19*19; i++ {
+		c.StoreAt(root, i*4, 4, uint64(r.intn(3)))
+	}
+	depth := 4
+	width := int(2 + size.Factor()/4)
+	if width > 8 {
+		width = 8
+	}
+	var search func(board harden.Ptr, d int) uint64
+	search = func(board harden.Ptr, d int) uint64 {
+		if d == 0 {
+			var score uint64
+			for i := int64(0); i < 19*19; i += 4 {
+				score += c.LoadAt(board, i*4, 4)
+				c.Work(3)
+			}
+			return score
+		}
+		f := c.PushFrame()
+		defer f.Pop()
+		var best uint64
+		for mv := 0; mv < width; mv++ {
+			child := f.Alloc(boardBytes)
+			// Copy the board (memcpy in the original).
+			c.CheckRange(board, boardBytes, harden.Read)
+			c.CheckRange(child, boardBytes, harden.Write)
+			for i := int64(0); i < 19*19; i++ {
+				c.StoreRawAt(child, i*4, 4, c.LoadRawAt(board, i*4, 4))
+			}
+			pos := int64((mv*97 + d*31) % (19 * 19))
+			c.StoreAt(child, pos*4, 4, uint64(d%3))
+			s := search(child, d-1)
+			if s > best {
+				best = s
+			}
+			c.Work(20)
+		}
+		return best
+	}
+	var d uint64
+	games := 2 * size.Factor()
+	for g := uint32(0); g < games; g++ {
+		d = mix(d, search(root, depth))
+	}
+	return d
+}
+
+// runH264ref: reference-encoder motion estimation, a smaller cousin of the
+// PARSEC x264 kernel with the same safe-indexed block pattern.
+func runH264ref(c *harden.Ctx, threads int, size Size) uint64 {
+	return runX264(c, 1, size)
+}
+
+// runHmmer: profile HMM Viterbi — dynamic programming over score rows with
+// strictly sequential access. Flat and branch-light.
+func runHmmer(c *harden.Ctx, threads int, size Size) uint64 {
+	states := uint32(512)
+	seqLen := 512 * size.Factor()
+	prev := c.Malloc(states * 4)
+	next := c.Malloc(states * 4)
+	trans := c.Malloc(states * 4)
+	r := newRNG(229)
+	fill32(c, prev, states, func(uint32) uint32 { return r.intn(100) })
+	fill32(c, trans, states, func(uint32) uint32 { return r.intn(10) })
+	hoist := harden.Hoistable(c.P)
+	if hoist {
+		c.CheckRange(prev, states*4, harden.ReadWrite)
+		c.CheckRange(next, states*4, harden.ReadWrite)
+		c.CheckRange(trans, states*4, harden.Read)
+	}
+	for pos := uint32(0); pos < seqLen; pos++ {
+		for s := int64(0); s < int64(states); s++ {
+			var a, b, tv uint64
+			if hoist {
+				a = c.LoadRawAt(prev, s*4, 4)
+				b = c.LoadRawAt(prev, ((s+1)%int64(states))*4, 4)
+				tv = c.LoadRawAt(trans, s*4, 4)
+			} else {
+				a = c.LoadAt(prev, s*4, 4)
+				b = c.LoadAt(prev, ((s+1)%int64(states))*4, 4)
+				tv = c.LoadAt(trans, s*4, 4)
+			}
+			v := a + tv
+			if b+tv > v {
+				v = b + tv
+			}
+			if hoist {
+				c.StoreRawAt(next, s*4, 4, v%1000000007)
+			} else {
+				c.StoreAt(next, s*4, 4, v%1000000007)
+			}
+			c.Work(6)
+		}
+		prev, next = next, prev
+	}
+	var d uint64
+	for s := int64(0); s < int64(states); s += 16 {
+		d = mix(d, c.LoadAt(prev, s*4, 4))
+	}
+	return d
+}
+
+// runLbm: lattice-Boltzmann — two large flat grids updated in streaming
+// ping-pong sweeps. The canonical sequential-EPC workload: pages are
+// evicted and never revisited within a sweep.
+func runLbm(c *harden.Ctx, threads int, size Size) uint64 {
+	cells := 128 << 10 * size.Factor() // 8 bytes per cell per grid
+	src := c.Malloc(cells * 8)
+	dst := c.Malloc(cells * 8)
+	r := newRNG(233)
+	fill64(c, src, cells, func(i uint32) uint64 {
+		if i%4 != 0 {
+			return 0
+		}
+		return r.next() % 1000
+	})
+	const sweeps = 2
+	hoist := harden.Hoistable(c.P)
+	for s := 0; s < sweeps; s++ {
+		if hoist {
+			c.CheckRange(src, cells*8, harden.Read)
+			c.CheckRange(dst, cells*8, harden.Write)
+		}
+		for i := uint32(1); i < cells-1; i += 2 {
+			var l, m, rr uint64
+			if hoist {
+				l = c.LoadRawAt(src, int64(i-1)*8, 8)
+				m = c.LoadRawAt(src, int64(i)*8, 8)
+				rr = c.LoadRawAt(src, int64(i+1)*8, 8)
+			} else {
+				l = c.LoadAt(src, int64(i-1)*8, 8)
+				m = c.LoadAt(src, int64(i)*8, 8)
+				rr = c.LoadAt(src, int64(i+1)*8, 8)
+			}
+			v := (l + 2*m + rr) / 4
+			if hoist {
+				c.StoreRawAt(dst, int64(i)*8, 8, v)
+			} else {
+				c.StoreAt(dst, int64(i)*8, 8, v)
+			}
+			c.Work(6)
+		}
+		src, dst = dst, src
+	}
+	var d uint64
+	for i := uint32(0); i < cells; i += 1024 {
+		d = mix(d, c.LoadAt(src, int64(i)*8, 8))
+	}
+	return d
+}
+
+// runLibquantum: quantum register simulation — strided gate applications
+// over one large amplitude array. Flat, streaming, near-zero overheads for
+// every mechanism.
+func runLibquantum(c *harden.Ctx, threads int, size Size) uint64 {
+	amps := 128 << 10 * size.Factor()
+	reg := c.Malloc(amps * 8)
+	r := newRNG(239)
+	fill64(c, reg, amps, func(uint32) uint64 { return r.next() })
+	hoist := harden.Hoistable(c.P)
+	if hoist {
+		c.CheckRange(reg, amps*8, harden.ReadWrite)
+	}
+	for gate := uint32(0); gate < 4; gate++ {
+		stride := uint32(1) << (gate + 3)
+		for i := uint32(0); i+stride < amps; i += stride * 2 {
+			var a, b uint64
+			if hoist {
+				a = c.LoadRawAt(reg, int64(i)*8, 8)
+				b = c.LoadRawAt(reg, int64(i+stride)*8, 8)
+			} else {
+				a = c.LoadAt(reg, int64(i)*8, 8)
+				b = c.LoadAt(reg, int64(i+stride)*8, 8)
+			}
+			if hoist {
+				c.StoreRawAt(reg, int64(i)*8, 8, a+b)
+				c.StoreRawAt(reg, int64(i+stride)*8, 8, a-b)
+			} else {
+				c.StoreAt(reg, int64(i)*8, 8, a+b)
+				c.StoreAt(reg, int64(i+stride)*8, 8, a-b)
+			}
+			c.Work(8)
+		}
+	}
+	var d uint64
+	for i := uint32(0); i < amps; i += 4096 {
+		d = mix(d, c.LoadAt(reg, int64(i)*8, 8))
+	}
+	return d
+}
+
+// runMcf: network-simplex pointer chasing over a node pool far larger than
+// the EPC. The native version already thrashes; ASan's shadow traffic
+// multiplies the page faults (2.4x in Figure 11) while SGXBounds' adjacent
+// metadata adds ~1%; MPX's bounds tables push it out of memory.
+func runMcf(c *harden.Ctx, threads int, size Size) uint64 {
+	arenaCount := 8 * size.Factor() // 64 MB at L, vs a 6 MB EPC
+	arenas := arenaPool(c, arenaCount)
+	const nodeSize = 64
+	nodesPerArena := uint32((1 << 20) / nodeSize)
+	total := arenaCount * nodesPerArena
+	node := func(i uint32) (harden.Ptr, int64) {
+		return arenas[i/nodesPerArena], int64(i%nodesPerArena) * nodeSize
+	}
+	// Build a random successor graph with embedded pointers.
+	r := newRNG(241)
+	for i := uint32(0); i < total; i += 4 { // every 4th node participates
+		a, off := node(i)
+		succ := (r.intn(total) / 4) * 4
+		sa, soff := node(succ)
+		c.StorePtrAt(a, off, c.Add(sa, soff))
+		c.StoreAt(a, off+8, 8, uint64(r.intn(1000)))
+	}
+	// Chase: follow successor pointers, accumulating costs.
+	steps := total / 8
+	a, off := node(0)
+	cur := c.Add(a, off)
+	var d uint64
+	for s := uint32(0); s < steps; s++ {
+		cost := c.LoadAt(cur, 8, 8)
+		d = mix(d, cost)
+		next := c.LoadPtrAt(cur, 0)
+		if next == 0 {
+			next = cur
+		}
+		c.StoreAt(cur, 16, 8, d&0xFFFF) // write back a potential
+		cur = next
+		c.Work(10)
+	}
+	return d
+}
+
+// runMilc: 4D lattice QCD sketch — SU(3)-ish block updates over a flat
+// field array, sequential with small fixed-offset blocks.
+func runMilc(c *harden.Ctx, threads int, size Size) uint64 {
+	sites := 32 << 10 * size.Factor()
+	const siteBytes = 72 // 3x3 complex-ish block, fixed offsets
+	field := c.Malloc(sites * siteBytes)
+	fill(c, field, sites*siteBytes, 251)
+	var d uint64
+	for i := uint32(0); i+1 < sites; i++ {
+		base := int64(i) * siteBytes
+		var acc uint64
+		for k := int64(0); k < 72; k += 24 {
+			acc += c.LoadSafeAt(field, base+k, 8) // fixed in-struct offsets
+			c.Work(5)
+		}
+		c.StoreSafeAt(field, base+8, 8, acc%1000003)
+		d = mix(d, acc)
+	}
+	return d
+}
+
+// runNamd: molecular dynamics — force accumulation over a neighbour index
+// list. Flat coordinate arrays indexed by a precomputed pair list.
+func runNamd(c *harden.Ctx, threads int, size Size) uint64 {
+	atoms := 16 << 10 * size.Factor()
+	pos := c.Malloc(atoms * 8)
+	force := c.Calloc(atoms, 8)
+	pairs := 4 * atoms
+	pairList := c.Malloc(pairs * 8) // two uint32 indices per pair
+	r := newRNG(257)
+	fill64(c, pos, atoms, func(uint32) uint64 { return r.next() % 100000 })
+	fill64(c, pairList, pairs, func(uint32) uint64 {
+		return uint64(r.intn(atoms))<<32 | uint64(r.intn(atoms))
+	})
+	for p := uint32(0); p < pairs; p++ {
+		pair := c.LoadAt(pairList, int64(p)*8, 8)
+		i, j := uint32(pair>>32), uint32(pair)
+		xi := c.LoadAt(pos, int64(i)*8, 8)
+		xj := c.LoadAt(pos, int64(j)*8, 8)
+		f := (xi - xj) % 4099
+		c.StoreAt(force, int64(i)*8, 8, c.LoadAt(force, int64(i)*8, 8)+f)
+		c.StoreAt(force, int64(j)*8, 8, c.LoadAt(force, int64(j)*8, 8)-f)
+		c.Work(14)
+	}
+	var d uint64
+	for i := uint32(0); i < atoms; i += 256 {
+		d = mix(d, c.LoadAt(force, int64(i)*8, 8))
+	}
+	return d
+}
+
+// runSjeng: game search — transposition-table probes (random access over a
+// medium array) interleaved with board updates.
+func runSjeng(c *harden.Ctx, threads int, size Size) uint64 {
+	ttEntries := 64 << 10 * size.Factor()
+	tt := c.Calloc(ttEntries, 16)
+	board := c.Global(64 * 8)
+	r := newRNG(263)
+	for i := int64(0); i < 64; i++ {
+		c.StoreAt(board, i*8, 8, r.next()%13)
+	}
+	probes := 64 << 10 * size.Factor()
+	var hashKey, d uint64
+	for p := uint32(0); p < probes; p++ {
+		sq := int64(p % 64)
+		piece := c.LoadSafeAt(board, sq*8, 8)
+		hashKey = mix(hashKey, piece+uint64(p))
+		idx := int64(hashKey % uint64(ttEntries))
+		stored := c.LoadAt(tt, idx*16, 8)
+		if stored == hashKey {
+			d = mix(d, c.LoadAt(tt, idx*16+8, 8))
+		} else {
+			c.StoreAt(tt, idx*16, 8, hashKey)
+			c.StoreAt(tt, idx*16+8, 8, piece)
+		}
+		c.StoreSafeAt(board, sq*8, 8, (piece+1)%13)
+		c.Work(12)
+	}
+	return mix(d, hashKey)
+}
+
+// runSphinx3: acoustic scoring — dense dot products of feature vectors
+// against Gaussian mixture rows. Flat, sequential, compute-heavy.
+func runSphinx3(c *harden.Ctx, threads int, size Size) uint64 {
+	const dim = 32
+	gaussians := 2 << 10 * size.Factor()
+	means := c.Malloc(gaussians * dim * 4)
+	r := newRNG(269)
+	fill32(c, means, gaussians*dim, func(uint32) uint32 { return r.intn(256) })
+	frames := uint32(64)
+	feat := c.Malloc(frames * dim * 4)
+	fill32(c, feat, frames*dim, func(uint32) uint32 { return r.intn(256) })
+	hoist := harden.Hoistable(c.P)
+	if hoist {
+		c.CheckRange(means, gaussians*dim*4, harden.Read)
+	}
+	var d uint64
+	for f := uint32(0); f < frames; f++ {
+		var fv [dim]uint64
+		for k := 0; k < dim; k++ {
+			fv[k] = c.LoadAt(feat, int64(f)*dim*4+int64(k)*4, 4)
+		}
+		best := ^uint64(0)
+		for g := uint32(0); g < gaussians; g++ {
+			var score uint64
+			for k := 0; k < dim; k += 4 {
+				var mv uint64
+				if hoist {
+					mv = c.LoadRawAt(means, int64(g)*dim*4+int64(k)*4, 4)
+				} else {
+					mv = c.LoadAt(means, int64(g)*dim*4+int64(k)*4, 4)
+				}
+				diff := int64(fv[k]) - int64(mv)
+				score += uint64(diff * diff)
+				c.Work(4)
+			}
+			if score < best {
+				best = score
+			}
+		}
+		d = mix(d, best)
+	}
+	return d
+}
+
+// runXalancbmk: XSLT processing sketch — a DOM tree whose nodes live in
+// 1 MB arenas with child-pointer arrays, traversed repeatedly. The
+// pointer-per-node layout is the third MPX out-of-memory case in Figure 11.
+func runXalancbmk(c *harden.Ctx, threads int, size Size) uint64 {
+	arenaCount := 8 * size.Factor()
+	arenas := arenaPool(c, arenaCount)
+	const nodeSize = 128 // tag + 14 child pointers
+	nodesPerArena := uint32((1 << 20) / nodeSize)
+	total := arenaCount * nodesPerArena
+	node := func(i uint32) (harden.Ptr, int64) {
+		return arenas[i/nodesPerArena], int64(i%nodesPerArena) * nodeSize
+	}
+	r := newRNG(271)
+	// Build: each participating node links to a few children.
+	for i := uint32(0); i < total; i += 4 {
+		a, off := node(i)
+		c.StoreAt(a, off, 8, uint64(r.intn(64))) // element tag
+		for ch := int64(0); ch < 3; ch++ {
+			childIdx := (r.intn(total) / 4) * 4
+			ca, coff := node(childIdx)
+			c.StorePtrAt(a, off+8+ch*8, c.Add(ca, coff))
+		}
+	}
+	// Transform: repeated depth-limited traversals.
+	var d uint64
+	traversals := total / 64
+	for tr := uint32(0); tr < traversals; tr++ {
+		a, off := node((tr * 64) % total)
+		cur := c.Add(a, off)
+		for depth := 0; depth < 6; depth++ {
+			tag := c.LoadAt(cur, 0, 8)
+			d = mix(d, tag)
+			next := c.LoadPtrAt(cur, 8+int64(tag%3)*8)
+			if next == 0 {
+				break
+			}
+			cur = next
+			c.Work(9)
+		}
+	}
+	return d
+}

@@ -1,0 +1,190 @@
+// Package workloads implements the benchmark programs of the paper's
+// evaluation (§6.1): the 7 Phoenix 2.0 applications, 9 of the 13 PARSEC 3.0
+// applications, and 13 of the 19 SPEC CPU2006 programs.
+//
+// Each kernel is a scaled analogue of the original program, written once
+// against the harden.Policy interface, preserving the original's
+// memory-access character — the property the paper's results depend on:
+// pointer intensity (pca, word_count, dedup, mcf, xalancbmk stress MPX's
+// bounds tables), working-set size and iteration structure (kmeans,
+// matrixmul drive the EPC-thrashing crossovers of Figure 8), allocation
+// churn (swaptions blows up ASan's quarantine), and hot loops amenable to
+// the §4.4 optimisations (kmeans, matrixmul, x264).
+//
+// Every kernel returns a digest of its computed result. The digest must be
+// identical under every policy (and every thread count) — this is the
+// integration-level correctness check that hardening does not change
+// program behaviour.
+package workloads
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+// Size selects one of the five input classes of §6.3 (Figure 8/Table 3).
+type Size int
+
+// Input size classes.
+const (
+	XS Size = iota
+	S
+	M
+	L
+	XL
+)
+
+// String names the size class.
+func (s Size) String() string { return [...]string{"XS", "S", "M", "L", "XL"}[s] }
+
+// Factor is the geometric input scale: each class doubles the previous.
+func (s Size) Factor() uint32 { return 1 << uint(s) }
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name  string
+	Suite string // "phoenix", "parsec" or "spec"
+	// PtrIntensive marks programs whose data structures are dominated by
+	// pointers (the programs that stress MPX in the paper).
+	PtrIntensive bool
+	// Run executes the kernel on c's policy with the given parallelism and
+	// input class, returning the result digest.
+	Run func(c *harden.Ctx, threads int, size Size) uint64
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every registered workload.
+func All() []Workload { return append([]Workload(nil), registry...) }
+
+// Suite returns the workloads of one suite.
+func Suite(name string) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Suite == name {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PhoenixParsec returns the Figure 7 benchmark set.
+func PhoenixParsec() []Workload {
+	return append(Suite("phoenix"), Suite("parsec")...)
+}
+
+// Get looks a workload up by name.
+func Get(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// rng is a small deterministic xorshift generator; workloads must be
+// reproducible across policies and runs.
+type rng uint64
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return rng(seed)
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n uint32) uint32 { return uint32(r.next() % uint64(n)) }
+
+// mix folds v into digest d (FNV-style).
+func mix(d, v uint64) uint64 {
+	d ^= v
+	d *= 0x100000001B3
+	return d
+}
+
+// fill writes n bytes of deterministic pseudo-random data into [p, p+n)
+// the way the original programs ingest their inputs: one bulk transfer
+// (fread into the buffer), checked once, rather than per-element stores.
+func fill(c *harden.Ctx, p harden.Ptr, n uint32, seed uint64) {
+	r := newRNG(seed)
+	buf := make([]byte, n)
+	for i := 0; i+8 <= len(buf); i += 8 {
+		v := r.next()
+		for b := 0; b < 8; b++ {
+			buf[i+b] = byte(v >> (8 * b))
+		}
+	}
+	c.P.CheckRange(c.T, p, n, harden.Write)
+	c.T.Touch(p.Addr(), n, true)
+	c.P.Env().M.AS.WriteBytes(p.Addr(), buf)
+}
+
+// fill32 bulk-writes n little-endian uint32 values produced by gen.
+func fill32(c *harden.Ctx, p harden.Ptr, n uint32, gen func(i uint32) uint32) {
+	buf := make([]byte, n*4)
+	for i := uint32(0); i < n; i++ {
+		v := gen(i)
+		buf[i*4], buf[i*4+1], buf[i*4+2], buf[i*4+3] =
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	c.P.CheckRange(c.T, p, n*4, harden.Write)
+	c.T.Touch(p.Addr(), n*4, true)
+	c.P.Env().M.AS.WriteBytes(p.Addr(), buf)
+}
+
+// fill64 bulk-writes n little-endian uint64 values produced by gen.
+func fill64(c *harden.Ctx, p harden.Ptr, n uint32, gen func(i uint32) uint64) {
+	buf := make([]byte, n*8)
+	for i := uint32(0); i < n; i++ {
+		v := gen(i)
+		for b := uint32(0); b < 8; b++ {
+			buf[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	c.P.CheckRange(c.T, p, n*8, harden.Write)
+	c.T.Touch(p.Addr(), n*8, true)
+	c.P.Env().M.AS.WriteBytes(p.Addr(), buf)
+}
+
+// chunk splits n items across nw workers, returning worker i's [lo, hi).
+func chunk(n uint32, nw, i int) (uint32, uint32) {
+	per := n / uint32(nw)
+	lo := per * uint32(i)
+	hi := lo + per
+	if i == nw-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// parallel runs body on `threads` workers over c's machine and returns the
+// per-worker digests mixed in worker order (deterministic regardless of
+// scheduling).
+func parallel(c *harden.Ctx, threads int, body func(w *harden.Ctx, i int) uint64) uint64 {
+	if threads <= 1 {
+		return mix(0, body(c, 0))
+	}
+	digests := make([]uint64, threads)
+	c.P.Env().M.Parallel(c.T, threads, func(t *machine.Thread, i int) {
+		digests[i] = body(c.Fork(t), i)
+	})
+	var d uint64
+	for _, v := range digests {
+		d = mix(d, v)
+	}
+	return d
+}

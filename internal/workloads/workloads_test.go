@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/baggy"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+// makePolicy builds a named policy over a fresh machine.
+func makePolicy(t testing.TB, name string) *harden.Ctx {
+	t.Helper()
+	env := harden.NewEnv(machine.DefaultConfig())
+	var p harden.Policy
+	switch name {
+	case "sgx":
+		p = harden.NewNative(env)
+	case "sgxbounds":
+		p = core.New(env, core.AllOptimizations())
+	case "sgxbounds-noopt":
+		p = core.New(env, core.Options{})
+	case "asan":
+		p = asan.New(env, asan.Options{})
+	case "mpx":
+		p = mpx.New(env)
+	case "baggy":
+		pl, err := baggy.New(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p = pl
+	default:
+		t.Fatalf("unknown policy %q", name)
+	}
+	return harden.NewCtx(p, env.M.NewThread())
+}
+
+// TestDigestsAgreeAcrossPolicies is the central integration test: hardening
+// must not change program results. Every workload must produce the same
+// digest under every mechanism.
+func TestDigestsAgreeAcrossPolicies(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var ref uint64
+			for i, pol := range []string{"sgx", "sgxbounds", "asan", "mpx", "baggy"} {
+				c := makePolicy(t, pol)
+				var digest uint64
+				out := harden.Capture(func() { digest = w.Run(c, 1, XS) })
+				if out.Crashed() {
+					t.Fatalf("%s under %s crashed: %v", w.Name, pol, out)
+				}
+				if i == 0 {
+					ref = digest
+				} else if digest != ref {
+					t.Errorf("%s under %s: digest %#x != native %#x", w.Name, pol, digest, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestDigestsAgreeAcrossPoliciesParallel: the cross-policy result equality
+// must hold under parallel execution too (this exercises the policies'
+// thread safety: shared shadow memory, bounds-table allocation, the
+// allocator). Digests are deterministic for a fixed thread count — the
+// worker merge is by worker index, not completion order.
+func TestDigestsAgreeAcrossPoliciesParallel(t *testing.T) {
+	for _, name := range []string{"histogram", "kmeans", "matrixmul", "wordcount", "blackscholes", "swaptions"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref uint64
+		for i, pol := range []string{"sgx", "sgxbounds", "asan", "mpx", "baggy"} {
+			c := makePolicy(t, pol)
+			var digest uint64
+			out := harden.Capture(func() { digest = w.Run(c, 4, XS) })
+			if out.Crashed() {
+				t.Fatalf("%s under %s (4 threads) crashed: %v", name, pol, out)
+			}
+			if i == 0 {
+				ref = digest
+			} else if digest != ref {
+				t.Errorf("%s under %s (4 threads): digest %#x != native %#x", name, pol, digest, ref)
+			}
+		}
+		// Determinism: repeat one parallel run and compare.
+		c := makePolicy(t, "sgx")
+		if d := w.Run(c, 4, XS); d != ref {
+			t.Errorf("%s: parallel digest not deterministic: %#x != %#x", name, d, ref)
+		}
+	}
+}
+
+// TestOptimizationsPreserveResults: the §4.4 optimisations are
+// result-transparent.
+func TestOptimizationsPreserveResults(t *testing.T) {
+	for _, name := range []string{"kmeans", "matrixmul", "x264", "histogram"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := makePolicy(t, "sgxbounds")
+		noopt := makePolicy(t, "sgxbounds-noopt")
+		if d1, d2 := w.Run(opt, 1, XS), w.Run(noopt, 1, XS); d1 != d2 {
+			t.Errorf("%s: optimised digest %#x != unoptimised %#x", name, d1, d2)
+		}
+	}
+}
+
+// TestMPXOutOfMemoryPrograms: the programs whose MPX builds crash in the
+// paper (dedup in Figure 7; astar, mcf, xalancbmk in Figure 11) must
+// exhaust the enclave at full size under MPX — and only under MPX.
+func TestMPXOutOfMemoryPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large working sets")
+	}
+	for _, name := range []string{"dedup", "astar", "mcf", "xalancbmk"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := makePolicy(t, "mpx")
+		out := harden.Capture(func() { w.Run(c, 1, L) })
+		if !out.OOM {
+			t.Errorf("%s at L under MPX: want OOM, got %v", name, out)
+		}
+		cn := makePolicy(t, "sgxbounds")
+		out = harden.Capture(func() { w.Run(cn, 1, L) })
+		if out.Crashed() {
+			t.Errorf("%s at L under SGXBounds crashed: %v", name, out)
+		}
+	}
+}
+
+// TestRegistryShape: the suites have the paper's application counts
+// (7 Phoenix, 9 PARSEC, 13 SPEC).
+func TestRegistryShape(t *testing.T) {
+	if n := len(Suite("phoenix")); n != 7 {
+		t.Errorf("phoenix count = %d, want 7", n)
+	}
+	if n := len(Suite("parsec")); n != 9 {
+		t.Errorf("parsec count = %d, want 9", n)
+	}
+	if n := len(Suite("spec")); n != 13 {
+		t.Errorf("spec count = %d, want 13", n)
+	}
+	if n := len(PhoenixParsec()); n != 16 {
+		t.Errorf("fig7 set = %d, want 16", n)
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("Get(nonexistent) succeeded")
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	if XS.Factor() != 1 || XL.Factor() != 16 {
+		t.Error("size factors wrong")
+	}
+	if XS.String() != "XS" || XL.String() != "XL" {
+		t.Error("size names wrong")
+	}
+}

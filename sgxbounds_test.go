@@ -1,0 +1,124 @@
+package sgxbounds
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	enc := NewEnclave()
+	prog, err := enc.Program(SGXBounds, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := prog.Malloc(64)
+	if TagOf(buf) != buf.Addr()+64 {
+		t.Errorf("tag = %#x, want %#x", TagOf(buf), buf.Addr()+64)
+	}
+	prog.StoreAt(buf, 0, 8, 42)
+	if got := prog.LoadAt(buf, 0, 8); got != 42 {
+		t.Errorf("load = %d", got)
+	}
+	out := Capture(func() { prog.StoreAt(buf, 64, 1, 0) })
+	if out.Violation == nil {
+		t.Fatal("off-by-one not detected through the facade")
+	}
+	if !strings.Contains(out.Violation.Error(), "sgxbounds") {
+		t.Errorf("violation message: %q", out.Violation.Error())
+	}
+}
+
+func TestFacadeAllMechanismsConstruct(t *testing.T) {
+	for _, m := range []Mechanism{SGX, SGXBounds, ASan, MPX, Baggy} {
+		enc := NewEnclave()
+		prog, err := enc.Program(m, AllOptimizations())
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		p := prog.Malloc(32)
+		prog.StoreAt(p, 0, 8, 1)
+		if prog.LoadAt(p, 0, 8) != 1 {
+			t.Errorf("%s: roundtrip failed", m)
+		}
+		prog.Free(p)
+	}
+	if _, err := NewEnclave().Program("bogus", Options{}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestFacadeLibcWrappers(t *testing.T) {
+	prog := NewEnclave().MustProgram(SGXBounds, AllOptimizations())
+	a := prog.Malloc(64)
+	b := prog.Malloc(64)
+	prog.WriteString(a, "shielded execution")
+	if got := prog.Strlen(a); got != 18 {
+		t.Errorf("strlen = %d", got)
+	}
+	prog.Strcpy(b, a)
+	if got := prog.ReadString(b); got != "shielded execution" {
+		t.Errorf("strcpy result = %q", got)
+	}
+	prog.Memset(b, 0, 64)
+	prog.Memcpy(b, a, 19)
+	if got := prog.ReadString(b); got != "shielded execution" {
+		t.Errorf("memcpy result = %q", got)
+	}
+}
+
+func TestFacadeStatsAndMemoryAccounting(t *testing.T) {
+	enc := NewEnclave()
+	prog := enc.MustProgram(SGXBounds, AllOptimizations())
+	before := enc.PeakReservedVM()
+	p := prog.Malloc(1 << 20)
+	prog.Memset(p, 1, 1<<20)
+	if enc.PeakReservedVM() <= before {
+		t.Error("allocation not visible in reserved VM")
+	}
+	s := prog.Stats()
+	if s.Stores == 0 || s.Cycles == 0 || prog.Cycles() != s.Cycles {
+		t.Errorf("stats not populated: %+v", s)
+	}
+	if enc.PageFaults() == 0 {
+		t.Error("a 1 MiB memset inside the enclave should fault pages in")
+	}
+}
+
+func TestFacadeOutsideEnclave(t *testing.T) {
+	enc := NewEnclave(OutsideEnclaveConfig())
+	prog := enc.MustProgram(SGXBounds, AllOptimizations())
+	p := prog.Malloc(1 << 20)
+	prog.Memset(p, 1, 1<<20)
+	if enc.PageFaults() != 0 {
+		t.Errorf("EPC faults outside the enclave: %d", enc.PageFaults())
+	}
+}
+
+func TestFacadeBoundlessOption(t *testing.T) {
+	opts := AllOptimizations()
+	opts.Boundless = true
+	prog := NewEnclave().MustProgram(SGXBounds, opts)
+	buf := prog.Malloc(16)
+	out := Capture(func() { prog.StoreAt(buf, 100, 8, 7) })
+	if out.Crashed() {
+		t.Fatalf("boundless mode crashed: %v", out)
+	}
+	if got := prog.LoadAt(buf, 100, 8); got != 7 {
+		t.Errorf("overlay readback = %d", got)
+	}
+	if prog.Stats().Violations == 0 {
+		t.Error("tolerated violations not counted")
+	}
+}
+
+func TestFacadeFrames(t *testing.T) {
+	prog := NewEnclave().MustProgram(SGXBounds, AllOptimizations())
+	f := prog.PushFrame()
+	s := f.Alloc(32)
+	prog.StoreAt(s, 0, 8, 5)
+	out := Capture(func() { prog.StoreAt(s, 32, 1, 0) })
+	if out.Violation == nil {
+		t.Error("stack overflow not detected through the facade")
+	}
+	f.Pop()
+}
