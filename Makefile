@@ -1,0 +1,38 @@
+# Tier-1 gate: everything `make ci` runs must stay green on every change.
+# It is what CI and reviewers run; `go build ./... && go test ./...` is the
+# historical minimum, plus vet and a short race pass over the packages with
+# real host concurrency (the bench engine's worker pool and the simulated
+# machine it fans cells over).
+
+GO ?= go
+
+.PHONY: ci vet build test race test-race-full bench golden experiments
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short race pass: the packages where goroutines actually meet shared state.
+race:
+	$(GO) test -race -short ./internal/bench/ ./internal/machine/ ./internal/mem/ ./internal/harden/ ./internal/core/
+
+# Full race sweep (slow; run before touching machine/bench concurrency).
+test-race-full:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Refresh the formatter golden files after an intended output change.
+golden:
+	$(GO) test ./internal/bench -run Golden -update
+
+experiments:
+	$(GO) run ./cmd/sgxbench -experiment all -progress

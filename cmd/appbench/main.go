@@ -1,6 +1,8 @@
 // Command appbench regenerates Figure 13 of the paper: throughput-latency
 // behaviour and peak memory usage of the Memcached, Apache and Nginx case
-// studies under each memory-safety mechanism.
+// studies under each memory-safety mechanism. The (app, policy) cells are
+// independent and run on -parallel host workers; output is byte-identical
+// for every -parallel value.
 package main
 
 import (
@@ -14,24 +16,32 @@ import (
 func main() {
 	app := flag.String("app", "all", "memcached | apache | nginx | all")
 	requests := flag.Int("requests", 2000, "requests per measurement")
+	parallel := flag.Int("parallel", 0, "measurement cells run concurrently (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report cell progress to stderr")
 	flag.Parse()
 
+	eng := bench.NewEngine(*parallel)
+	if *progress {
+		eng.Progress = os.Stderr
+	}
+
 	if *app == "all" {
-		bench.Fig13(os.Stdout, *requests)
+		eng.Fig13(os.Stdout, *requests)
 		return
 	}
-	tab := false
-	for _, known := range []string{"memcached", "apache", "nginx"} {
-		if *app == known {
-			tab = true
+	known := false
+	for _, k := range bench.Fig13Apps {
+		if *app == k {
+			known = true
 		}
 	}
-	if !tab {
+	if !known {
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
 	}
-	for _, pol := range bench.PolicyNames {
-		r := bench.MeasureApp(*app, pol, *requests)
+	rows := eng.MeasureApps(*app, bench.PolicyNames, *requests)
+	for i, pol := range bench.PolicyNames {
+		r := rows[i]
 		if r.Outcome.Crashed() {
 			fmt.Printf("%-10s %s\n", pol, r.Outcome)
 			continue

@@ -5,10 +5,15 @@
 // Figure 12 (SPEC outside SGX), Figure 13 (case studies) and Table 4
 // (RIPE).
 //
+// Experiment cells are independent (each builds a private simulated
+// machine), so they are fanned across -parallel host workers and memoised:
+// figures that share cells (fig7/fig8/fig10 overlap heavily) run each cell
+// once per invocation. Output is byte-identical for every -parallel value.
+//
 // Usage:
 //
 //	sgxbench -experiment fig7 [-threads 8]
-//	sgxbench -experiment all
+//	sgxbench -experiment all [-parallel 8] [-progress]
 package main
 
 import (
@@ -22,8 +27,15 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "fig1 | fig2 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | table4 | all")
 	threads := flag.Int("threads", 8, "worker threads for the multithreaded suites")
+	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report cell progress and per-policy cycle totals to stderr")
 	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
 	flag.Parse()
+
+	eng := bench.NewEngine(*parallel)
+	if *progress {
+		eng.Progress = os.Stderr
+	}
 
 	w := os.Stdout
 	writeCSV := func(name string, emit func(f *os.File) error) {
@@ -44,28 +56,28 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "fig1":
-			bench.Fig1(w)
+			eng.Fig1(w)
 		case "fig2":
 			bench.Fig2(w)
 		case "fig13":
-			bench.Fig13(w, 2000)
+			eng.Fig13(w, 2000)
 		case "table4":
-			bench.Table4(w)
+			eng.Table4(w)
 		case "fig7":
-			grid := bench.Fig7(w, *threads)
+			grid := eng.Fig7(w, *threads)
 			writeCSV("fig7", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
 		case "fig8":
-			res := bench.Fig8(w, *threads)
+			res := eng.Fig8(w, *threads)
 			writeCSV("fig8", func(f *os.File) error { return bench.WriteFig8CSV(f, res) })
 		case "fig9":
-			bench.Fig9(w)
+			eng.Fig9(w)
 		case "fig10":
-			bench.Fig10(w, *threads)
+			eng.Fig10(w, *threads)
 		case "fig11":
-			grid := bench.Fig11(w)
+			grid := eng.Fig11(w)
 			writeCSV("fig11", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
 		case "fig12":
-			grid := bench.Fig12(w)
+			grid := eng.Fig12(w)
 			writeCSV("fig12", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
@@ -76,6 +88,10 @@ func main() {
 		for _, name := range []string{"fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4"} {
 			fmt.Fprintf(w, "\n### %s\n", name)
 			run(name)
+		}
+		if *progress {
+			hits, runs := eng.CacheStats()
+			fmt.Fprintf(os.Stderr, "cells executed: %d, served from cache: %d\n", runs, hits)
 		}
 		return
 	}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/workloads"
+)
+
+// Engine schedules experiment cells. Every cell — one Run(Spec), one
+// RunSpeedtest, one MeasureApp — builds a private machine.Machine and shares
+// no state with any other cell, so the engine fans independent cells across
+// a bounded pool of host goroutines and reassembles the results in the
+// deterministic order the caller asked for. Formatter output is therefore
+// byte-identical for every worker count, including 1.
+//
+// The engine also memoises cells: the paper's figures overlap heavily
+// (Figure 8's L-size column is Figure 7's grid, Figure 10's baselines are
+// Figure 7's sgx row), so within one `sgxbench -experiment all` invocation a
+// (workload, policy, size, threads, config) cell runs at most once.
+type Engine struct {
+	workers int
+
+	// Progress, when non-nil, receives throttled progress lines (cells
+	// done / total, cells per second, simulated cycles by policy). Rates
+	// depend on wall clock, so Progress must not be mixed into the
+	// deterministic table output; commands point it at stderr.
+	Progress io.Writer
+
+	mu           sync.Mutex
+	cells        map[specKey]Result
+	apps         map[appKey]AppResult
+	speed        map[speedKey]Fig1Row
+	done, total  int
+	hits         int
+	policyCycles map[string]uint64
+	start        time.Time
+	lastNote     time.Time
+}
+
+// NewEngine returns an engine running up to workers cells concurrently;
+// workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:      workers,
+		cells:        make(map[specKey]Result),
+		apps:         make(map[appKey]AppResult),
+		speed:        make(map[speedKey]Fig1Row),
+		policyCycles: make(map[string]uint64),
+	}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns how many cells were served from the cache and how many
+// were actually executed.
+func (e *Engine) CacheStats() (hits, runs int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.done
+}
+
+// specKey is the canonical identity of one Run cell: the Spec after default
+// resolution, with the policy options flattened to their comparable fields.
+// Spec itself cannot be a map key because core.Options embeds function-typed
+// hooks; cells with active hooks are simply not cached (no benchmark uses
+// them).
+type specKey struct {
+	workload string
+	policy   string
+	size     workloads.Size
+	threads  int
+	config   machine.Config
+	opts     optKey
+}
+
+type optKey struct {
+	boundless, safeElision, hoisting bool
+	extraMetaWords                   int
+	boundlessCapBytes                uint32
+}
+
+type appKey struct {
+	app, policy string
+	requests    int
+}
+
+type speedKey struct {
+	policy string
+	items  uint32
+}
+
+func hooksActive(h core.Hooks) bool {
+	return h.OnCreate != nil || h.OnAccess != nil || h.OnDelete != nil
+}
+
+// canonicalKey resolves spec's defaults exactly as Run does and returns its
+// cache key. ok is false when the cell is uncacheable (active hooks).
+func canonicalKey(spec Spec) (specKey, bool) {
+	if spec.Threads == 0 {
+		spec.Threads = 1
+	}
+	if spec.Config.L1.Size == 0 {
+		spec.Config = machine.DefaultConfig()
+	}
+	var opts core.Options
+	if spec.Policy == "sgxbounds" {
+		// Only the SGXBounds policy consumes CoreOpts; flattening the
+		// options for everyone else lets e.g. a Figure 10 baseline hit the
+		// same cell as a Figure 7 one.
+		opts = spec.CoreOpts
+		if !spec.CoreOptsSet {
+			opts = core.AllOptimizations()
+		}
+	}
+	if hooksActive(opts.Hooks) {
+		return specKey{}, false
+	}
+	return specKey{
+		workload: spec.Workload,
+		policy:   spec.Policy,
+		size:     spec.Size,
+		threads:  spec.Threads,
+		config:   spec.Config,
+		opts: optKey{
+			boundless:         opts.Boundless,
+			safeElision:       opts.SafeElision,
+			hoisting:          opts.Hoisting,
+			extraMetaWords:    opts.ExtraMetaWords,
+			boundlessCapBytes: opts.BoundlessCapBytes,
+		},
+	}, true
+}
+
+// Run executes one cell through the engine's cache.
+func (e *Engine) Run(spec Spec) Result {
+	key, cacheable := canonicalKey(spec)
+	if cacheable {
+		e.mu.Lock()
+		if r, ok := e.cells[key]; ok {
+			e.hits++
+			e.mu.Unlock()
+			return r
+		}
+		e.mu.Unlock()
+	}
+	e.addTotal(1)
+	r := Run(spec)
+	if cacheable {
+		e.mu.Lock()
+		e.cells[key] = r
+		e.mu.Unlock()
+	}
+	e.noteDone(spec.Policy, r.Totals.Cycles)
+	return r
+}
+
+// RunAll executes the specs (deduplicated against each other and the cache)
+// on the worker pool and returns their results in input order.
+func (e *Engine) RunAll(specs []Spec) []Result {
+	results := make([]Result, len(specs))
+	keys := make([]specKey, len(specs))
+	cacheable := make([]bool, len(specs))
+
+	// Collect the cells that actually need to run: the first spec for each
+	// uncached key, plus every uncacheable spec.
+	var jobs []int
+	owner := make(map[specKey]int, len(specs))
+	e.mu.Lock()
+	for i, s := range specs {
+		keys[i], cacheable[i] = canonicalKey(s)
+		if !cacheable[i] {
+			jobs = append(jobs, i)
+			continue
+		}
+		if r, ok := e.cells[keys[i]]; ok {
+			results[i] = r
+			e.hits++
+			continue
+		}
+		if _, ok := owner[keys[i]]; !ok {
+			owner[keys[i]] = i
+			jobs = append(jobs, i)
+		} else {
+			e.hits++
+		}
+	}
+	e.total += len(jobs)
+	e.mu.Unlock()
+
+	e.runJobs(len(jobs), func(j int) {
+		i := jobs[j]
+		r := Run(specs[i])
+		results[i] = r
+		if cacheable[i] {
+			e.mu.Lock()
+			e.cells[keys[i]] = r
+			e.mu.Unlock()
+		}
+		e.noteDone(specs[i].Policy, r.Totals.Cycles)
+	})
+
+	// Fill the duplicates from the now-populated cache.
+	e.mu.Lock()
+	for i := range specs {
+		if cacheable[i] && results[i].Spec.Workload == "" {
+			results[i] = e.cells[keys[i]]
+		}
+	}
+	e.mu.Unlock()
+	return results
+}
+
+// runJobs executes n independent jobs with at most e.workers running
+// concurrently. A panicking job does not abort the others; the first panic
+// (in job order, for determinism) is re-raised after all jobs finish.
+func (e *Engine) runJobs(n int, job func(i int)) {
+	if n == 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	panics := make([]any, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			func(i int) {
+				defer func() { panics[i] = recover() }()
+				job(i)
+			}(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					func(i int) {
+						defer func() { panics[i] = recover() }()
+						job(i)
+					}(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// addTotal registers upcoming cells with the progress reporter.
+func (e *Engine) addTotal(n int) {
+	e.mu.Lock()
+	e.total += n
+	e.mu.Unlock()
+}
+
+// noteDone records one finished cell and emits a throttled progress line.
+func (e *Engine) noteDone(policy string, cycles uint64) {
+	e.mu.Lock()
+	if e.start.IsZero() {
+		e.start = time.Now()
+	}
+	e.done++
+	e.policyCycles[policy] += cycles
+	if e.Progress == nil {
+		e.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if e.done < e.total && now.Sub(e.lastNote) < time.Second {
+		e.mu.Unlock()
+		return
+	}
+	e.lastNote = now
+	line := e.progressLine(now)
+	w := e.Progress
+	e.mu.Unlock()
+	fmt.Fprintln(w, line)
+}
+
+// progressLine renders the current progress state. Called with e.mu held.
+func (e *Engine) progressLine(now time.Time) string {
+	rate := 0.0
+	if d := now.Sub(e.start).Seconds(); d > 0 {
+		rate = float64(e.done) / d
+	}
+	line := fmt.Sprintf("cells %d/%d (%d cached, %.1f cells/s)", e.done, e.total, e.hits, rate)
+	if len(e.policyCycles) > 0 {
+		pols := make([]string, 0, len(e.policyCycles))
+		for p := range e.policyCycles {
+			pols = append(pols, p)
+		}
+		sort.Strings(pols)
+		line += " cycles:"
+		for _, p := range pols {
+			line += fmt.Sprintf(" %s=%.3g", p, float64(e.policyCycles[p]))
+		}
+	}
+	return line
+}

@@ -14,15 +14,30 @@ import (
 type Grid map[string]map[string]Result
 
 // RunGrid executes every (workload, policy) combination with shared
-// parameters, printing one progress line per workload to w (pass io.Discard
-// to silence).
+// parameters on a fresh engine; see Engine.RunGrid.
 func RunGrid(w io.Writer, ws []workloads.Workload, policies []string,
 	size workloads.Size, threads int, cfg machine.Config) Grid {
-	grid := make(Grid, len(ws))
+	return NewEngine(0).RunGrid(w, ws, policies, size, threads, cfg)
+}
+
+// RunGrid executes every (workload, policy) combination with shared
+// parameters, printing one progress line per workload to w (pass io.Discard
+// to silence). Cells are fanned across the engine's worker pool; the grid
+// and the lines printed to w are identical for every worker count.
+func (e *Engine) RunGrid(w io.Writer, ws []workloads.Workload, policies []string,
+	size workloads.Size, threads int, cfg machine.Config) Grid {
+	specs := make([]Spec, 0, len(ws)*len(policies))
 	for _, wl := range ws {
-		row := make(map[string]Result, len(policies))
 		for _, pol := range policies {
-			row[pol] = Run(Spec{Workload: wl.Name, Policy: pol, Size: size, Threads: threads, Config: cfg})
+			specs = append(specs, Spec{Workload: wl.Name, Policy: pol, Size: size, Threads: threads, Config: cfg})
+		}
+	}
+	results := e.RunAll(specs)
+	grid := make(Grid, len(ws))
+	for i, wl := range ws {
+		row := make(map[string]Result, len(policies))
+		for j, pol := range policies {
+			row[pol] = results[i*len(policies)+j]
 		}
 		grid[wl.Name] = row
 		fmt.Fprintf(w, "  %-18s done\n", wl.Name)
@@ -47,12 +62,19 @@ func memOverheadOrNaN(row map[string]Result, pol, base string) float64 {
 	return MemOverhead(r, b)
 }
 
+// SuiteComparison runs the Figure 7 / Figure 11 experiment shape on a fresh
+// engine; see Engine.SuiteComparison.
+func SuiteComparison(w io.Writer, title string, ws []workloads.Workload,
+	size workloads.Size, threads int, cfg machine.Config) Grid {
+	return NewEngine(0).SuiteComparison(w, title, ws, size, threads, cfg)
+}
+
 // SuiteComparison runs the Figure 7 / Figure 11 experiment shape: every
 // workload of a set under the four mechanisms, reporting performance and
 // memory overheads over the native SGX baseline plus the geometric mean.
-func SuiteComparison(w io.Writer, title string, ws []workloads.Workload,
+func (e *Engine) SuiteComparison(w io.Writer, title string, ws []workloads.Workload,
 	size workloads.Size, threads int, cfg machine.Config) Grid {
-	grid := RunGrid(w, ws, PolicyNames, size, threads, cfg)
+	grid := e.RunGrid(w, ws, PolicyNames, size, threads, cfg)
 
 	perf := &Table{Title: title + ": performance overhead over native SGX",
 		Header: []string{"benchmark", "mpx", "asan", "sgxbounds"}}
@@ -75,22 +97,31 @@ func SuiteComparison(w io.Writer, title string, ws []workloads.Workload,
 	return grid
 }
 
+// Fig7 reproduces Figure 7 on a fresh engine; see Engine.Fig7.
+func Fig7(w io.Writer, threads int) Grid { return NewEngine(0).Fig7(w, threads) }
+
 // Fig7 reproduces Figure 7: Phoenix and PARSEC overheads with 8 threads.
-func Fig7(w io.Writer, threads int) Grid {
-	return SuiteComparison(w, "Figure 7 (Phoenix+PARSEC)", workloads.PhoenixParsec(),
+func (e *Engine) Fig7(w io.Writer, threads int) Grid {
+	return e.SuiteComparison(w, "Figure 7 (Phoenix+PARSEC)", workloads.PhoenixParsec(),
 		workloads.L, threads, machine.DefaultConfig())
 }
 
+// Fig11 reproduces Figure 11 on a fresh engine; see Engine.Fig11.
+func Fig11(w io.Writer) Grid { return NewEngine(0).Fig11(w) }
+
 // Fig11 reproduces Figure 11: SPEC CPU2006 inside the enclave.
-func Fig11(w io.Writer) Grid {
-	return SuiteComparison(w, "Figure 11 (SPEC, inside SGX)", workloads.Suite("spec"),
+func (e *Engine) Fig11(w io.Writer) Grid {
+	return e.SuiteComparison(w, "Figure 11 (SPEC, inside SGX)", workloads.Suite("spec"),
 		workloads.L, 1, machine.DefaultConfig())
 }
 
+// Fig12 reproduces Figure 12 on a fresh engine; see Engine.Fig12.
+func Fig12(w io.Writer) Grid { return NewEngine(0).Fig12(w) }
+
 // Fig12 reproduces Figure 12: SPEC CPU2006 outside the enclave (normal,
 // unconstrained environment).
-func Fig12(w io.Writer) Grid {
-	return SuiteComparison(w, "Figure 12 (SPEC, outside SGX)", workloads.Suite("spec"),
+func (e *Engine) Fig12(w io.Writer) Grid {
+	return e.SuiteComparison(w, "Figure 12 (SPEC, outside SGX)", workloads.Suite("spec"),
 		workloads.L, 1, machine.NativeConfig())
 }
 
@@ -100,19 +131,33 @@ var Fig8Workloads = []string{"kmeans", "matrixmul", "wordcount", "linear_regress
 // Fig8Result carries the sweep grid indexed [workload][size][policy].
 type Fig8Result map[string]map[workloads.Size]map[string]Result
 
+// Fig8 reproduces Figure 8 and Table 3 on a fresh engine; see Engine.Fig8.
+func Fig8(w io.Writer, threads int) Fig8Result { return NewEngine(0).Fig8(w, threads) }
+
 // Fig8 reproduces Figure 8 and Table 3: overheads over SGXBounds with
 // growing working sets, plus the diagnostic columns (working set, LLC
 // misses, page faults, bounds tables).
-func Fig8(w io.Writer, threads int) Fig8Result {
+func (e *Engine) Fig8(w io.Writer, threads int) Fig8Result {
 	sizes := []workloads.Size{workloads.XS, workloads.S, workloads.M, workloads.L, workloads.XL}
 	policies := []string{"sgx", "sgxbounds", "asan", "mpx"}
+	var specs []Spec
+	for _, name := range Fig8Workloads {
+		for _, size := range sizes {
+			for _, pol := range policies {
+				specs = append(specs, Spec{Workload: name, Policy: pol, Size: size, Threads: threads})
+			}
+		}
+	}
+	results := e.RunAll(specs)
 	out := make(Fig8Result)
+	i := 0
 	for _, name := range Fig8Workloads {
 		out[name] = make(map[workloads.Size]map[string]Result)
 		for _, size := range sizes {
 			row := make(map[string]Result)
 			for _, pol := range policies {
-				row[pol] = Run(Spec{Workload: name, Policy: pol, Size: size, Threads: threads})
+				row[pol] = results[i]
+				i++
 			}
 			out[name][size] = row
 		}
@@ -155,16 +200,19 @@ func Fig8(w io.Writer, threads int) Fig8Result {
 	return out
 }
 
+// Fig9 reproduces Figure 9 on a fresh engine; see Engine.Fig9.
+func Fig9(w io.Writer) map[int]Grid { return NewEngine(0).Fig9(w) }
+
 // Fig9 reproduces Figure 9: AddressSanitizer and SGXBounds overheads with
 // one and four threads.
-func Fig9(w io.Writer) map[int]Grid {
+func (e *Engine) Fig9(w io.Writer) map[int]Grid {
 	out := make(map[int]Grid)
 	ws := workloads.PhoenixParsec()
 	tab := &Table{Title: "Figure 9: overhead over native SGX, 1 vs 4 threads",
 		Header: []string{"benchmark", "asan@1", "sgxbounds@1", "asan@4", "sgxbounds@4"}}
 	pols := []string{"sgx", "asan", "sgxbounds"}
 	for _, threads := range []int{1, 4} {
-		out[threads] = RunGrid(io.Discard, ws, pols, workloads.L, threads, machine.DefaultConfig())
+		out[threads] = e.RunGrid(io.Discard, ws, pols, workloads.L, threads, machine.DefaultConfig())
 		fmt.Fprintf(w, "  %d-thread grid done\n", threads)
 	}
 	var a1, s1, a4, s4 []float64
@@ -191,21 +239,36 @@ var OptVariants = []struct {
 	{"all", core.AllOptimizations()},
 }
 
+// Fig10 reproduces Figure 10 on a fresh engine; see Engine.Fig10.
+func Fig10(w io.Writer, threads int) map[string]map[string]Result {
+	return NewEngine(0).Fig10(w, threads)
+}
+
 // Fig10 reproduces Figure 10: SGXBounds overhead over native SGX under each
 // optimisation variant.
-func Fig10(w io.Writer, threads int) map[string]map[string]Result {
+func (e *Engine) Fig10(w io.Writer, threads int) map[string]map[string]Result {
 	ws := workloads.PhoenixParsec()
+	stride := 1 + len(OptVariants)
+	specs := make([]Spec, 0, len(ws)*stride)
+	for _, wl := range ws {
+		specs = append(specs, Spec{Workload: wl.Name, Policy: "sgx", Size: workloads.L, Threads: threads})
+		for _, v := range OptVariants {
+			specs = append(specs, Spec{Workload: wl.Name, Policy: "sgxbounds", Size: workloads.L,
+				Threads: threads, CoreOpts: v.Opts, CoreOptsSet: true})
+		}
+	}
+	results := e.RunAll(specs)
+
 	out := make(map[string]map[string]Result)
 	tab := &Table{Title: "Figure 10: SGXBounds optimisation ablation (overhead over native SGX)",
 		Header: []string{"benchmark", "none", "safe", "hoist", "all"}}
 	gm := map[string][]float64{}
-	for _, wl := range ws {
-		base := Run(Spec{Workload: wl.Name, Policy: "sgx", Size: workloads.L, Threads: threads})
+	for i, wl := range ws {
+		base := results[i*stride]
 		row := map[string]Result{"sgx": base}
 		cells := []string{wl.Name}
-		for _, v := range OptVariants {
-			r := Run(Spec{Workload: wl.Name, Policy: "sgxbounds", Size: workloads.L,
-				Threads: threads, CoreOpts: v.Opts, CoreOptsSet: true})
+		for j, v := range OptVariants {
+			r := results[i*stride+1+j]
 			row[v.Name] = r
 			ov := math.NaN()
 			if !r.Outcome.Crashed() {

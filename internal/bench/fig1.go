@@ -53,18 +53,53 @@ func RunSpeedtest(policy string, items uint32) Fig1Row {
 	return row
 }
 
+// RunSpeedtest executes (or recalls) one speedtest cell through the
+// engine's cache.
+func (e *Engine) RunSpeedtest(policy string, items uint32) Fig1Row {
+	key := speedKey{policy: policy, items: items}
+	e.mu.Lock()
+	if r, ok := e.speed[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return r
+	}
+	e.mu.Unlock()
+	e.addTotal(1)
+	r := RunSpeedtest(policy, items)
+	e.mu.Lock()
+	e.speed[key] = r
+	e.mu.Unlock()
+	e.noteDone(policy, r.Totals.Cycles)
+	return r
+}
+
+// Fig1 reproduces Figure 1 on a fresh engine; see Engine.Fig1.
+func Fig1(w io.Writer) map[uint32]map[string]Fig1Row { return NewEngine(0).Fig1(w) }
+
 // Fig1 reproduces Figure 1: SQLite speedtest performance and memory
 // overheads with increasing working-set items, inside the enclave.
-func Fig1(w io.Writer) map[uint32]map[string]Fig1Row {
+func (e *Engine) Fig1(w io.Writer) map[uint32]map[string]Fig1Row {
+	return e.Fig1Sweep(w, Fig1Items)
+}
+
+// Fig1Sweep runs the Figure 1 tables over an arbitrary item sweep. Cells
+// are fanned across the engine's worker pool; output is byte-identical for
+// every worker count.
+func (e *Engine) Fig1Sweep(w io.Writer, itemsList []uint32) map[uint32]map[string]Fig1Row {
+	rows := make([]Fig1Row, len(itemsList)*len(PolicyNames))
+	e.runJobs(len(rows), func(i int) {
+		rows[i] = e.RunSpeedtest(PolicyNames[i%len(PolicyNames)], itemsList[i/len(PolicyNames)])
+	})
+
 	out := make(map[uint32]map[string]Fig1Row)
 	perfT := &Table{Title: "Figure 1: SQLite (minidb) speedtest — performance overhead over native SGX",
 		Header: []string{"items", "mpx", "asan", "sgxbounds"}}
 	memT := &Table{Title: "Figure 1: SQLite (minidb) speedtest — peak reserved VM",
 		Header: []string{"items", "sgx", "mpx", "asan", "sgxbounds"}}
-	for _, items := range Fig1Items {
+	for k, items := range itemsList {
 		row := make(map[string]Fig1Row, len(PolicyNames))
-		for _, pol := range PolicyNames {
-			row[pol] = RunSpeedtest(pol, items)
+		for j, pol := range PolicyNames {
+			row[pol] = rows[k*len(PolicyNames)+j]
 		}
 		out[items] = row
 		base := row["sgx"]

@@ -122,18 +122,65 @@ func MeasureApp(app, policy string, requests int) AppResult {
 	return res
 }
 
+// MeasureApp runs (or recalls) one case-study cell through the engine's
+// cache.
+func (e *Engine) MeasureApp(app, policy string, requests int) AppResult {
+	key := appKey{app: app, policy: policy, requests: requests}
+	e.mu.Lock()
+	if r, ok := e.apps[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return r
+	}
+	e.mu.Unlock()
+	e.addTotal(1)
+	r := MeasureApp(app, policy, requests)
+	e.mu.Lock()
+	e.apps[key] = r
+	e.mu.Unlock()
+	e.noteDone(policy, uint64(r.ServiceCycles*float64(requests)))
+	return r
+}
+
+// MeasureApps measures one app under each policy on the engine's worker
+// pool, returning results in policy order.
+func (e *Engine) MeasureApps(app string, policies []string, requests int) []AppResult {
+	rows := make([]AppResult, len(policies))
+	e.runJobs(len(rows), func(i int) {
+		rows[i] = e.MeasureApp(app, policies[i], requests)
+	})
+	return rows
+}
+
 // Fig13Clients is the client-count sweep of the throughput-latency plots.
 var Fig13Clients = []int{1, 2, 4, 8, 16, 32}
 
-// Fig13 reproduces Figure 13: throughput-latency behaviour and peak memory
-// usage of the three network case studies.
+// Fig13Apps are the network case studies, in presentation order.
+var Fig13Apps = []string{"memcached", "apache", "nginx"}
+
+// Fig13 reproduces Figure 13 on a fresh engine; see Engine.Fig13.
 func Fig13(w io.Writer, requests int) map[string]map[string]AppResult {
+	return NewEngine(0).Fig13(w, requests)
+}
+
+// Fig13 reproduces Figure 13: throughput-latency behaviour and peak memory
+// usage of the three network case studies. The (app, policy) cells are
+// fanned across the engine's worker pool; output is byte-identical for
+// every worker count.
+func (e *Engine) Fig13(w io.Writer, requests int) map[string]map[string]AppResult {
 	if requests == 0 {
 		requests = 2000
 	}
+	cells := make([]AppResult, len(Fig13Apps)*len(PolicyNames))
+	e.runJobs(len(cells), func(i int) {
+		cells[i] = e.MeasureApp(Fig13Apps[i/len(PolicyNames)], PolicyNames[i%len(PolicyNames)], requests)
+	})
 	out := make(map[string]map[string]AppResult)
-	for _, app := range []string{"memcached", "apache", "nginx"} {
+	for ai, app := range Fig13Apps {
 		out[app] = make(map[string]AppResult)
+		for pi, pol := range PolicyNames {
+			out[app][pol] = cells[ai*len(PolicyNames)+pi]
+		}
 		tab := &Table{
 			Title: fmt.Sprintf("Figure 13 (%s): throughput [kreq/s] / latency [ms] by concurrent clients", app),
 			Header: append([]string{"policy"}, func() []string {
@@ -145,21 +192,20 @@ func Fig13(w io.Writer, requests int) map[string]map[string]AppResult {
 			}()...),
 		}
 		for _, pol := range PolicyNames {
-			r := MeasureApp(app, pol, requests)
-			out[app][pol] = r
-			cells := []string{pol}
+			r := out[app][pol]
+			row := []string{pol}
 			for _, clients := range Fig13Clients {
 				if r.Outcome.Crashed() {
-					cells = append(cells, "OOM")
+					row = append(row, "OOM")
 					continue
 				}
 				tput := r.Throughput()
 				if clients < AppWorkers[app] {
 					tput = tput * float64(clients) / float64(AppWorkers[app])
 				}
-				cells = append(cells, fmt.Sprintf("%.0f/%.3f", tput/1000, r.Latency(clients)))
+				row = append(row, fmt.Sprintf("%.0f/%.3f", tput/1000, r.Latency(clients)))
 			}
-			tab.AddRow(cells...)
+			tab.AddRow(row...)
 		}
 		tab.Fprint(w)
 	}
@@ -168,7 +214,7 @@ func Fig13(w io.Writer, requests int) map[string]map[string]AppResult {
 		Header: []string{"policy", "memcached", "apache", "nginx"}}
 	for _, pol := range PolicyNames {
 		row := []string{pol}
-		for _, app := range []string{"memcached", "apache", "nginx"} {
+		for _, app := range Fig13Apps {
 			r := out[app][pol]
 			if r.Outcome.Crashed() {
 				row = append(row, "OOM")

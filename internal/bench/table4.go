@@ -10,10 +10,33 @@ import (
 	"sgxbounds/internal/ripe"
 )
 
+// Table4Policies are the mechanisms of the RIPE comparison, in presentation
+// order.
+var Table4Policies = []string{"sgx", "mpx", "asan", "sgxbounds", "baggy"}
+
+// Table4 reproduces the RIPE table on a fresh engine; see Engine.Table4.
+func Table4(w io.Writer) map[string]ripe.Summary { return NewEngine(0).Table4(w) }
+
 // Table4 reproduces the RIPE security benchmark results (§6.6): how many of
 // the 16 attacks that work under shielded execution each mechanism
-// prevents.
-func Table4(w io.Writer) map[string]ripe.Summary {
+// prevents. Each mechanism's attack sweep is one independent cell on the
+// engine's worker pool.
+func (e *Engine) Table4(w io.Writer) map[string]ripe.Summary {
+	summaries := make([]ripe.Summary, len(Table4Policies))
+	e.addTotal(len(Table4Policies))
+	e.runJobs(len(Table4Policies), func(i int) {
+		pol := Table4Policies[i]
+		summaries[i] = ripe.RunAll(func() *harden.Ctx {
+			env := harden.NewEnv(machine.DefaultConfig())
+			p, err := NewPolicy(pol, env, core.AllOptimizations())
+			if err != nil {
+				panic(err)
+			}
+			return harden.NewCtx(p, env.M.NewThread())
+		})
+		e.noteDone(pol, 0)
+	})
+
 	out := make(map[string]ripe.Summary)
 	fmt.Fprintf(w, "RIPE funnel: %d attacks work natively; the %d shellcode-based ones fail\n"+
 		"under shielded execution (SGX disallows the int instruction), leaving %d:\n",
@@ -27,16 +50,8 @@ func Table4(w io.Writer) map[string]ripe.Summary {
 		"sgxbounds": "except in-struct buffer overflows",
 		"baggy":     "stack attacks defeated by object relocation (extension baseline)",
 	}
-	for _, pol := range []string{"sgx", "mpx", "asan", "sgxbounds", "baggy"} {
-		pol := pol
-		s := ripe.RunAll(func() *harden.Ctx {
-			env := harden.NewEnv(machine.DefaultConfig())
-			p, err := NewPolicy(pol, env, core.AllOptimizations())
-			if err != nil {
-				panic(err)
-			}
-			return harden.NewCtx(p, env.M.NewThread())
-		})
+	for i, pol := range Table4Policies {
+		s := summaries[i]
 		out[pol] = s
 		tab.AddRow(pol, fmt.Sprintf("%d/16", s.Prevented),
 			fmt.Sprintf("%d/16", s.Succeeded), fmt.Sprintf("%d/16", s.Failed), notes[pol])
@@ -47,7 +62,7 @@ func Table4(w io.Writer) map[string]ripe.Summary {
 		Header: []string{"attack", "sgx", "mpx", "asan", "sgxbounds", "baggy"}}
 	for _, a := range ripe.Attacks {
 		row := []string{a.Name()}
-		for _, pol := range []string{"sgx", "mpx", "asan", "sgxbounds", "baggy"} {
+		for _, pol := range Table4Policies {
 			row = append(row, out[pol].PerAttack[a.Name()].String())
 		}
 		detail.AddRow(row...)

@@ -176,6 +176,83 @@ func TestConformanceDetectionMatrix(t *testing.T) {
 	}
 }
 
+// conformanceAttack is one canonical memory-safety violation. Each run gets
+// a fresh context, like each RIPE attack does.
+type conformanceAttack struct {
+	name string
+	// detect lists the policies expected to flag the violation; everyone
+	// else must let it pass silently (no crash, no false positive).
+	detect map[string]bool
+	run    func(c *harden.Ctx) harden.Outcome
+}
+
+// TestConformanceViolationTable runs every policy against the same
+// canonical overflow/underflow/use-after-free set and asserts the full
+// detect/miss matrix — the asymmetry that produces Table 4 of the paper:
+// every bounds scheme (sgxbounds, asan, mpx, baggy) catches spatial
+// violations on both sides of the object; only AddressSanitizer's
+// quarantine catches temporal ones; the in-struct overflow defeats every
+// object-granularity scheme; native SGX and bare SFI detect nothing.
+func TestConformanceViolationTable(t *testing.T) {
+	spatial := map[string]bool{"sgxbounds": true, "sgxbounds-plain": true, "asan": true, "mpx": true, "baggy": true}
+	temporal := map[string]bool{"asan": true}
+	attacks := []conformanceAttack{
+		{"heap-overflow-write", spatial, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			return harden.Capture(func() { c.StoreAt(p, 64, 1, 1) })
+		}},
+		{"heap-overflow-read", spatial, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			return harden.Capture(func() { c.LoadAt(p, 64, 1) })
+		}},
+		{"heap-underflow-write", spatial, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			return harden.Capture(func() { c.StoreAt(p, -1, 1, 1) })
+		}},
+		{"heap-underflow-read", spatial, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			return harden.Capture(func() { c.LoadAt(p, -1, 1) })
+		}},
+		{"overflow-range-check", spatial, func(c *harden.Ctx) harden.Outcome {
+			// The libc/hoisted-check path must be as strict as the scalar one.
+			p := c.Malloc(64)
+			return harden.Capture(func() { c.CheckRange(p, 65, harden.Write) })
+		}},
+		{"use-after-free-write", temporal, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			c.Free(p)
+			return harden.Capture(func() { c.StoreAt(p, 0, 8, 1) })
+		}},
+		{"use-after-free-read", temporal, func(c *harden.Ctx) harden.Outcome {
+			p := c.Malloc(64)
+			c.Free(p)
+			return harden.Capture(func() { c.LoadAt(p, 0, 8) })
+		}},
+		{"in-struct-overflow", map[string]bool{}, func(c *harden.Ctx) harden.Outcome {
+			// A 16-byte field inside a 64-byte struct, overflowed into the
+			// next field: inside object bounds, so every object-granularity
+			// scheme misses it (the Table 4 "except in-struct buffer
+			// overflows" note for asan and sgxbounds).
+			p := c.Malloc(64)
+			field := c.AddSafe(p, 8)
+			return harden.Capture(func() { c.StoreAt(field, 16, 1, 1) })
+		}},
+	}
+	for _, a := range attacks {
+		for name, c := range allPolicies(t) {
+			out := a.run(c)
+			if out.OOM || out.Panic != nil {
+				t.Errorf("%s under %s: unexpected crash %v", a.name, name, out)
+				continue
+			}
+			if got := out.Violation != nil; got != a.detect[name] {
+				t.Errorf("%s under %s: detected=%v, want %v (outcome: %v)",
+					a.name, name, got, a.detect[name], out)
+			}
+		}
+	}
+}
+
 // TestConformanceZeroSizeOps: zero-length ranges are no-ops, never faults.
 func TestConformanceZeroSizeOps(t *testing.T) {
 	for name, c := range allPolicies(t) {

@@ -354,14 +354,21 @@ func (t *Thread) StackAlloc(size uint32) uint32 {
 	return t.sp
 }
 
-// Parallel runs n workers concurrently on the machine's worker-thread pool
-// (hardware threads are a fixed resource; repeated parallel phases reuse
-// them, keeping their caches warm and their stacks reserved once). The
-// calling thread is charged the critical path (the maximum of the workers'
-// cycles), and all worker events are merged into the machine totals. Worker
-// panics are re-raised on the caller after all workers finish, so that a
-// bounds violation in any worker fails the whole parallel section
-// deterministically.
+// Parallel runs n workers on the machine's worker-thread pool (hardware
+// threads are a fixed resource; repeated parallel phases reuse them, keeping
+// their caches warm and their stacks reserved once). The calling thread is
+// charged the critical path (the maximum of the workers' cycles), and all
+// worker events are merged into the machine totals. Worker panics are
+// re-raised on the caller after all workers finish, so that a bounds
+// violation in any worker fails the whole parallel section deterministically.
+//
+// Workers execute in worker order, not as real goroutines: simulated
+// parallelism lives entirely in the cycle accounting (critical path = max of
+// the workers), while the order in which workers touch the shared LLC and
+// EPC is fixed so that every counter of a run is bit-identical across
+// repetitions and host scheduling. Host parallelism is exploited one level
+// up instead, across independent experiment cells (internal/bench.Engine),
+// where machines share no state at all.
 func (m *Machine) Parallel(caller *Thread, n int, body func(w *Thread, i int)) {
 	m.mu.Lock()
 	for len(m.workers) < n {
@@ -374,16 +381,12 @@ func (m *Machine) Parallel(caller *Thread, n int, body func(w *Thread, i int)) {
 	m.mu.Unlock()
 
 	panics := make([]any, n)
-	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		func(i int) {
 			defer func() { panics[i] = recover() }()
 			body(workers[i], i)
 		}(i)
 	}
-	wg.Wait()
 	var maxCycles uint64
 	for _, w := range workers {
 		if w.C.Cycles > maxCycles {
