@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sgxbounds/internal/bench"
 )
@@ -30,7 +32,38 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report cell progress and per-policy cycle totals to stderr")
 	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	eng := bench.NewEngine(*parallel)
 	if *progress {

@@ -8,6 +8,18 @@
 // break locality (AddressSanitizer's shadow memory, MPX's bounds tables)
 // cause more LLC misses than metadata that sits adjacent to the object
 // (SGXBounds' lower bound after the object).
+//
+// The access path is the simulator's hottest host code (every simulated
+// memory access probes at least the L1 model), so lookups are organised
+// around two fast paths that leave the simulated LRU state exactly as a
+// naive per-way scan would:
+//
+//   - an MRU probe: each set remembers its most-recently-used way, and a hit
+//     there skips the victim scan entirely (the victim computed on a hit is
+//     discarded anyway);
+//   - range and batch entry points (AccessRange, AccessLines) that walk
+//     cache lines with a stride instead of re-entering per line, letting the
+//     shared LLC take its lock once per batch instead of once per line.
 package cache
 
 import "sync"
@@ -27,14 +39,21 @@ type Config struct {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.Size / (LineSize * c.Ways) }
 
+// entry is one cache way: LRU stamp and line tag together, so a probe
+// touches one host cache line instead of two parallel arrays.
+type entry struct {
+	stamp uint64
+	tag   uint32 // tag 0 is "invalid" (line number stored +1)
+}
+
 // Cache is a single-level set-associative cache with per-set LRU
 // replacement. It is NOT safe for concurrent use; private levels belong to
 // one thread, and the shared level is wrapped by Shared.
 type Cache struct {
 	ways    int
 	setMask uint32
-	tags    []uint32 // sets*ways entries; tag 0 is "invalid" (tag stored +1)
-	stamp   []uint64 // LRU stamps, parallel to tags
+	ents    []entry // sets*ways entries
+	mru     []uint8 // per-set way index of the most recent hit/fill
 	clock   uint64
 }
 
@@ -44,37 +63,86 @@ func New(cfg Config) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("cache: number of sets must be a positive power of two")
 	}
+	if cfg.Ways > 256 {
+		panic("cache: associativity above 256 not supported")
+	}
 	return &Cache{
 		ways:    cfg.Ways,
 		setMask: uint32(sets - 1),
-		tags:    make([]uint32, sets*cfg.Ways),
-		stamp:   make([]uint64, sets*cfg.Ways),
+		ents:    make([]entry, sets*cfg.Ways),
+		mru:     make([]uint8, sets),
 	}
 }
+
+// SetOf returns the set index the given line maps to. Fast paths outside
+// the package use it to prove that two lines cannot interact in the
+// replacement state (distinct sets never compete for ways or compare LRU
+// stamps).
+func (c *Cache) SetOf(line uint32) uint32 { return line & c.setMask }
 
 // Access looks up the line containing addr, inserting it on a miss.
 // It reports whether the access hit.
 func (c *Cache) Access(addr uint32) bool {
-	line := addr >> LineShift
+	return c.AccessLine(addr >> LineShift)
+}
+
+// AccessLine is Access with the line number already computed. Line numbers
+// are addr >> LineShift.
+func (c *Cache) AccessLine(line uint32) bool {
 	set := line & c.setMask
 	tag := line + 1 // +1 so that a zeroed entry is invalid
 	base := int(set) * c.ways
 	c.clock++
-	victim := base
-	oldest := c.stamp[base]
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
-			c.stamp[i] = c.clock
+	// MRU fast probe: a hit on the set's most-recently-used way needs no
+	// victim scan — the scan's only output on a hit is the refreshed stamp.
+	if e := &c.ents[base+int(c.mru[set])]; e.tag == tag {
+		e.stamp = c.clock
+		return true
+	}
+	s := c.ents[base : base+c.ways]
+	victim := 0
+	oldest := s[0].stamp
+	for i := range s {
+		if s[i].tag == tag {
+			s[i].stamp = c.clock
+			c.mru[set] = uint8(i)
 			return true
 		}
-		if c.stamp[i] < oldest {
-			oldest = c.stamp[i]
+		if s[i].stamp < oldest {
+			oldest = s[i].stamp
 			victim = i
 		}
 	}
-	c.tags[victim] = tag
-	c.stamp[victim] = c.clock
+	s[victim] = entry{stamp: c.clock, tag: tag}
+	c.mru[set] = uint8(victim)
 	return false
+}
+
+// AccessRange walks the inclusive line range [first, last] through the
+// cache, appending the lines that missed to miss and returning it. The
+// resulting cache state is identical to calling AccessLine per line in
+// ascending order.
+func (c *Cache) AccessRange(first, last uint32, miss []uint32) []uint32 {
+	for line := first; ; line++ {
+		if !c.AccessLine(line) {
+			miss = append(miss, line)
+		}
+		if line == last {
+			break
+		}
+	}
+	return miss
+}
+
+// AccessLines runs each line through the cache in order, appending the lines
+// that missed to miss and returning it.
+func (c *Cache) AccessLines(lines []uint32, miss []uint32) []uint32 {
+	for _, line := range lines {
+		if !c.AccessLine(line) {
+			miss = append(miss, line)
+		}
+	}
+	return miss
 }
 
 // Contains reports whether the line holding addr is present, without
@@ -85,7 +153,7 @@ func (c *Cache) Contains(addr uint32) bool {
 	tag := line + 1
 	base := int(set) * c.ways
 	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
+		if c.ents[i].tag == tag {
 			return true
 		}
 	}
@@ -94,10 +162,8 @@ func (c *Cache) Contains(addr uint32) bool {
 
 // Flush invalidates the entire cache.
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.stamp[i] = 0
-	}
+	clear(c.ents)
+	clear(c.mru)
 }
 
 // Shared wraps a Cache with a mutex so multiple simulated threads can share
@@ -116,6 +182,23 @@ func (s *Shared) Access(addr uint32) bool {
 	hit := s.c.Access(addr)
 	s.mu.Unlock()
 	return hit
+}
+
+// AccessLine is the thread-safe variant of Cache.AccessLine.
+func (s *Shared) AccessLine(line uint32) bool {
+	s.mu.Lock()
+	hit := s.c.AccessLine(line)
+	s.mu.Unlock()
+	return hit
+}
+
+// AccessLines is the thread-safe variant of Cache.AccessLines; the whole
+// batch runs under one lock acquisition.
+func (s *Shared) AccessLines(lines []uint32, miss []uint32) []uint32 {
+	s.mu.Lock()
+	miss = s.c.AccessLines(lines, miss)
+	s.mu.Unlock()
+	return miss
 }
 
 // Contains is the thread-safe variant of Cache.Contains.

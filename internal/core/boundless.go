@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"sgxbounds/internal/cache"
 	"sgxbounds/internal/harden"
 	"sgxbounds/internal/machine"
 )
@@ -77,17 +78,29 @@ func (b *Boundless) arena() uint32 {
 // create, a missing chunk is allocated (evicting the LRU chunk at
 // capacity); otherwise a miss returns ok=false. Called with b.mu held.
 func (b *Boundless) lookup(t *machine.Thread, addr uint32, create bool) (uint32, bool) {
+	return b.lookupRun(t, addr, 1, create)
+}
+
+// lookupRun resolves the overlay address for the run [addr, addr+k), which
+// must lie within one chunk, accounting k per-byte lookups in one step: the
+// run's first byte performs the real probe, and the remaining k-1 bytes hit
+// the chunk it just resolved (or miss the same absent chunk when create is
+// false — the simulated program still paid k hash probes either way, so the
+// LRU clock always advances by k). Called with b.mu held.
+func (b *Boundless) lookupRun(t *machine.Thread, addr, k uint32, create bool) (uint32, bool) {
 	key := addr >> 10
-	b.clock++
+	b.clock += uint64(k)
 	if i, ok := b.slots[key]; ok {
 		b.stamp[i] = b.clock
-		b.hits++
+		b.hits += uint64(k)
 		return b.arena() + uint32(i)*ChunkSize + (addr & (ChunkSize - 1)), true
 	}
-	b.misses++
 	if !create {
+		b.misses += uint64(k)
 		return 0, false
 	}
+	b.misses++
+	b.hits += uint64(k - 1)
 	var slot int
 	if b.used < b.nslots {
 		slot = b.used
@@ -115,17 +128,44 @@ func (b *Boundless) lookup(t *machine.Thread, addr uint32, create bool) (uint32,
 	return ov + (addr & (ChunkSize - 1)), true
 }
 
+// touchRun accounts the byte-wise overlay data accesses of one run: the
+// run's cache lines go through the access pipeline once each, and the
+// remaining bytes are the L1 hits a byte-at-a-time walk would produce.
+func touchRun(t *machine.Thread, ov, k uint32, write bool) {
+	t.Touch(ov, k, write)
+	lines := (ov+k-1)>>cache.LineShift - ov>>cache.LineShift + 1
+	t.ChargeSameLine(uint64(k-lines), write)
+}
+
+// runs splits [addr, addr+n) into chunk-contained runs and calls fn for each
+// with the run's offset into the operation and length.
+func runs(addr, n uint32, fn func(off, k uint32)) {
+	for off := uint32(0); off < n; {
+		k := ChunkSize - ((addr + off) & (ChunkSize - 1))
+		if k > n-off {
+			k = n - off
+		}
+		fn(off, k)
+		off += k
+	}
+}
+
 // Load serves an out-of-bounds load: overlay contents on a hit, zeros on a
 // miss (failure-oblivious computing).
 func (b *Boundless) Load(t *machine.Thread, addr uint32, size uint8) uint64 {
 	t.Instr(lockCost)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var v uint64
-	for i := uint8(0); i < size; i++ { // chunks are 1 KB; accesses may straddle
-		if ov, ok := b.lookup(t, addr+uint32(i), false); ok {
-			v |= t.Load(ov, 1) << (8 * i)
+	var buf [8]byte // chunks are 1 KB; accesses may straddle
+	runs(addr, uint32(size), func(off, k uint32) {
+		if ov, ok := b.lookupRun(t, addr+off, k, false); ok {
+			touchRun(t, ov, k, false)
+			b.m.AS.ReadBytes(ov, buf[off:off+k])
 		}
+	})
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(buf[i]) << (8 * i)
 	}
 	return v
 }
@@ -135,10 +175,15 @@ func (b *Boundless) Store(t *machine.Thread, addr uint32, size uint8, v uint64) 
 	t.Instr(lockCost)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var buf [8]byte
 	for i := uint8(0); i < size; i++ {
-		ov, _ := b.lookup(t, addr+uint32(i), true)
-		t.Store(ov, 1, v>>(8*i)&0xFF)
+		buf[i] = byte(v >> (8 * i))
 	}
+	runs(addr, uint32(size), func(off, k uint32) {
+		ov, _ := b.lookupRun(t, addr+off, k, true)
+		touchRun(t, ov, k, true)
+		b.m.AS.WriteBytes(ov, buf[off:off+k])
+	})
 }
 
 // ReadBytes fills dst with the overlay contents of [addr, addr+len(dst)),
@@ -150,12 +195,14 @@ func (b *Boundless) ReadBytes(t *machine.Thread, addr uint32, dst []byte) {
 	t.Instr(lockCost)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i := range dst {
-		dst[i] = 0
-		if ov, ok := b.lookup(t, addr+uint32(i), false); ok {
-			dst[i] = byte(t.Load(ov, 1))
+	runs(addr, uint32(len(dst)), func(off, k uint32) {
+		if ov, ok := b.lookupRun(t, addr+off, k, false); ok {
+			touchRun(t, ov, k, false)
+			b.m.AS.ReadBytes(ov, dst[off:off+k])
+		} else {
+			clear(dst[off : off+k])
 		}
-	}
+	})
 }
 
 // WriteBytes stores src into overlay chunks covering [addr, addr+len(src)).
@@ -166,10 +213,11 @@ func (b *Boundless) WriteBytes(t *machine.Thread, addr uint32, src []byte) {
 	t.Instr(lockCost)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i := range src {
-		ov, _ := b.lookup(t, addr+uint32(i), true)
-		t.Store(ov, 1, uint64(src[i]))
-	}
+	runs(addr, uint32(len(src)), func(off, k uint32) {
+		ov, _ := b.lookupRun(t, addr+off, k, true)
+		touchRun(t, ov, k, true)
+		b.m.AS.WriteBytes(ov, src[off:off+k])
+	})
 }
 
 // SetBytes fills n overlay bytes starting at addr with c.
@@ -180,8 +228,9 @@ func (b *Boundless) SetBytes(t *machine.Thread, addr uint32, c byte, n uint32) {
 	t.Instr(lockCost)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i := uint32(0); i < n; i++ {
-		ov, _ := b.lookup(t, addr+i, true)
-		t.Store(ov, 1, uint64(c))
-	}
+	runs(addr, n, func(off, k uint32) {
+		ov, _ := b.lookupRun(t, addr+off, k, true)
+		touchRun(t, ov, k, true)
+		b.m.AS.Memset(ov, c, k)
+	})
 }

@@ -79,9 +79,67 @@ func (e *EPC) Capacity() int { return e.capacity }
 // — and are far cheaper than paging back an evicted page, which must be
 // fetched from untrusted memory, decrypted and verified.
 func (e *EPC) Touch(addr uint32) (fault, cold bool) {
-	pn := addr >> mem.PageShift
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	fault, cold = e.touchPage(addr >> mem.PageShift)
+	e.mu.Unlock()
+	return fault, cold
+}
+
+// TouchRange records one access to every page overlapping [addr, addr+n),
+// under a single lock acquisition, and returns how many of those pages
+// faulted: warm counts pages paged back in from untrusted memory (the
+// expensive eviction/decryption path), cold counts compulsory EAUG faults.
+// Bulk operations use it to fault at most once per page instead of probing
+// the EPC once per cache line.
+func (e *EPC) TouchRange(addr, n uint32) (warm, cold uint64) {
+	if n == 0 {
+		return 0, 0
+	}
+	first := addr >> mem.PageShift
+	last := (addr + n - 1) >> mem.PageShift
+	e.mu.Lock()
+	for pn := first; ; pn++ {
+		f, c := e.touchPage(pn)
+		if f {
+			if c {
+				cold++
+			} else {
+				warm++
+			}
+		}
+		if pn == last {
+			break
+		}
+	}
+	e.mu.Unlock()
+	return warm, cold
+}
+
+// TouchPages records one access to each given page number, in order, under a
+// single lock acquisition, returning warm and cold fault counts as
+// TouchRange does. The batched access pipeline passes the (deduplicated)
+// pages of the cache lines that missed the LLC.
+func (e *EPC) TouchPages(pns []uint32) (warm, cold uint64) {
+	if len(pns) == 0 {
+		return 0, 0
+	}
+	e.mu.Lock()
+	for _, pn := range pns {
+		f, c := e.touchPage(pn)
+		if f {
+			if c {
+				cold++
+			} else {
+				warm++
+			}
+		}
+	}
+	e.mu.Unlock()
+	return warm, cold
+}
+
+// touchPage is Touch on a page number with e.mu held.
+func (e *EPC) touchPage(pn uint32) (fault, cold bool) {
 	if i, ok := e.resident[pn]; ok {
 		e.refbit[i] = true
 		return false, false

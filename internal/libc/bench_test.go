@@ -1,0 +1,52 @@
+package libc
+
+import (
+	"testing"
+
+	"sgxbounds/internal/asan"
+	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/mpx"
+)
+
+// BenchmarkMemcpyLibc measures the wrapped memcpy under the four policies of
+// the evaluation — the heaviest consumer of the bulk access path.
+func BenchmarkMemcpyLibc(b *testing.B) {
+	mk := map[string]func(env *harden.Env) harden.Policy{
+		"native":    func(env *harden.Env) harden.Policy { return harden.NewNative(env) },
+		"sgxbounds": func(env *harden.Env) harden.Policy { return core.New(env, core.AllOptimizations()) },
+		"asan":      func(env *harden.Env) harden.Policy { return asan.New(env, asan.Options{}) },
+		"mpx":       func(env *harden.Env) harden.Policy { return mpx.New(env) },
+	}
+	for _, name := range []string{"native", "sgxbounds", "asan", "mpx"} {
+		for _, size := range []uint32{64, 4096} {
+			b.Run(name+"/"+itoa(size), func(b *testing.B) {
+				env := harden.NewEnv(machine.DefaultConfig())
+				c := harden.NewCtx(mk[name](env), env.M.NewThread())
+				dst := c.Malloc(size)
+				src := c.Malloc(size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Memcpy(c, dst, src, size)
+				}
+				b.SetBytes(int64(size))
+			})
+		}
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = '0' + byte(v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -23,6 +23,9 @@
 package libc
 
 import (
+	"bytes"
+
+	"sgxbounds/internal/cache"
 	"sgxbounds/internal/harden"
 )
 
@@ -94,17 +97,32 @@ func Memcmp(c *harden.Ctx, a, b harden.Ptr, n uint32) int {
 }
 
 // scanLen returns the distance to the first NUL byte at or after p,
-// accounting the scan.
+// accounting the scan. The simulated program reads one byte at a time; the
+// host scans a cache line per step: the line's first byte goes through the
+// access pipeline and the remaining scanned bytes of the line are the
+// guaranteed L1 hits a byte-wise scan would produce.
 func scanLen(c *harden.Ctx, p harden.Ptr) uint32 {
 	as := c.P.Env().M.AS
+	t := c.T
 	addr := p.Addr()
+	var buf [cache.LineSize]byte
 	var n uint32
 	for {
-		c.T.Touch(addr+n, 1, false)
-		if as.Load(addr+n, 1) == 0 {
-			return n
+		cur := addr + n
+		rem := cache.LineSize - (cur & (cache.LineSize - 1))
+		chunk := buf[:rem]
+		as.ReadBytes(cur, chunk)
+		idx := bytes.IndexByte(chunk, 0)
+		scanned := rem // bytes the simulated scan reads in this line
+		if idx >= 0 {
+			scanned = uint32(idx) + 1 // up to and including the NUL
 		}
-		n++
+		t.Touch(cur, 1, false)
+		t.ChargeSameLine(uint64(scanned-1), false)
+		if idx >= 0 {
+			return n + uint32(idx)
+		}
+		n += scanned
 	}
 }
 

@@ -1,0 +1,334 @@
+package machine
+
+// This file locks in the central invariant of the batched access pipeline:
+// for ANY sequence of scalar accesses and bulk touches, the pipeline (with
+// its same-line fast paths, MRU probes, level-by-level batching and per-page
+// EPC dedupe) produces exactly the perf.Counters of the straightforward
+// scalar model — one naive LRU probe per cache line, one EPC probe per line,
+// one counter update per access. The reference below is deliberately naive
+// and shares no code with the optimised path.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgxbounds/internal/cache"
+	"sgxbounds/internal/enclave"
+	"sgxbounds/internal/mem"
+	"sgxbounds/internal/perf"
+)
+
+// refCache is a plain set-associative LRU cache: full victim scan on every
+// probe, no MRU shortcut, no batching.
+type refCache struct {
+	ways  int
+	mask  uint32
+	tags  []uint32
+	stamp []uint64
+	clock uint64
+}
+
+func newRefCache(cfg cache.Config) *refCache {
+	sets := cfg.Sets()
+	return &refCache{
+		ways:  cfg.Ways,
+		mask:  uint32(sets - 1),
+		tags:  make([]uint32, sets*cfg.Ways),
+		stamp: make([]uint64, sets*cfg.Ways),
+	}
+}
+
+func (c *refCache) access(line uint32) bool {
+	set := line & c.mask
+	tag := line + 1
+	base := int(set) * c.ways
+	c.clock++
+	victim, oldest := base, c.stamp[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return true
+		}
+		if c.stamp[i] < oldest {
+			oldest, victim = c.stamp[i], i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// refModel is the scalar-loop reference: the pre-pipeline per-access walk
+// through L1, L2, LLC and the EPC, charging costs through the branchy
+// AccessCost path rather than the precomputed table.
+type refModel struct {
+	l1, l2, l3 *refCache
+	epc        *enclave.EPC
+	cost       perf.CostModel
+	enclave    bool
+	C          perf.Counters
+}
+
+func newRefModel(cfg Config) *refModel {
+	r := &refModel{
+		l1:      newRefCache(cfg.L1),
+		l2:      newRefCache(cfg.L2),
+		l3:      newRefCache(cfg.L3),
+		cost:    cfg.Cost,
+		enclave: cfg.Enclave.Enabled,
+	}
+	if cfg.Enclave.Enabled {
+		r.epc = enclave.New(cfg.Enclave)
+	}
+	return r
+}
+
+func (r *refModel) accessLine(line uint32) {
+	lvl := perf.L1
+	switch {
+	case r.l1.access(line):
+	case r.l2.access(line):
+		lvl = perf.L2
+	case r.l3.access(line):
+		lvl = perf.L3
+	default:
+		lvl = perf.DRAM
+		if r.epc != nil {
+			if fault, cold := r.epc.Touch(line << cache.LineShift); fault {
+				if cold {
+					r.C.ColdFaults++
+					r.C.Cycles += r.cost.ColdFaultCost
+				} else {
+					lvl = perf.Fault
+					r.C.PageFaults++
+				}
+			}
+		}
+	}
+	r.C.Hits[lvl]++
+	r.C.Cycles += r.cost.AccessCost(lvl, r.enclave)
+}
+
+func (r *refModel) access(addr uint32, size uint8, write bool) {
+	if write {
+		r.C.Stores++
+	} else {
+		r.C.Loads++
+	}
+	first := addr >> cache.LineShift
+	last := (addr + uint32(size) - 1) >> cache.LineShift
+	for line := first; ; line++ {
+		r.accessLine(line)
+		if line == last {
+			break
+		}
+	}
+}
+
+func (r *refModel) touch(addr, n uint32, write bool) {
+	if n == 0 {
+		return
+	}
+	first := addr >> cache.LineShift
+	last := (addr + n - 1) >> cache.LineShift
+	for line := first; ; line++ {
+		if write {
+			r.C.Stores++
+		} else {
+			r.C.Loads++
+		}
+		r.accessLine(line)
+		if line == last {
+			break
+		}
+	}
+}
+
+// equivConfig shrinks every capacity so short op sequences exercise cache
+// eviction, EPC eviction and CLOCK wraparound: 8-set 2-way L1, 16-page EPC.
+func equivConfig(enclaveOn bool) Config {
+	return Config{
+		Enclave:      enclave.Config{Enabled: enclaveOn, EPCBytes: 16 * mem.PageSize},
+		Cost:         perf.Default(),
+		MemoryBudget: 1 << 30,
+		L1:           cache.Config{Size: 1 << 10, Ways: 2},
+		L2:           cache.Config{Size: 4 << 10, Ways: 4},
+		L3:           cache.Config{Size: 16 << 10, Ways: 8},
+	}
+}
+
+// op is one step of an access trace.
+type op struct {
+	kind uint8 // 0 = scalar load, 1 = scalar store, 2..3 = touch (read/write)
+	addr uint32
+	size uint8  // scalar access size
+	n    uint32 // touch length
+}
+
+func runEquiv(t *testing.T, name string, enclaveOn bool, ops []op) {
+	t.Helper()
+	cfg := equivConfig(enclaveOn)
+	m := New(cfg)
+	th := m.NewThread()
+	ref := newRefModel(cfg)
+	for i, o := range ops {
+		switch o.kind & 3 {
+		case 0:
+			th.Load(o.addr, o.size)
+			ref.access(o.addr, o.size, false)
+		case 1:
+			th.Store(o.addr, o.size, uint64(i))
+			ref.access(o.addr, o.size, true)
+		case 2:
+			th.Touch(o.addr, o.n, false)
+			ref.touch(o.addr, o.n, false)
+		case 3:
+			th.Touch(o.addr, o.n, true)
+			ref.touch(o.addr, o.n, true)
+		}
+		if th.C != ref.C {
+			t.Fatalf("%s: counters diverge after op %d (%+v):\n pipeline:  %+v\n reference: %+v",
+				name, i, o, th.C, ref.C)
+		}
+	}
+}
+
+func scalarSize(b uint8) uint8 { return 1 << (b & 3) } // 1, 2, 4 or 8
+
+// TestAccessEquivalenceTable pins the boundary cases by hand: accesses that
+// straddle cache lines and pages, touches on both sides of the batch
+// threshold, ranges larger than the EPC, and the line-alternation patterns
+// the fast paths key on.
+func TestAccessEquivalenceTable(t *testing.T) {
+	const (
+		line = cache.LineSize
+		page = mem.PageSize
+	)
+	cases := []struct {
+		name string
+		ops  []op
+	}{
+		{"straddle-line", []op{
+			{kind: 0, addr: 0x2000 + line - 1, size: 4},
+			{kind: 1, addr: 0x2000 + line - 2, size: 8},
+			{kind: 0, addr: 0x2000 + line - 1, size: 4},
+		}},
+		{"straddle-page", []op{
+			{kind: 1, addr: 0x3000 + page - 3, size: 8},
+			{kind: 0, addr: 0x3000 + page - 3, size: 8},
+		}},
+		{"touch-batch-threshold", []op{
+			{kind: 2, addr: 0x4000, n: batchThreshold * line},       // scalar walk
+			{kind: 3, addr: 0x8000, n: (batchThreshold + 1) * line}, // batched
+			{kind: 2, addr: 0x8000 + 1, n: (batchThreshold+1)*line - 2},
+			{kind: 2, addr: 0x9000, n: 1},
+			{kind: 2, addr: 0x9000, n: 0},
+		}},
+		{"touch-spans-pages", []op{
+			{kind: 3, addr: 5*page - 7, n: 3*page + 11},
+			{kind: 2, addr: 5*page - 7, n: 3*page + 11},
+		}},
+		{"touch-exceeds-epc", []op{
+			{kind: 3, addr: 0x1_0000, n: 24 * page}, // 24 pages > 16-page EPC
+			{kind: 2, addr: 0x1_0000, n: 24 * page}, // thrash it again
+			{kind: 0, addr: 0x1_0000, size: 8},
+		}},
+		{"same-line-repeat", []op{
+			{kind: 0, addr: 0x5000, size: 4},
+			{kind: 0, addr: 0x5004, size: 4},
+			{kind: 1, addr: 0x5008, size: 8},
+			{kind: 2, addr: 0x5010, n: 16},
+		}},
+		{"two-line-alternation", []op{
+			// 0x6000 and 0x6100 map to different L1 sets (8 sets, 64-byte
+			// lines): the prevLine fast path engages.
+			{kind: 0, addr: 0x6000, size: 4}, {kind: 0, addr: 0x6100, size: 4},
+			{kind: 0, addr: 0x6000, size: 4}, {kind: 0, addr: 0x6100, size: 4},
+			{kind: 1, addr: 0x6000, size: 4}, {kind: 1, addr: 0x6100, size: 4},
+		}},
+		{"same-set-alternation", []op{
+			// 0x6000 and 0x6200 map to the SAME L1 set (stride 512 = 8 sets
+			// of 64 bytes): the fast path must not engage, and with 2 ways
+			// plus a third conflicting line the eviction order matters.
+			{kind: 0, addr: 0x6000, size: 4}, {kind: 0, addr: 0x6200, size: 4},
+			{kind: 0, addr: 0x6000, size: 4}, {kind: 0, addr: 0x6400, size: 4},
+			{kind: 0, addr: 0x6200, size: 4}, {kind: 0, addr: 0x6000, size: 4},
+		}},
+		{"three-line-rotation", []op{
+			{kind: 0, addr: 0x7000, size: 8}, {kind: 0, addr: 0x7100, size: 8},
+			{kind: 0, addr: 0x7300, size: 8}, {kind: 0, addr: 0x7000, size: 8},
+			{kind: 0, addr: 0x7100, size: 8}, {kind: 0, addr: 0x7300, size: 8},
+		}},
+		{"bulk-then-scalar", []op{
+			{kind: 3, addr: 0xA000, n: 40 * line},
+			// Scalar access to the bulk range's final line (fast path) and to
+			// an interior line (must re-probe).
+			{kind: 0, addr: 0xA000 + 39*line + 8, size: 4},
+			{kind: 0, addr: 0xA000 + 20*line, size: 4},
+		}},
+	}
+	for _, tc := range cases {
+		for _, enclaveOn := range []bool{true, false} {
+			name := tc.name
+			if !enclaveOn {
+				name += "-native"
+			}
+			runEquiv(t, name, enclaveOn, tc.ops)
+		}
+	}
+}
+
+// TestAccessEquivalenceRandom drives both models with long pseudo-random
+// traces mixing scalar accesses and touches over a window several times the
+// EPC, under both enclave settings.
+func TestAccessEquivalenceRandom(t *testing.T) {
+	const window = 128 * mem.PageSize // 8x the scaled EPC
+	for _, seed := range []int64{1, 2, 3, 4} {
+		for _, enclaveOn := range []bool{true, false} {
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]op, 4000)
+			for i := range ops {
+				o := op{kind: uint8(rng.Intn(4)), addr: 0x1000 + uint32(rng.Intn(window))}
+				switch {
+				case o.kind < 2:
+					o.size = scalarSize(uint8(rng.Intn(4)))
+				case rng.Intn(4) == 0:
+					o.n = uint32(rng.Intn(8 * mem.PageSize)) // long touch
+				default:
+					o.n = uint32(rng.Intn(6 * cache.LineSize))
+				}
+				// Bias towards locality so the fast paths actually engage:
+				// every few ops, revisit one of the previous two addresses.
+				if i >= 2 && rng.Intn(3) == 0 {
+					o.addr = ops[i-1-rng.Intn(2)].addr
+				}
+				ops[i] = o
+			}
+			runEquiv(t, "random", enclaveOn, ops)
+		}
+	}
+}
+
+// FuzzAccessEquivalence lets the fuzzer hunt for op sequences that split the
+// two models. Each 8-byte group decodes one op.
+func FuzzAccessEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0x20, 0x00, 0x3F, 2, 0x00, 0x10, 0xFF})
+	f.Add([]byte{1, 0xFF, 0x0F, 0x00, 3, 0x34, 0x12, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ops []op
+		for i := 0; i+8 <= len(data) && len(ops) < 512; i += 8 {
+			o := op{
+				kind: data[i],
+				addr: 0x1000 + (uint32(data[i+1]) | uint32(data[i+2])<<8 | uint32(data[i+3])<<16),
+			}
+			o.size = scalarSize(data[i+4])
+			o.n = uint32(data[i+5]) | uint32(data[i+6])<<8
+			ops = append(ops, o)
+		}
+		if len(ops) == 0 {
+			return
+		}
+		runEquiv(t, "fuzz", true, ops)
+		runEquiv(t, "fuzz-native", false, ops)
+	})
+}

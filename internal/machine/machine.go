@@ -98,6 +98,8 @@ type Machine struct {
 	L3  *cache.Shared
 	EPC *enclave.EPC
 
+	costs perf.Table // Cfg.Cost resolved for this machine's enclave setting
+
 	atomicMu sync.Mutex // the lock-prefix bus lock for atomic RMW
 
 	mu         sync.Mutex
@@ -125,6 +127,7 @@ func New(cfg Config) *Machine {
 		AS:         mem.New(),
 		Cfg:        cfg,
 		L3:         cache.NewShared(cfg.L3),
+		costs:      cfg.Cost.Table(cfg.Enclave.Enabled),
 		globalsBrk: GlobalsBase,
 		mmapBrk:    MmapBase,
 		metaBrk:    MetaBase,
@@ -137,7 +140,8 @@ func New(cfg Config) *Machine {
 }
 
 // TryReserve reserves size bytes of virtual memory, failing with
-// ErrOutOfMemory if it would exceed the enclave budget.
+// ErrOutOfMemory if it would exceed the enclave budget. Callers must hold
+// m.mu: the check-then-reserve pair is what the lock makes atomic.
 func (m *Machine) TryReserve(size uint64) error {
 	if m.AS.Reserved()+size > m.Cfg.MemoryBudget {
 		return ErrOutOfMemory
@@ -179,10 +183,14 @@ func (m *Machine) Mmap(size uint32) (uint32, error) {
 
 // Munmap releases a mapping's reservation and decommits its pages. The
 // region allocator is bump-only, so the addresses are not recycled; this
-// matches the reproduction's reserved-VM accounting needs.
+// matches the reproduction's reserved-VM accounting needs. It takes m.mu so
+// that the release is atomic with respect to the check-then-reserve in
+// TryReserve (GlobalAlloc, Mmap, MetaAlloc).
 func (m *Machine) Munmap(addr, size uint32) {
 	size = (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	m.mu.Lock()
 	m.AS.Release(uint64(size))
+	m.mu.Unlock()
 	for p := addr; p < addr+size; p += mem.PageSize {
 		m.AS.Decommit(p)
 	}
@@ -218,6 +226,25 @@ type Thread struct {
 
 	l1, l2 *cache.Cache
 
+	// lastLine and prevLine are 1 + the line numbers of this thread's two
+	// most recent distinct cache-line probes (0 = none), with the invariant
+	// that the two lines map to different L1 sets and neither set has been
+	// probed since the line's own probe. Under that invariant a scalar
+	// access to either line is a guaranteed L1 hit (private L1, the line's
+	// set untouched in between, so the line is still resident), and skipping
+	// the probe cannot change any future replacement decision: LRU compares
+	// stamps only within one set, and the set received no other stamps since.
+	// Tracking two lines instead of one catches the pervasive
+	// data-line/metadata-line alternation of the hardening policies (shadow
+	// bytes, bounds-table entries, tagged-pointer bounds words).
+	lastLine uint32
+	prevLine uint32
+
+	// missBuf are the reusable spill buffers of the batched access pipeline:
+	// lines that missed L1, lines that missed L2, lines that missed the LLC,
+	// and the deduplicated pages of the LLC misses.
+	missBuf [4][]uint32
+
 	stackLo uint32 // bottom of this thread's stack region
 	sp      uint32 // current stack pointer (grows down)
 }
@@ -236,8 +263,11 @@ func (m *Machine) NewThread() *Thread {
 		panic("machine: out of stack regions")
 	}
 	m.nextStack += StackSize
-	m.mu.Unlock()
+	// Stack regions are reserved unconditionally (threads are a fixed
+	// hardware resource, not an allocation that can fail), but under m.mu
+	// like every other reservation so the accounting stays consistent.
 	m.AS.Reserve(StackSize)
+	m.mu.Unlock()
 	return &Thread{
 		M:       m,
 		ID:      id,
@@ -255,27 +285,33 @@ func (t *Thread) Instr(n uint64) {
 }
 
 // accessLine runs one cache-line access through the hierarchy and charges
-// its cost.
-func (t *Thread) accessLine(addr uint32) {
-	cost := &t.M.Cfg.Cost
-	enclaveOn := t.M.EPC != nil
+// its cost from the machine's precomputed table.
+func (t *Thread) accessLine(line uint32) {
+	// The previous most-recent line stays trackable only if its L1 set is
+	// not the one this probe touches (see the lastLine/prevLine invariant).
+	if prev := t.lastLine; prev != 0 && t.l1.SetOf(prev-1) != t.l1.SetOf(line) {
+		t.prevLine = prev
+	} else {
+		t.prevLine = 0
+	}
+	t.lastLine = line + 1
 	var lvl perf.Level
 	switch {
-	case t.l1.Access(addr):
+	case t.l1.AccessLine(line):
 		lvl = perf.L1
-	case t.l2.Access(addr):
+	case t.l2.AccessLine(line):
 		lvl = perf.L2
-	case t.M.L3.Access(addr):
+	case t.M.L3.AccessLine(line):
 		lvl = perf.L3
 	default:
 		lvl = perf.DRAM
-		if enclaveOn {
-			if fault, cold := t.M.EPC.Touch(addr); fault {
+		if epc := t.M.EPC; epc != nil {
+			if fault, cold := epc.Touch(line << cache.LineShift); fault {
 				if cold {
 					// Compulsory fault: a fresh page is added (EAUG), far
 					// cheaper than paging an evicted page back in.
 					t.C.ColdFaults++
-					t.C.Cycles += cost.ColdFaultCost
+					t.C.Cycles += t.M.costs.ColdFault
 				} else {
 					lvl = perf.Fault
 					t.C.PageFaults++
@@ -284,7 +320,7 @@ func (t *Thread) accessLine(addr uint32) {
 		}
 	}
 	t.C.Hits[lvl]++
-	t.C.Cycles += cost.AccessCost(lvl, enclaveOn)
+	t.C.Cycles += t.M.costs.Level[lvl]
 }
 
 // access accounts one scalar access of the given size at addr.
@@ -294,10 +330,50 @@ func (t *Thread) access(addr uint32, size uint8, write bool) {
 	} else {
 		t.C.Loads++
 	}
-	t.accessLine(addr)
-	if last := addr + uint32(size) - 1; last>>cache.LineShift != addr>>cache.LineShift {
+	line := addr >> cache.LineShift
+	last := (addr + uint32(size) - 1) >> cache.LineShift
+	if line == last {
+		if line+1 == t.lastLine {
+			// Same line as this thread's previous access: a guaranteed L1
+			// hit (private L1, untouched in between), charged without
+			// re-probing.
+			t.C.Hits[perf.L1]++
+			t.C.Cycles += t.M.costs.Level[perf.L1]
+			return
+		}
+		if line+1 == t.prevLine {
+			// The line before that, in a different L1 set: also still
+			// resident and stamp-order-safe; it becomes most recent again.
+			t.prevLine = t.lastLine
+			t.lastLine = line + 1
+			t.C.Hits[perf.L1]++
+			t.C.Cycles += t.M.costs.Level[perf.L1]
+			return
+		}
+	}
+	t.accessLine(line)
+	if last != line {
 		t.accessLine(last)
 	}
+}
+
+// ChargeSameLine charges k extra scalar accesses to the line of this
+// thread's most recent access. Such accesses are guaranteed L1 hits (the
+// private L1 holds the line it just filled), so bulk operations that read or
+// write a line byte-by-byte in the scalar model — string scans, overlay
+// transfers — account the follow-up bytes in one step. It must only be
+// called immediately after an access to the same line.
+func (t *Thread) ChargeSameLine(k uint64, write bool) {
+	if k == 0 {
+		return
+	}
+	if write {
+		t.C.Stores += k
+	} else {
+		t.C.Loads += k
+	}
+	t.C.Hits[perf.L1] += k
+	t.C.Cycles += k * t.M.costs.Level[perf.L1]
 }
 
 // Load performs an accounted scalar load.
@@ -313,25 +389,115 @@ func (t *Thread) Store(addr uint32, size uint8, v uint64) {
 }
 
 // Touch accounts accesses to the n bytes starting at addr at cache-line
-// granularity without transferring data. Bulk operations (memcpy, shadow
-// poisoning) combine Touch with raw address-space transfers.
+// granularity without transferring data: one load or store event per line.
+// Bulk operations (memcpy, shadow poisoning) combine Touch with raw
+// address-space transfers.
 func (t *Thread) Touch(addr uint32, n uint32, write bool) {
 	if n == 0 {
 		return
 	}
 	first := addr >> cache.LineShift
 	last := (addr + n - 1) >> cache.LineShift
-	for line := first; ; line++ {
+	t.accessRange(first, last, write)
+}
+
+// batchThreshold is the line count above which Touch switches from the
+// scalar per-line walk to the batched level-by-level pipeline. Short ranges
+// (a scalar access, a tagged-pointer metadata word) are cheaper without the
+// batch bookkeeping.
+const batchThreshold = 4
+
+// accessRange pushes the inclusive line range [first, last] through the
+// memory hierarchy and charges one load or store event per line.
+//
+// Lines walk the hierarchy level by level: all lines probe L1 (misses spill
+// to a buffer), the L1 misses probe L2, the L2 misses probe the LLC under a
+// single lock, and the pages of the LLC misses — deduplicated, so a bulk
+// operation faults at most once per page — probe the EPC under a single
+// lock. Per-level counts are then charged in one Counters update.
+//
+// This produces exactly the counters and cache/EPC state of the per-line
+// walk (each cache sees the same access sequence — every level receives the
+// ascending subsequence of lines that missed the previous level), which the
+// equivalence tests in access_equiv_test.go lock in.
+func (t *Thread) accessRange(first, last uint32, write bool) {
+	nLines := uint64(last - first + 1)
+	if nLines <= batchThreshold {
 		if write {
-			t.C.Stores++
+			t.C.Stores += nLines
 		} else {
-			t.C.Loads++
+			t.C.Loads += nLines
 		}
-		t.accessLine(line << cache.LineShift)
-		if line == last {
-			break
+		if first == last {
+			// Same-line fast paths, as in scalar access.
+			if first+1 == t.lastLine {
+				t.C.Hits[perf.L1]++
+				t.C.Cycles += t.M.costs.Level[perf.L1]
+				return
+			}
+			if first+1 == t.prevLine {
+				t.prevLine = t.lastLine
+				t.lastLine = first + 1
+				t.C.Hits[perf.L1]++
+				t.C.Cycles += t.M.costs.Level[perf.L1]
+				return
+			}
 		}
+		for line := first; ; line++ {
+			t.accessLine(line)
+			if line == last {
+				break
+			}
+		}
+		return
 	}
+
+	var b perf.Batch
+	if write {
+		b.Stores = nLines
+	} else {
+		b.Loads = nLines
+	}
+	missL1 := t.l1.AccessRange(first, last, t.missBuf[0][:0])
+	b.Hits[perf.L1] = nLines - uint64(len(missL1))
+	if len(missL1) > 0 {
+		missL2 := t.l2.AccessLines(missL1, t.missBuf[1][:0])
+		b.Hits[perf.L2] = uint64(len(missL1) - len(missL2))
+		if len(missL2) > 0 {
+			missL3 := t.M.L3.AccessLines(missL2, t.missBuf[2][:0])
+			b.Hits[perf.L3] = uint64(len(missL2) - len(missL3))
+			if n := uint64(len(missL3)); n > 0 {
+				b.Hits[perf.DRAM] = n
+				if epc := t.M.EPC; epc != nil {
+					// Dedupe the (ascending) missed lines to pages: the EPC
+					// is probed once per page, exactly one line per faulting
+					// page pays the fault level.
+					const lineToPage = mem.PageShift - cache.LineShift
+					pages := t.missBuf[3][:0]
+					prev := missL3[0]>>lineToPage + 1 // != any page number
+					for _, line := range missL3 {
+						if pn := line >> lineToPage; pn != prev {
+							pages = append(pages, pn)
+							prev = pn
+						}
+					}
+					warm, cold := epc.TouchPages(pages)
+					b.Hits[perf.DRAM] -= warm
+					b.Hits[perf.Fault] = warm
+					b.ColdFaults = cold
+					t.missBuf[3] = pages
+				}
+			}
+			t.missBuf[2] = missL3
+		}
+		t.missBuf[1] = missL2
+	}
+	t.missBuf[0] = missL1
+	// The batch probed many sets; only its final line (the last L1 probe) is
+	// still provably resident and stamp-order-safe.
+	t.lastLine = last + 1
+	t.prevLine = 0
+	t.C.Charge(&b, &t.M.costs)
 }
 
 // StackPointer returns the current stack pointer.

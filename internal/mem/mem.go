@@ -14,6 +14,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,13 +31,26 @@ const (
 
 type page [PageSize]byte
 
+// The page table is two-level so that an AddressSpace costs kilobytes, not
+// megabytes, until pages are actually committed: a flat table would be one
+// million pointer slots (8 MB to allocate, zero and GC-scan per simulated
+// machine, and experiment sweeps build hundreds of machines), while the
+// sparse spaces the benchmarks touch populate only a handful of chunks.
+const (
+	chunkShift = 9                      // log2 pages per chunk (2 MiB of space)
+	chunkPages = 1 << chunkShift        //
+	numChunks  = NumPages >> chunkShift //
+)
+
+type chunk [chunkPages]atomic.Pointer[page]
+
 // AddressSpace is a sparse 32-bit byte-addressable memory. Pages are
 // committed (backed by real storage) on first touch. All methods are safe
 // for concurrent use by multiple simulated threads; races on the *contents*
 // of memory are the simulated program's own business, exactly as on real
 // hardware.
 type AddressSpace struct {
-	pages []atomic.Pointer[page] // NumPages entries, allocated lazily in chunks
+	chunks [numChunks]atomic.Pointer[chunk]
 
 	commitMu sync.Mutex // serializes page commits
 
@@ -49,7 +63,7 @@ type AddressSpace struct {
 
 // New returns an empty address space.
 func New() *AddressSpace {
-	return &AddressSpace{pages: make([]atomic.Pointer[page], NumPages)}
+	return &AddressSpace{}
 }
 
 // Reserve records size bytes of reserved virtual memory (the analogue of
@@ -88,9 +102,11 @@ func (as *AddressSpace) PeakCommitted() uint64 { return as.peakCommit.Load() }
 func (as *AddressSpace) Decommit(addr uint32) {
 	pn := addr >> PageShift
 	as.commitMu.Lock()
-	if as.pages[pn].Load() != nil {
-		as.pages[pn].Store(nil)
-		as.committed.Add(^uint64(PageSize - 1))
+	if ch := as.chunks[pn>>chunkShift].Load(); ch != nil {
+		if ch[pn&(chunkPages-1)].Load() != nil {
+			ch[pn&(chunkPages-1)].Store(nil)
+			as.committed.Add(^uint64(PageSize - 1))
+		}
 	}
 	as.commitMu.Unlock()
 }
@@ -98,14 +114,27 @@ func (as *AddressSpace) Decommit(addr uint32) {
 // pageFor returns the page containing addr, committing it if needed.
 func (as *AddressSpace) pageFor(addr uint32) *page {
 	pn := addr >> PageShift
-	if p := as.pages[pn].Load(); p != nil {
-		return p
+	if ch := as.chunks[pn>>chunkShift].Load(); ch != nil {
+		if p := ch[pn&(chunkPages-1)].Load(); p != nil {
+			return p
+		}
 	}
+	return as.commitPage(pn)
+}
+
+// commitPage is pageFor's slow path: it installs the chunk and page as
+// needed, racing commits serialized by commitMu.
+func (as *AddressSpace) commitPage(pn uint32) *page {
 	as.commitMu.Lock()
-	p := as.pages[pn].Load()
+	ch := as.chunks[pn>>chunkShift].Load()
+	if ch == nil {
+		ch = new(chunk)
+		as.chunks[pn>>chunkShift].Store(ch)
+	}
+	p := ch[pn&(chunkPages-1)].Load()
 	if p == nil {
 		p = new(page)
-		as.pages[pn].Store(p)
+		ch[pn&(chunkPages-1)].Store(p)
 		cur := as.committed.Add(PageSize)
 		for {
 			peak := as.peakCommit.Load()
@@ -120,7 +149,9 @@ func (as *AddressSpace) pageFor(addr uint32) *page {
 
 // IsCommitted reports whether the page containing addr is committed.
 func (as *AddressSpace) IsCommitted(addr uint32) bool {
-	return as.pages[addr>>PageShift].Load() != nil
+	pn := addr >> PageShift
+	ch := as.chunks[pn>>chunkShift].Load()
+	return ch != nil && ch[pn&(chunkPages-1)].Load() != nil
 }
 
 // Load reads size bytes (1, 2, 4 or 8) at addr, little-endian.
@@ -131,16 +162,11 @@ func (as *AddressSpace) Load(addr uint32, size uint8) uint64 {
 		case 1:
 			return uint64(p[off])
 		case 2:
-			return uint64(p[off]) | uint64(p[off+1])<<8
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
 		case 4:
-			return uint64(p[off]) | uint64(p[off+1])<<8 |
-				uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
 		case 8:
-			lo := uint64(p[off]) | uint64(p[off+1])<<8 |
-				uint64(p[off+2])<<16 | uint64(p[off+3])<<24
-			hi := uint64(p[off+4]) | uint64(p[off+5])<<8 |
-				uint64(p[off+6])<<16 | uint64(p[off+7])<<24
-			return lo | hi<<32
+			return binary.LittleEndian.Uint64(p[off:])
 		default:
 			panic(fmt.Sprintf("mem: bad access size %d", size))
 		}
@@ -162,15 +188,11 @@ func (as *AddressSpace) Store(addr uint32, size uint8, v uint64) {
 		case 1:
 			p[off] = byte(v)
 		case 2:
-			p[off], p[off+1] = byte(v), byte(v>>8)
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
 		case 4:
-			p[off], p[off+1], p[off+2], p[off+3] =
-				byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
 		case 8:
-			p[off], p[off+1], p[off+2], p[off+3] =
-				byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-			p[off+4], p[off+5], p[off+6], p[off+7] =
-				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+			binary.LittleEndian.PutUint64(p[off:], v)
 		default:
 			panic(fmt.Sprintf("mem: bad access size %d", size))
 		}

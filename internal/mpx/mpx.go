@@ -31,6 +31,7 @@ package mpx
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sgxbounds/internal/harden"
 	"sgxbounds/internal/machine"
@@ -62,6 +63,13 @@ type Policy struct {
 	bounds [][2]uint32       // bounds-register file + spill values; id-1 indexes
 	byKey  map[uint64]uint32 // packed (lb,ub) -> id, for bndldx reconstruction
 	bts    map[uint32]uint32 // region -> bounds-table base
+
+	// boundsSnap is the latest published snapshot of the append-only bounds
+	// slice. boundsOf runs on every checked access, so it reads the snapshot
+	// lock-free; makeBounds republishes it (under mu) after each append. Ids
+	// are stable and entries immutable, so any snapshot that contains an id
+	// resolves it correctly.
+	boundsSnap atomic.Pointer[[][2]uint32]
 }
 
 // New builds an MPX policy over env, mapping the Bounds Directory.
@@ -118,20 +126,23 @@ func (pl *Policy) makeBounds(lb, ub uint32) uint32 {
 	pl.bounds = append(pl.bounds, [2]uint32{lb, ub})
 	id = uint32(len(pl.bounds))
 	pl.byKey[key] = id
+	snap := pl.bounds
+	pl.boundsSnap.Store(&snap)
 	return id
 }
 
-// boundsOf resolves a bounds id.
+// boundsOf resolves a bounds id against the published snapshot. A caller
+// holding an id always observes a snapshot that contains it: the id was
+// published (with its entry) before the caller could have obtained it.
 func (pl *Policy) boundsOf(id uint32) (lb, ub uint32, ok bool) {
 	if id == 0 {
 		return 0, 0, false
 	}
-	pl.mu.RLock()
-	defer pl.mu.RUnlock()
-	if int(id) > len(pl.bounds) {
+	snap := pl.boundsSnap.Load()
+	if snap == nil || int(id) > len(*snap) {
 		return 0, 0, false
 	}
-	b := pl.bounds[id-1]
+	b := (*snap)[id-1]
 	return b[0], b[1], true
 }
 

@@ -136,3 +136,51 @@ func (m *CostModel) AccessCost(l Level, enclave bool) uint64 {
 	}
 	return c
 }
+
+// Table is the cost model resolved for one enclave setting: every per-level
+// cost is fully materialised (MEE factor and page-fault surcharge folded in),
+// so the access path indexes an array instead of re-deriving the cost of
+// every access through the AccessCost branch chain.
+type Table struct {
+	Level     [numLevels]uint64 // full per-access cost of a hit at each level
+	ColdFault uint64            // surcharge for a compulsory (EAUG) fault
+}
+
+// Table materialises the [level x enclave] cost table for one enclave
+// setting. Machines precompute it once at construction.
+func (m *CostModel) Table(enclave bool) Table {
+	var t Table
+	for l := Level(0); l < numLevels; l++ {
+		t.Level[l] = m.AccessCost(l, enclave)
+	}
+	t.ColdFault = m.ColdFaultCost
+	return t
+}
+
+// Batch accumulates the events of one batched memory operation — a range
+// walk, a bulk copy — so the owning thread's Counters are updated once per
+// batch instead of once per cache line.
+type Batch struct {
+	Loads  uint64
+	Stores uint64
+
+	Hits [numLevels]uint64 // lines served at each level
+
+	ColdFaults uint64 // compulsory EPC faults (the lines stay DRAM-level)
+}
+
+// Charge folds one batch into c, converting level counts to cycles through
+// the precomputed table. Lines served at Fault level are EPC page faults by
+// definition, so PageFaults needs no separate field in the batch.
+func (c *Counters) Charge(b *Batch, tbl *Table) {
+	c.Loads += b.Loads
+	c.Stores += b.Stores
+	cycles := b.ColdFaults * tbl.ColdFault
+	for l, n := range b.Hits {
+		c.Hits[l] += n
+		cycles += n * tbl.Level[l]
+	}
+	c.PageFaults += b.Hits[Fault]
+	c.ColdFaults += b.ColdFaults
+	c.Cycles += cycles
+}
