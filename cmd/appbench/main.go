@@ -3,14 +3,19 @@
 // studies under each memory-safety mechanism. The (app, policy) cells are
 // independent and run on -parallel host workers; output is byte-identical
 // for every -parallel value.
+//
+// With -metrics or -trace, every cell carries a telemetry profile whose
+// capture is exported under the -trace-out base path (see cmd/sgxtrace).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/telemetry"
 )
 
 func main() {
@@ -18,12 +23,33 @@ func main() {
 	requests := flag.Int("requests", 2000, "requests per measurement")
 	parallel := flag.Int("parallel", 0, "measurement cells run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report cell progress to stderr")
+	metrics := flag.Bool("metrics", false, "collect per-cell telemetry metrics (counters, histograms)")
+	trace := flag.Bool("trace", false, "collect per-cell structured events too (implies -metrics)")
+	traceOut := flag.String("trace-out", "appbench-telemetry", "base path for telemetry exports (.profile.json, .metrics.csv, .events.jsonl, .trace.json)")
 	flag.Parse()
 
 	eng := bench.NewEngine(*parallel)
 	if *progress {
 		eng.Progress = os.Stderr
 	}
+	if *metrics || *trace {
+		eng.Telemetry = telemetry.NewCollector(telemetry.Options{
+			Metrics: true,
+			Events:  *trace,
+		})
+	}
+	defer func() {
+		if eng.Telemetry == nil {
+			return
+		}
+		paths, err := eng.Telemetry.WriteFiles(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: %d cells captured, wrote %s\n",
+			eng.Telemetry.Len(), strings.Join(paths, ", "))
+	}()
 
 	if *app == "all" {
 		eng.Fig13(os.Stdout, *requests)

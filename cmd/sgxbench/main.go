@@ -10,10 +10,17 @@
 // figures that share cells (fig7/fig8/fig10 overlap heavily) run each cell
 // once per invocation. Output is byte-identical for every -parallel value.
 //
+// With -metrics or -trace, every executed cell carries a telemetry profile
+// (per-cell counters, latency histograms and, under -trace, a structured
+// event stream); the captured data is exported next to the run under the
+// -trace-out base path. Telemetry is a side channel: table output on stdout
+// is byte-identical with it on or off.
+//
 // Usage:
 //
-//	sgxbench -experiment fig7 [-threads 8]
+//	sgxbench -experiment <fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table4|all> [-threads 8]
 //	sgxbench -experiment all [-parallel 8] [-progress]
+//	sgxbench -experiment fig9 -trace -trace-out fig9   # then: sgxtrace summarize fig9.profile.json
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +41,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report cell progress and per-policy cycle totals to stderr")
 	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
+	metrics := flag.Bool("metrics", false, "collect per-cell telemetry metrics (counters, histograms)")
+	trace := flag.Bool("trace", false, "collect per-cell structured events too (implies -metrics)")
+	traceOut := flag.String("trace-out", "sgxbench-telemetry", "base path for telemetry exports (.profile.json, .metrics.csv, .events.jsonl, .trace.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this file on exit")
 	flag.Parse()
@@ -69,6 +81,24 @@ func main() {
 	if *progress {
 		eng.Progress = os.Stderr
 	}
+	if *metrics || *trace {
+		eng.Telemetry = telemetry.NewCollector(telemetry.Options{
+			Metrics: true,
+			Events:  *trace,
+		})
+	}
+	defer func() {
+		if eng.Telemetry == nil {
+			return
+		}
+		paths, err := eng.Telemetry.WriteFiles(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: %d cells captured, wrote %s\n",
+			eng.Telemetry.Len(), strings.Join(paths, ", "))
+	}()
 
 	w := os.Stdout
 	writeCSV := func(name string, emit func(f *os.File) error) {

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sgxbounds/internal/telemetry"
+)
+
+// cyclesPerMillisecond converts simulated cycles to simulated milliseconds
+// (the paper's 3.6 GHz testbed).
+const cyclesPerMillisecond = 3.6e6
+
+// policyOf extracts the policy segment from a cell label: grid cells are
+// "workload/policy/SIZE/tN...", figure 1 cells "fig1:policy/items", case
+// studies "fig13:app/policy/rN".
+func policyOf(label string) string {
+	if rest, ok := strings.CutPrefix(label, "fig1:"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return rest[:i]
+		}
+		return rest
+	}
+	label = strings.TrimPrefix(label, "fig13:")
+	parts := strings.Split(label, "/")
+	if len(parts) >= 2 {
+		return parts[1]
+	}
+	return label
+}
+
+// eventCounts tallies the EPC activity recorded in a cell's event stream.
+type eventCounts struct {
+	faults, colds, evictions uint64
+	pageFaults               map[uint64]uint64 // page -> fault events
+	maxTs                    uint64
+}
+
+func countEvents(c *telemetry.CellDump) eventCounts {
+	ec := eventCounts{pageFaults: make(map[uint64]uint64)}
+	for _, e := range c.Events {
+		if e.Ts > ec.maxTs {
+			ec.maxTs = e.Ts
+		}
+		switch e.Kind {
+		case telemetry.EvEPCFault.String():
+			ec.faults++
+			ec.pageFaults[e.Arg0]++
+			if e.Arg1 == 1 {
+				ec.colds++
+			}
+		case telemetry.EvEviction.String():
+			ec.evictions++
+		}
+	}
+	return ec
+}
+
+// reconcile cross-checks one record of a quantity against another, emitting
+// an OK or MISMATCH line. Returns false on mismatch.
+func reconcile(w io.Writer, what string, got, want uint64, gotSrc, wantSrc string) bool {
+	if got == want {
+		fmt.Fprintf(w, "   reconcile %-22s OK (%s = %s = %d)\n", what+":", gotSrc, wantSrc, got)
+		return true
+	}
+	fmt.Fprintf(w, "   reconcile %-22s MISMATCH (%s=%d, %s=%d)\n", what+":", gotSrc, got, wantSrc, want)
+	return false
+}
+
+// sparkline renders counts as a density strip.
+func sparkline(bins []uint64) string {
+	const ramp = " .:-=+*#%@"
+	var max uint64
+	for _, b := range bins {
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(bins))
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		idx := int(b * uint64(len(ramp)-1) / max)
+		sb.WriteByte(ramp[idx])
+	}
+	return sb.String()
+}
+
+// Summarize prints a per-cell report of the profile followed by a per-policy
+// aggregate table. It returns ok=false if any reconciliation check failed.
+func Summarize(w io.Writer, rp *telemetry.RunProfile, top int, onlyCell string) (bool, error) {
+	fmt.Fprintf(w, "run profile: %d cells (version %d)\n", len(rp.Cells), rp.Version)
+	ok := true
+	type polAgg struct {
+		cells                             int
+		cycles, checks, faults, evictions uint64
+	}
+	policies := make(map[string]*polAgg)
+
+	for i := range rp.Cells {
+		c := &rp.Cells[i]
+		if onlyCell != "" && c.Label != onlyCell {
+			continue
+		}
+		cnt := func(name string) uint64 { return c.Counters[name] }
+		has := func(name string) bool { _, okc := c.Counters[name]; return okc }
+
+		fmt.Fprintf(w, "\n== %s\n", c.Label)
+		fmt.Fprintf(w, "   cycles %d (%.2f ms)   instr %d   checks %d   violations %d\n",
+			cnt("run.cycles"), float64(cnt("run.cycles"))/cyclesPerMillisecond,
+			cnt("run.instr"), cnt("run.checks"), cnt("run.violations"))
+		fmt.Fprintf(w, "   loads %d   stores %d   llc misses %d   peak reserved %.1f MB\n",
+			cnt("run.loads"), cnt("run.stores"), cnt("run.llc_misses"),
+			float64(cnt("run.peak_reserved_bytes"))/(1<<20))
+		fmt.Fprintf(w, "   epc: faults %d (cold %d, warm %d)   evictions %d\n",
+			cnt("run.epc_faults"), cnt("run.cold_faults"), cnt("run.page_faults"),
+			cnt("run.epc_evictions"))
+
+		agg := policies[policyOf(c.Label)]
+		if agg == nil {
+			agg = &polAgg{}
+			policies[policyOf(c.Label)] = agg
+		}
+		agg.cells++
+		agg.cycles += cnt("run.cycles")
+		agg.checks += cnt("run.checks")
+		agg.faults += cnt("run.epc_faults")
+		agg.evictions += cnt("run.epc_evictions")
+
+		// Reconciliation: the live counters, the terminal run.* counters and
+		// the event stream are three independent records of the same EPC
+		// activity; they must agree exactly.
+		if has("run.epc_faults") {
+			ok = reconcile(w, "epc faults", cnt("epc.faults"), cnt("run.epc_faults"),
+				"live", "terminal") && ok
+			ok = reconcile(w, "warm+cold faults", cnt("run.page_faults")+cnt("run.cold_faults"),
+				cnt("run.epc_faults"), "warm+cold", "total") && ok
+			ok = reconcile(w, "epc evictions", cnt("epc.evictions"), cnt("run.epc_evictions"),
+				"live", "terminal") && ok
+			ok = reconcile(w, "cold faults", cnt("epc.cold_faults"), cnt("run.cold_faults"),
+				"live", "terminal") && ok
+			if h, okh := c.Histograms["machine.fault_service_cycles"]; okh {
+				ok = reconcile(w, "fault services", h.Count, cnt("run.page_faults"),
+					"histogram", "terminal") && ok
+			}
+		}
+
+		if len(c.Events) > 0 {
+			fmt.Fprintf(w, "   events: %d kept, %d dropped (cap %d)\n",
+				len(c.Events), c.Dropped, c.EventCap)
+			ec := countEvents(c)
+			if c.Dropped == 0 && has("run.epc_faults") {
+				ok = reconcile(w, "fault events", ec.faults, cnt("run.epc_faults"),
+					"events", "terminal") && ok
+				ok = reconcile(w, "eviction events", ec.evictions, cnt("run.epc_evictions"),
+					"events", "terminal") && ok
+				ok = reconcile(w, "cold fault events", ec.colds, cnt("run.cold_faults"),
+					"events", "terminal") && ok
+			} else if c.Dropped > 0 {
+				fmt.Fprintf(w, "   (trace truncated: event counts are a prefix, skipping event reconciliation)\n")
+			}
+
+			if len(ec.pageFaults) > 0 && top > 0 {
+				type pageCount struct {
+					page, n uint64
+				}
+				pages := make([]pageCount, 0, len(ec.pageFaults))
+				for p, n := range ec.pageFaults {
+					pages = append(pages, pageCount{p, n})
+				}
+				sort.Slice(pages, func(i, j int) bool {
+					if pages[i].n != pages[j].n {
+						return pages[i].n > pages[j].n
+					}
+					return pages[i].page < pages[j].page
+				})
+				if len(pages) > top {
+					pages = pages[:top]
+				}
+				parts := make([]string, len(pages))
+				for i, pc := range pages {
+					parts[i] = fmt.Sprintf("0x%05x*%d", pc.page, pc.n)
+				}
+				fmt.Fprintf(w, "   hottest pages (faults): %s\n", strings.Join(parts, "  "))
+			}
+
+			if ec.faults > 0 {
+				span := cnt("run.cycles")
+				if span < ec.maxTs {
+					span = ec.maxTs
+				}
+				const nBins = 24
+				bins := make([]uint64, nBins)
+				for _, e := range c.Events {
+					if e.Kind != telemetry.EvEPCFault.String() {
+						continue
+					}
+					b := int(uint64(nBins) * e.Ts / (span + 1))
+					bins[b]++
+				}
+				fmt.Fprintf(w, "   fault timeline: |%s| (%d bins over %.2f ms)\n",
+					sparkline(bins), nBins, float64(span)/cyclesPerMillisecond)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nper-policy totals:\n")
+	fmt.Fprintf(w, "   %-12s %5s %16s %16s %12s %12s\n", "policy", "cells", "cycles", "checks", "epc faults", "evictions")
+	for _, n := range names {
+		a := policies[n]
+		fmt.Fprintf(w, "   %-12s %5d %16d %16d %12d %12d\n",
+			n, a.cells, a.cycles, a.checks, a.faults, a.evictions)
+	}
+	return ok, nil
+}
+
+// Diff aligns two profiles by cell label and reports the per-cell and
+// per-policy movement of cycles, checks and EPC faults from old to new.
+func Diff(w io.Writer, old, new_ *telemetry.RunProfile) error {
+	oldCells := make(map[string]*telemetry.CellDump, len(old.Cells))
+	for i := range old.Cells {
+		oldCells[old.Cells[i].Label] = &old.Cells[i]
+	}
+	newCells := make(map[string]*telemetry.CellDump, len(new_.Cells))
+	for i := range new_.Cells {
+		newCells[new_.Cells[i].Label] = &new_.Cells[i]
+	}
+
+	var common, onlyOld, onlyNew []string
+	for l := range oldCells {
+		if _, ok := newCells[l]; ok {
+			common = append(common, l)
+		} else {
+			onlyOld = append(onlyOld, l)
+		}
+	}
+	for l := range newCells {
+		if _, ok := oldCells[l]; !ok {
+			onlyNew = append(onlyNew, l)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	fmt.Fprintf(w, "diff: %d cells old, %d cells new, %d common\n\n", len(old.Cells), len(new_.Cells), len(common))
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %12s %12s\n", "cell", "cycles old", "cycles new", "ratio", "checks Δ", "faults Δ")
+
+	type polAgg struct{ oldCycles, newCycles, oldChecks, newChecks, oldFaults, newFaults uint64 }
+	policies := make(map[string]*polAgg)
+	for _, l := range common {
+		a, b := oldCells[l], newCells[l]
+		oc, nc := a.Counters["run.cycles"], b.Counters["run.cycles"]
+		ratio := "-"
+		if oc > 0 {
+			ratio = fmt.Sprintf("%.3fx", float64(nc)/float64(oc))
+		}
+		fmt.Fprintf(w, "%-40s %14d %14d %8s %+12d %+12d\n", l, oc, nc, ratio,
+			int64(b.Counters["run.checks"])-int64(a.Counters["run.checks"]),
+			int64(b.Counters["run.epc_faults"])-int64(a.Counters["run.epc_faults"]))
+		agg := policies[policyOf(l)]
+		if agg == nil {
+			agg = &polAgg{}
+			policies[policyOf(l)] = agg
+		}
+		agg.oldCycles += oc
+		agg.newCycles += nc
+		agg.oldChecks += a.Counters["run.checks"]
+		agg.newChecks += b.Counters["run.checks"]
+		agg.oldFaults += a.Counters["run.epc_faults"]
+		agg.newFaults += b.Counters["run.epc_faults"]
+	}
+	for _, l := range onlyOld {
+		fmt.Fprintf(w, "%-40s only in old\n", l)
+	}
+	for _, l := range onlyNew {
+		fmt.Fprintf(w, "%-40s only in new\n", l)
+	}
+
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nper-policy cycle totals:\n")
+	fmt.Fprintf(w, "   %-12s %16s %16s %8s %12s %12s\n", "policy", "cycles old", "cycles new", "ratio", "checks Δ", "faults Δ")
+	for _, n := range names {
+		a := policies[n]
+		ratio := "-"
+		if a.oldCycles > 0 {
+			ratio = fmt.Sprintf("%.3fx", float64(a.newCycles)/float64(a.oldCycles))
+		}
+		fmt.Fprintf(w, "   %-12s %16d %16d %8s %+12d %+12d\n", n, a.oldCycles, a.newCycles, ratio,
+			int64(a.newChecks)-int64(a.oldChecks), int64(a.newFaults)-int64(a.oldFaults))
+	}
+	return nil
+}

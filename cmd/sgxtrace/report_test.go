@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxbounds/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func loadProfile(t *testing.T, name string) *telemetry.RunProfile {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rp, err := telemetry.ReadRunProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenSummarize(t *testing.T) {
+	rp := loadProfile(t, "a.profile.json")
+	var buf bytes.Buffer
+	ok, err := Summarize(&buf, rp, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("reconciliation failed on a consistent profile:\n%s", buf.String())
+	}
+	checkGolden(t, "summarize.golden", buf.Bytes())
+}
+
+func TestGoldenDiff(t *testing.T) {
+	a, b := loadProfile(t, "a.profile.json"), loadProfile(t, "b.profile.json")
+	var buf bytes.Buffer
+	if err := Diff(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.golden", buf.Bytes())
+}
+
+func TestSummarizeFlagsInconsistentProfile(t *testing.T) {
+	rp := loadProfile(t, "a.profile.json")
+	// Corrupt one terminal counter: the live/terminal reconciliation must
+	// catch it.
+	rp.Cells[0].Counters["run.epc_faults"]++
+	var buf bytes.Buffer
+	ok, err := Summarize(&buf, rp, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("expected reconciliation failure, got OK:\n%s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("MISMATCH")) {
+		t.Errorf("no MISMATCH line in output:\n%s", buf.String())
+	}
+}
+
+func TestSummarizeSingleCell(t *testing.T) {
+	rp := loadProfile(t, "a.profile.json")
+	var buf bytes.Buffer
+	ok, err := Summarize(&buf, rp, 5, "kmeans/sgx/L/t8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("reconciliation failed:\n%s", buf.String())
+	}
+	if bytes.Contains(buf.Bytes(), []byte("fig1:sgxbounds")) {
+		t.Errorf("-cell filter leaked other cells:\n%s", buf.String())
+	}
+}
+
+func TestDiffIsSelfEmpty(t *testing.T) {
+	a1, a2 := loadProfile(t, "a.profile.json"), loadProfile(t, "a.profile.json")
+	var buf bytes.Buffer
+	if err := Diff(&buf, a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("only in")) {
+		t.Errorf("self-diff reported missing cells:\n%s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("1.000x")) {
+		t.Errorf("self-diff ratios not 1.000x:\n%s", buf.String())
+	}
+}
+
+func TestPolicyOf(t *testing.T) {
+	cases := map[string]string{
+		"kmeans/sgxbounds/L/t8":       "sgxbounds",
+		"mcf/asan/L/t1/native":        "asan",
+		"fig1:mpx/16000":              "mpx",
+		"fig13:memcached/sgx/r2000":   "sgx",
+		"kmeans/sgxbounds/L/t8/opts":  "sgxbounds",
+		"fig13:apache/sgxbounds/r500": "sgxbounds",
+	}
+	for label, want := range cases {
+		if got := policyOf(label); got != want {
+			t.Errorf("policyOf(%q) = %q, want %q", label, got, want)
+		}
+	}
+}

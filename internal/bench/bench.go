@@ -16,6 +16,7 @@ import (
 	"sgxbounds/internal/mpx"
 	"sgxbounds/internal/perf"
 	"sgxbounds/internal/sfi"
+	"sgxbounds/internal/telemetry"
 	"sgxbounds/internal/workloads"
 )
 
@@ -74,7 +75,9 @@ func Run(spec Spec) Result {
 		spec.Threads = 1
 	}
 	if spec.Config.L1.Size == 0 {
+		tel := spec.Config.Tel
 		spec.Config = machine.DefaultConfig()
+		spec.Config.Tel = tel
 	}
 	if spec.Policy == "sgxbounds" && !spec.CoreOptsSet {
 		spec.CoreOpts = core.AllOptimizations()
@@ -90,7 +93,9 @@ func Run(spec Spec) Result {
 	}
 	ctx := harden.NewCtx(pl, env.M.NewThread())
 	res := Result{Spec: spec}
-	res.Outcome = harden.Capture(func() {
+	tel := spec.Config.Tel
+	tel.Tracer().Emit(telemetry.Event{Kind: telemetry.EvPhaseBegin, Name: "run"})
+	res.Outcome = env.Capture(func() {
 		res.Digest = w.Run(ctx, spec.Threads, spec.Size)
 	})
 	res.Cycles = ctx.T.C.Cycles
@@ -100,7 +105,35 @@ func Run(spec Spec) Result {
 	if m, ok := pl.(*mpx.Policy); ok {
 		res.BoundsTables = m.BoundsTables()
 	}
+	tel.Tracer().Emit(telemetry.Event{Ts: res.Cycles, Kind: telemetry.EvPhaseEnd, Name: "run"})
+	publishRun(tel, env, &res.Totals, res.Cycles, res.PeakReserved)
 	return res
+}
+
+// publishRun snapshots a finished cell's terminal counters into its metrics
+// registry under run.*. These are the reconciliation anchors for sgxtrace:
+// the live epc.* counters and the event stream must agree with them exactly.
+func publishRun(p *telemetry.Profile, env *harden.Env, c *perf.Counters, cycles, peakReserved uint64) {
+	if p == nil || p.Metrics == nil {
+		return
+	}
+	add := func(name string, v uint64) { p.Counter(name).Add(v) }
+	add("run.cycles", cycles)
+	add("run.instr", c.Instr)
+	add("run.loads", c.Loads)
+	add("run.stores", c.Stores)
+	add("run.checks", c.Checks)
+	add("run.violations", c.Violations)
+	add("run.allocs", c.Allocs)
+	add("run.frees", c.Frees)
+	add("run.llc_misses", c.LLCMisses())
+	add("run.page_faults", c.PageFaults)
+	add("run.cold_faults", c.ColdFaults)
+	add("run.peak_reserved_bytes", peakReserved)
+	if epc := env.M.EPC; epc != nil {
+		add("run.epc_faults", epc.Faults())
+		add("run.epc_evictions", epc.Evictions())
+	}
 }
 
 // Overhead returns r's slowdown relative to base (1.0 = equal).

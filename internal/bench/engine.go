@@ -10,6 +10,7 @@ import (
 
 	"sgxbounds/internal/core"
 	"sgxbounds/internal/machine"
+	"sgxbounds/internal/telemetry"
 	"sgxbounds/internal/workloads"
 )
 
@@ -32,6 +33,13 @@ type Engine struct {
 	// depend on wall clock, so Progress must not be mixed into the
 	// deterministic table output; commands point it at stderr.
 	Progress io.Writer
+
+	// Telemetry, when non-nil, attaches a per-cell profile to every cell the
+	// engine executes. Profiles are keyed by the cell's canonical label
+	// (derived from the resolved spec), so duplicate cells across figures —
+	// which the engine memoises into one execution — share one profile and
+	// attribution survives -parallel scheduling. Nil leaves telemetry off.
+	Telemetry *telemetry.Collector
 
 	mu           sync.Mutex
 	cells        map[specKey]Result
@@ -113,6 +121,9 @@ func canonicalKey(spec Spec) (specKey, bool) {
 	if spec.Config.L1.Size == 0 {
 		spec.Config = machine.DefaultConfig()
 	}
+	// The attached telemetry profile is a side channel, never part of the
+	// cell's identity: cells differing only in Tel are the same cell.
+	spec.Config.Tel = nil
 	var opts core.Options
 	if spec.Policy == "sgxbounds" {
 		// Only the SGXBounds policy consumes CoreOpts; flattening the
@@ -142,6 +153,54 @@ func canonicalKey(spec Spec) (specKey, bool) {
 	}, true
 }
 
+// specLabel derives the canonical, human-readable label of a Run cell from
+// its resolved key: "workload/policy/SIZE/tN", with suffixes only for
+// departures from the evaluation's defaults (native = outside the enclave,
+// mbN = non-default enclave budget in MiB, epcN = non-default EPC pages,
+// opts... = a Figure 10 ablation variant). The label is what telemetry
+// profiles and sgxtrace reports key on.
+func specLabel(k specKey) string {
+	label := fmt.Sprintf("%s/%s/%s/t%d", k.workload, k.policy, k.size, k.threads)
+	if !k.config.Enclave.Enabled {
+		label += "/native"
+	} else {
+		if k.config.MemoryBudget != machine.DefaultMemoryBudget {
+			label += fmt.Sprintf("/mb%d", k.config.MemoryBudget>>20)
+		}
+		if k.config.Enclave.EPCBytes != 0 {
+			label += fmt.Sprintf("/epc%d", k.config.Enclave.EPCBytes>>12)
+		}
+	}
+	if k.policy == "sgxbounds" && k.opts != (optKey{safeElision: true, hoisting: true}) {
+		label += "/opts"
+		if k.opts.boundless {
+			label += "+boundless"
+		}
+		if k.opts.safeElision {
+			label += "+safe"
+		}
+		if k.opts.hoisting {
+			label += "+hoist"
+		}
+		if k.opts.extraMetaWords != 0 {
+			label += fmt.Sprintf("+meta%d", k.opts.extraMetaWords)
+		}
+		if k.opts.boundlessCapBytes != 0 {
+			label += fmt.Sprintf("+cap%d", k.opts.boundlessCapBytes)
+		}
+	}
+	return label
+}
+
+// attach resolves the profile for an executing cell (nil when telemetry is
+// off).
+func (e *Engine) attach(label string) *telemetry.Profile {
+	if e.Telemetry == nil {
+		return nil
+	}
+	return e.Telemetry.Attach(label)
+}
+
 // Run executes one cell through the engine's cache.
 func (e *Engine) Run(spec Spec) Result {
 	key, cacheable := canonicalKey(spec)
@@ -153,6 +212,7 @@ func (e *Engine) Run(spec Spec) Result {
 			return r
 		}
 		e.mu.Unlock()
+		spec.Config.Tel = e.attach(specLabel(key))
 	}
 	e.addTotal(1)
 	r := Run(spec)
@@ -200,7 +260,11 @@ func (e *Engine) RunAll(specs []Spec) []Result {
 
 	e.runJobs(len(jobs), func(j int) {
 		i := jobs[j]
-		r := Run(specs[i])
+		s := specs[i]
+		if cacheable[i] {
+			s.Config.Tel = e.attach(specLabel(keys[i]))
+		}
+		r := Run(s)
 		results[i] = r
 		if cacheable[i] {
 			e.mu.Lock()

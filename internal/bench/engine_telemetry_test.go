@@ -1,0 +1,112 @@
+package bench
+
+// Telemetry attachment through the engine: per-cell profiles keyed by
+// canonical label, shared across duplicate cells, identical table output
+// with telemetry on and off, and attribution that survives -parallel.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/telemetry"
+	"sgxbounds/internal/workloads"
+)
+
+func TestEngineAttachesProfilesByCanonicalLabel(t *testing.T) {
+	e := NewEngine(1)
+	e.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true})
+
+	spec := Spec{Workload: "kmeans", Policy: "sgxbounds", Size: workloads.XS}
+	r1 := e.Run(spec)
+	// Same cell with defaults spelled out: must hit the cache, not attach a
+	// second profile.
+	spec2 := spec
+	spec2.Threads = 1
+	spec2.Config = machine.DefaultConfig()
+	r2 := e.Run(spec2)
+	if r1.Digest != r2.Digest || r1.Cycles != r2.Cycles {
+		t.Fatalf("cache miss on canonical duplicate")
+	}
+	if hits, _ := e.CacheStats(); hits != 1 {
+		t.Fatalf("expected 1 cache hit, got %d", hits)
+	}
+
+	profiles := e.Telemetry.Profiles()
+	if len(profiles) != 1 {
+		t.Fatalf("expected 1 profile, got %d", len(profiles))
+	}
+	p := profiles[0]
+	if want := "kmeans/sgxbounds/XS/t1"; p.Label != want {
+		t.Errorf("label %q, want %q", p.Label, want)
+	}
+	if got := p.Counter("run.cycles").Value(); got != r1.Cycles {
+		t.Errorf("run.cycles %d, result says %d", got, r1.Cycles)
+	}
+	if got := p.Counter("run.checks").Value(); got != r1.Totals.Checks {
+		t.Errorf("run.checks %d, result says %d", got, r1.Totals.Checks)
+	}
+}
+
+func TestEngineTelemetryKeepsOutputIdentical(t *testing.T) {
+	ws := workloads.PhoenixParsec()[:2]
+
+	var plain bytes.Buffer
+	NewEngine(2).SuiteComparison(&plain, "tel", ws, workloads.XS, 2, machine.DefaultConfig())
+
+	var traced bytes.Buffer
+	e := NewEngine(2)
+	e.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true, Events: true})
+	e.SuiteComparison(&traced, "tel", ws, workloads.XS, 2, machine.DefaultConfig())
+
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatalf("table output differs with telemetry attached:\n--- plain ---\n%s\n--- traced ---\n%s",
+			plain.String(), traced.String())
+	}
+	if e.Telemetry.Len() != len(ws)*len(PolicyNames) {
+		t.Errorf("captured %d profiles, want %d", e.Telemetry.Len(), len(ws)*len(PolicyNames))
+	}
+}
+
+func TestEngineParallelAttributionStable(t *testing.T) {
+	ws := workloads.PhoenixParsec()[:2]
+	dump := func(workers int) *telemetry.RunProfile {
+		e := NewEngine(workers)
+		e.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true})
+		e.SuiteComparison(io.Discard, "tel", ws, workloads.XS, 2, machine.DefaultConfig())
+		return telemetry.Dump(e.Telemetry.Profiles())
+	}
+	seq, par := dump(1), dump(4)
+	var a, b bytes.Buffer
+	if err := seq.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exported profiles differ between 1 and 4 workers")
+	}
+}
+
+func TestSpecLabels(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Workload: "kmeans", Policy: "sgx", Size: workloads.L, Threads: 8}, "kmeans/sgx/L/t8"},
+		{Spec{Workload: "swaptions", Policy: "sgxbounds", Size: workloads.XS}, "swaptions/sgxbounds/XS/t1"},
+		{Spec{Workload: "mcf", Policy: "asan", Size: workloads.L, Threads: 1, Config: machine.NativeConfig()}, "mcf/asan/L/t1/native"},
+		{Spec{Workload: "kmeans", Policy: "sgxbounds", Size: workloads.L, Threads: 8, CoreOptsSet: true}, "kmeans/sgxbounds/L/t8/opts"},
+	}
+	for _, tc := range cases {
+		key, ok := canonicalKey(tc.spec)
+		if !ok {
+			t.Fatalf("spec %+v not cacheable", tc.spec)
+		}
+		if got := specLabel(key); got != tc.want {
+			t.Errorf("label %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sgxbounds/internal/harden"
 	"sgxbounds/internal/machine"
 	"sgxbounds/internal/perf"
+	"sgxbounds/internal/telemetry"
 )
 
 // Fig1Budget is the enclave size used for the SQLite case study. SCONE
@@ -36,8 +37,13 @@ type Fig1Row struct {
 // RunSpeedtest executes the minidb speedtest under one policy in a
 // database-sized enclave.
 func RunSpeedtest(policy string, items uint32) Fig1Row {
+	return runSpeedtest(policy, items, nil)
+}
+
+func runSpeedtest(policy string, items uint32, tel *telemetry.Profile) Fig1Row {
 	cfg := machine.DefaultConfig()
 	cfg.MemoryBudget = Fig1Budget
+	cfg.Tel = tel
 	env := harden.NewEnv(cfg)
 	pl, err := NewPolicy(policy, env, core.AllOptimizations())
 	if err != nil {
@@ -45,11 +51,14 @@ func RunSpeedtest(policy string, items uint32) Fig1Row {
 	}
 	ctx := harden.NewCtx(pl, env.M.NewThread())
 	row := Fig1Row{Items: items, Policy: policy}
-	row.Outcome = harden.Capture(func() { minidb.Speedtest(ctx, items) })
+	tel.Tracer().Emit(telemetry.Event{Kind: telemetry.EvPhaseBegin, Name: "run"})
+	row.Outcome = env.Capture(func() { minidb.Speedtest(ctx, items) })
 	row.Cycles = ctx.T.C.Cycles
 	row.Totals = env.M.Finish(ctx.T)
 	row.PeakReserved = env.M.AS.PeakReserved()
 	row.PageFaults = env.M.PageFaults()
+	tel.Tracer().Emit(telemetry.Event{Ts: row.Cycles, Kind: telemetry.EvPhaseEnd, Name: "run"})
+	publishRun(tel, env, &row.Totals, row.Cycles, row.PeakReserved)
 	return row
 }
 
@@ -65,7 +74,7 @@ func (e *Engine) RunSpeedtest(policy string, items uint32) Fig1Row {
 	}
 	e.mu.Unlock()
 	e.addTotal(1)
-	r := RunSpeedtest(policy, items)
+	r := runSpeedtest(policy, items, e.attach(fmt.Sprintf("fig1:%s/%d", policy, items)))
 	e.mu.Lock()
 	e.speed[key] = r
 	e.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"sgxbounds/internal/core"
 	"sgxbounds/internal/harden"
 	"sgxbounds/internal/machine"
+	"sgxbounds/internal/telemetry"
 )
 
 // CyclesPerSecond converts simulated cycles to simulated wall-clock time
@@ -60,8 +61,13 @@ func (r AppResult) Latency(clients int) float64 {
 // MeasureApp runs `requests` requests of one app under one policy and
 // returns the per-request cost.
 func MeasureApp(app, policy string, requests int) AppResult {
+	return measureApp(app, policy, requests, nil)
+}
+
+func measureApp(app, policy string, requests int, tel *telemetry.Profile) AppResult {
 	cfg := machine.DefaultConfig()
 	cfg.MemoryBudget = AppBudget
+	cfg.Tel = tel
 	env := harden.NewEnv(cfg)
 	pl, err := NewPolicy(policy, env, core.AllOptimizations())
 	if err != nil {
@@ -70,7 +76,8 @@ func MeasureApp(app, policy string, requests int) AppResult {
 	c := harden.NewCtx(pl, env.M.NewThread())
 	res := AppResult{App: app, Policy: policy}
 
-	res.Outcome = harden.Capture(func() {
+	tel.Tracer().Emit(telemetry.Event{Kind: telemetry.EvPhaseBegin, Name: "run"})
+	res.Outcome = env.Capture(func() {
 		warmup := requests / 4
 		var startCycles uint64
 		switch app {
@@ -116,9 +123,11 @@ func MeasureApp(app, policy string, requests int) AppResult {
 		}
 		res.ServiceCycles = float64(c.T.C.Cycles-startCycles) / float64(requests)
 	})
-	env.M.Finish(c.T)
+	totals := env.M.Finish(c.T)
 	res.PeakReserved = env.M.AS.PeakReserved()
 	res.PageFaults = env.M.PageFaults()
+	tel.Tracer().Emit(telemetry.Event{Ts: totals.Cycles, Kind: telemetry.EvPhaseEnd, Name: "run"})
+	publishRun(tel, env, &totals, totals.Cycles, res.PeakReserved)
 	return res
 }
 
@@ -134,7 +143,7 @@ func (e *Engine) MeasureApp(app, policy string, requests int) AppResult {
 	}
 	e.mu.Unlock()
 	e.addTotal(1)
-	r := MeasureApp(app, policy, requests)
+	r := measureApp(app, policy, requests, e.attach(fmt.Sprintf("fig13:%s/%s/r%d", app, policy, requests)))
 	e.mu.Lock()
 	e.apps[key] = r
 	e.mu.Unlock()

@@ -22,7 +22,11 @@
 //     shared LLC take its lock once per batch instead of once per line.
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"sgxbounds/internal/telemetry"
+)
 
 // LineShift is log2 of the cache line size.
 const LineShift = 6
@@ -171,17 +175,27 @@ func (c *Cache) Flush() {
 type Shared struct {
 	mu sync.Mutex
 	c  *Cache
+
+	// Pre-resolved telemetry counters (nil when telemetry is disabled; both
+	// are nil-safe, so publishing costs one predictable branch per LLC
+	// probe — and LLC probes are already behind an L1 and an L2 miss).
+	mAccesses *telemetry.Counter
+	mMisses   *telemetry.Counter
 }
 
 // NewShared builds a shared cache from cfg.
 func NewShared(cfg Config) *Shared { return &Shared{c: New(cfg)} }
 
+// Instrument attaches pre-resolved telemetry counters for accesses and
+// misses. Nil handles disable the metric; Instrument must be called before
+// the cache sees traffic.
+func (s *Shared) Instrument(accesses, misses *telemetry.Counter) {
+	s.mAccesses, s.mMisses = accesses, misses
+}
+
 // Access is the thread-safe variant of Cache.Access.
 func (s *Shared) Access(addr uint32) bool {
-	s.mu.Lock()
-	hit := s.c.Access(addr)
-	s.mu.Unlock()
-	return hit
+	return s.AccessLine(addr >> LineShift)
 }
 
 // AccessLine is the thread-safe variant of Cache.AccessLine.
@@ -189,15 +203,32 @@ func (s *Shared) AccessLine(line uint32) bool {
 	s.mu.Lock()
 	hit := s.c.AccessLine(line)
 	s.mu.Unlock()
+	if s.mAccesses != nil {
+		s.noteProbe(hit)
+	}
 	return hit
+}
+
+// noteProbe publishes one LLC probe. Out of line so the uninstrumented
+// AccessLine body stays at its pre-telemetry size.
+//
+//go:noinline
+func (s *Shared) noteProbe(hit bool) {
+	s.mAccesses.Inc()
+	if !hit {
+		s.mMisses.Inc()
+	}
 }
 
 // AccessLines is the thread-safe variant of Cache.AccessLines; the whole
 // batch runs under one lock acquisition.
 func (s *Shared) AccessLines(lines []uint32, miss []uint32) []uint32 {
+	n := len(miss)
 	s.mu.Lock()
 	miss = s.c.AccessLines(lines, miss)
 	s.mu.Unlock()
+	s.mAccesses.Add(uint64(len(lines)))
+	s.mMisses.Add(uint64(len(miss) - n))
 	return miss
 }
 

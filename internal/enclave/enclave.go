@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"sgxbounds/internal/mem"
+	"sgxbounds/internal/telemetry"
 )
 
 // DefaultEPCBytes is the scaled default EPC capacity.
@@ -50,6 +51,13 @@ type EPC struct {
 
 	faults    uint64
 	evictions uint64
+
+	// Pre-resolved telemetry handles (nil when telemetry is disabled; all
+	// are nil-safe). They are touched only on the fault/eviction paths,
+	// which are orders of magnitude rarer than EPC hits.
+	mFaults    *telemetry.Counter
+	mColds     *telemetry.Counter
+	mEvictions *telemetry.Counter
 }
 
 // New builds an EPC with the configured capacity.
@@ -72,6 +80,24 @@ func New(cfg Config) *EPC {
 // Capacity returns the EPC capacity in pages.
 func (e *EPC) Capacity() int { return e.capacity }
 
+// Instrument attaches pre-resolved telemetry counters for faults,
+// compulsory (cold) faults and evictions. Nil handles disable the metric;
+// Instrument must be called before the EPC sees traffic.
+func (e *EPC) Instrument(faults, colds, evictions *telemetry.Counter) {
+	e.mFaults, e.mColds, e.mEvictions = faults, colds, evictions
+}
+
+// TouchResult describes one EPC page probe in full: whether it faulted,
+// whether the fault was compulsory, and which page (if any) was evicted to
+// make room. The traced access path uses it to emit per-page events; the
+// untraced wrappers discard the eviction detail.
+type TouchResult struct {
+	Fault   bool
+	Cold    bool
+	Evicted bool
+	Victim  uint32 // evicted page number, valid only when Evicted
+}
+
 // Touch records an access to the page containing addr. It reports whether
 // the access caused an EPC page fault and, if so, whether it was a
 // compulsory (first-ever) fault. Compulsory faults model EAUG — the OS adds
@@ -80,9 +106,19 @@ func (e *EPC) Capacity() int { return e.capacity }
 // fetched from untrusted memory, decrypted and verified.
 func (e *EPC) Touch(addr uint32) (fault, cold bool) {
 	e.mu.Lock()
-	fault, cold = e.touchPage(addr >> mem.PageShift)
+	r := e.touchPage(addr >> mem.PageShift)
 	e.mu.Unlock()
-	return fault, cold
+	return r.Fault, r.Cold
+}
+
+// TouchInfo is Touch with the full probe detail (eviction victim included),
+// for the traced access path. EPC state and counters evolve exactly as
+// under Touch.
+func (e *EPC) TouchInfo(addr uint32) TouchResult {
+	e.mu.Lock()
+	r := e.touchPage(addr >> mem.PageShift)
+	e.mu.Unlock()
+	return r
 }
 
 // TouchRange records one access to every page overlapping [addr, addr+n),
@@ -99,9 +135,8 @@ func (e *EPC) TouchRange(addr, n uint32) (warm, cold uint64) {
 	last := (addr + n - 1) >> mem.PageShift
 	e.mu.Lock()
 	for pn := first; ; pn++ {
-		f, c := e.touchPage(pn)
-		if f {
-			if c {
+		if r := e.touchPage(pn); r.Fault {
+			if r.Cold {
 				cold++
 			} else {
 				warm++
@@ -125,9 +160,8 @@ func (e *EPC) TouchPages(pns []uint32) (warm, cold uint64) {
 	}
 	e.mu.Lock()
 	for _, pn := range pns {
-		f, c := e.touchPage(pn)
-		if f {
-			if c {
+		if r := e.touchPage(pn); r.Fault {
+			if r.Cold {
 				cold++
 			} else {
 				warm++
@@ -138,22 +172,49 @@ func (e *EPC) TouchPages(pns []uint32) (warm, cold uint64) {
 	return warm, cold
 }
 
+// TouchPagesFunc is TouchPages with a per-fault callback: fn runs (with
+// e.mu held, so it must not reenter the EPC) for every faulting page, in
+// probe order, receiving the page number and the full probe detail. The
+// traced access path uses it to emit fault and eviction events while
+// keeping EPC state and fault counts bit-identical to TouchPages.
+func (e *EPC) TouchPagesFunc(pns []uint32, fn func(pn uint32, r TouchResult)) (warm, cold uint64) {
+	if len(pns) == 0 {
+		return 0, 0
+	}
+	e.mu.Lock()
+	for _, pn := range pns {
+		if r := e.touchPage(pn); r.Fault {
+			if r.Cold {
+				cold++
+			} else {
+				warm++
+			}
+			fn(pn, r)
+		}
+	}
+	e.mu.Unlock()
+	return warm, cold
+}
+
 // touchPage is Touch on a page number with e.mu held.
-func (e *EPC) touchPage(pn uint32) (fault, cold bool) {
+func (e *EPC) touchPage(pn uint32) TouchResult {
 	if i, ok := e.resident[pn]; ok {
 		e.refbit[i] = true
-		return false, false
+		return TouchResult{}
 	}
+	r := TouchResult{Fault: true}
 	e.faults++
+	e.mFaults.Inc()
 	if _, ok := e.seen[pn]; !ok {
 		e.seen[pn] = struct{}{}
-		cold = true
+		r.Cold = true
+		e.mColds.Inc()
 	}
 	if len(e.ring) < e.capacity {
 		e.resident[pn] = len(e.ring)
 		e.ring = append(e.ring, pn)
 		e.refbit = append(e.refbit, true)
-		return true, cold
+		return r
 	}
 	// CLOCK eviction: find a page with a clear reference bit.
 	for {
@@ -165,11 +226,13 @@ func (e *EPC) touchPage(pn uint32) (fault, cold bool) {
 		victim := e.ring[e.hand]
 		delete(e.resident, victim)
 		e.evictions++
+		e.mEvictions.Inc()
+		r.Evicted, r.Victim = true, victim
 		e.ring[e.hand] = pn
 		e.refbit[e.hand] = true
 		e.resident[pn] = e.hand
 		e.hand = (e.hand + 1) % e.capacity
-		return true, cold
+		return r
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"sgxbounds/internal/alloc"
 	"sgxbounds/internal/machine"
+	"sgxbounds/internal/telemetry"
 )
 
 // Ptr is a simulated 64-bit pointer. The low 32 bits are always the concrete
@@ -223,6 +224,28 @@ func Capture(fn func()) (out Outcome) {
 	}()
 	fn()
 	return
+}
+
+// Capture is the method form of the free Capture bound to this environment:
+// besides converting the panic protocol, it publishes any bounds violation to
+// the environment's telemetry profile — a "harden.violations" counter and an
+// EvViolation event naming the policy with the offending address and access
+// size. Violations end the run, so the event carries no meaningful cycle
+// timestamp; it is the terminal event of its cell's trace.
+func (env *Env) Capture(fn func()) Outcome {
+	out := Capture(fn)
+	if v := out.Violation; v != nil {
+		if p := env.M.Telemetry(); p != nil {
+			p.Counter("harden.violations").Inc()
+			p.Tracer().Emit(telemetry.Event{
+				Kind: telemetry.EvViolation,
+				Name: v.Policy,
+				Arg0: uint64(v.Addr),
+				Arg1: uint64(v.Size),
+			})
+		}
+	}
+	return out
 }
 
 // MustAlloc converts an allocator (addr, err) pair into the panic protocol.

@@ -21,6 +21,7 @@ import (
 	"sgxbounds/internal/enclave"
 	"sgxbounds/internal/mem"
 	"sgxbounds/internal/perf"
+	"sgxbounds/internal/telemetry"
 )
 
 // Address-space layout. The enclave is mapped at address 0 (the paper
@@ -62,6 +63,14 @@ type Config struct {
 	MemoryBudget uint64
 
 	L1, L2, L3 cache.Config
+
+	// Tel attaches a telemetry profile to the machine: its metrics registry
+	// and event tracer receive the machine's observability stream (access
+	// cost histograms, EPC fault/eviction events, LLC and page-commit
+	// counters). Nil disables telemetry; the disabled hot path costs one
+	// predictable branch per instrumentation site, and telemetry never
+	// feeds back into simulated state, so results are identical either way.
+	Tel *telemetry.Profile
 }
 
 // DefaultMemoryBudget is the scaled default enclave size (virtual memory
@@ -109,6 +118,8 @@ type Machine struct {
 	nextStack  uint32
 	workers    []*Thread // reusable worker pool for Parallel
 	totals     perf.Counters
+
+	tel *probes // pre-resolved telemetry handles (nil = disabled)
 }
 
 // New builds a machine from cfg.
@@ -136,7 +147,58 @@ func New(cfg Config) *Machine {
 	if cfg.Enclave.Enabled {
 		m.EPC = enclave.New(cfg.Enclave)
 	}
+	if p := cfg.Tel; p != nil {
+		m.tel = &probes{
+			tracer:       p.Tracer(),
+			accessCycles: p.Histogram("machine.access_cycles"),
+			faultCycles:  p.Histogram("machine.fault_service_cycles"),
+			batchLines:   p.Histogram("machine.batch_lines"),
+			batchCycles:  p.Histogram("machine.batch_cycles"),
+		}
+		m.L3.Instrument(p.Counter("llc.accesses"), p.Counter("llc.misses"))
+		m.AS.Instrument(p.Counter("mem.page_commits"), p.Counter("mem.page_decommits"))
+		if m.EPC != nil {
+			m.EPC.Instrument(p.Counter("epc.faults"), p.Counter("epc.cold_faults"), p.Counter("epc.evictions"))
+		}
+	}
 	return m
+}
+
+// Telemetry returns the profile attached at construction (nil if none).
+func (m *Machine) Telemetry() *telemetry.Profile { return m.Cfg.Tel }
+
+// probes are the machine's pre-resolved telemetry handles. The struct
+// exists so the hot paths test one pointer (m.tel == nil) to skip all of
+// telemetry; every handle inside is additionally nil-safe, so a profile
+// with metrics but no tracer (or vice versa) needs no extra branching.
+type probes struct {
+	tracer       *telemetry.Tracer
+	accessCycles *telemetry.Histogram // cost of each scalar hierarchy probe
+	faultCycles  *telemetry.Histogram // service cost of each warm EPC fault
+	batchLines   *telemetry.Histogram // lines per batched access
+	batchCycles  *telemetry.Histogram // cycles charged per batched access
+}
+
+// MEEBurstLines is the memory-level line count at which a single batched
+// access is flagged as an MEE burst (a spike of encrypted LLC<->DRAM
+// traffic): 32 lines is 2 KiB moved through the memory encryption engine
+// in one simulated operation.
+const MEEBurstLines = 32
+
+// noteEPC emits the fault/eviction events of one scalar EPC probe.
+func (p *probes) noteEPC(tid int, ts uint64, pn uint32, r enclave.TouchResult) {
+	if r.Fault {
+		cold := uint64(0)
+		if r.Cold {
+			cold = 1
+		}
+		p.tracer.Emit(telemetry.Event{Ts: ts, Tid: int32(tid), Kind: telemetry.EvEPCFault,
+			Arg0: uint64(pn), Arg1: cold})
+	}
+	if r.Evicted {
+		p.tracer.Emit(telemetry.Event{Ts: ts, Tid: int32(tid), Kind: telemetry.EvEviction,
+			Arg0: uint64(r.Victim)})
+	}
 }
 
 // TryReserve reserves size bytes of virtual memory, failing with
@@ -247,6 +309,11 @@ type Thread struct {
 
 	stackLo uint32 // bottom of this thread's stack region
 	sp      uint32 // current stack pointer (grows down)
+
+	// tel copies M.tel, saving a pointer chase per access. Kept as the last
+	// field so the hot fields above sit at the same offsets as before
+	// telemetry existed.
+	tel *probes
 }
 
 // SpillBase returns a small per-thread region at the bottom of the stack
@@ -273,6 +340,7 @@ func (m *Machine) NewThread() *Thread {
 		ID:      id,
 		l1:      cache.New(m.Cfg.L1),
 		l2:      cache.New(m.Cfg.L2),
+		tel:     m.tel,
 		stackLo: lo,
 		sp:      lo + StackSize,
 	}
@@ -306,7 +374,13 @@ func (t *Thread) accessLine(line uint32) {
 	default:
 		lvl = perf.DRAM
 		if epc := t.M.EPC; epc != nil {
-			if fault, cold := epc.Touch(line << cache.LineShift); fault {
+			var fault, cold bool
+			if t.tel != nil {
+				fault, cold = t.tracedTouch(line)
+			} else {
+				fault, cold = epc.Touch(line << cache.LineShift)
+			}
+			if fault {
 				if cold {
 					// Compulsory fault: a fresh page is added (EAUG), far
 					// cheaper than paging an evicted page back in.
@@ -321,6 +395,32 @@ func (t *Thread) accessLine(line uint32) {
 	}
 	t.C.Hits[lvl]++
 	t.C.Cycles += t.M.costs.Level[lvl]
+	if t.tel != nil {
+		t.observeAccess(lvl)
+	}
+}
+
+// tracedTouch is the traced variant of the scalar EPC probe: the same EPC
+// transition, plus the eviction victim so the fault/eviction events carry
+// page identity. Kept out of line so the untraced accessLine body stays at
+// its pre-telemetry size.
+//
+//go:noinline
+func (t *Thread) tracedTouch(line uint32) (fault, cold bool) {
+	r := t.M.EPC.TouchInfo(line << cache.LineShift)
+	t.tel.noteEPC(t.ID, t.C.Cycles, line>>(mem.PageShift-cache.LineShift), r)
+	return r.Fault, r.Cold
+}
+
+// observeAccess publishes the cost of one scalar probe. Out of line for the
+// same reason as tracedTouch.
+//
+//go:noinline
+func (t *Thread) observeAccess(lvl perf.Level) {
+	t.tel.accessCycles.Observe(t.M.costs.Level[lvl])
+	if lvl == perf.Fault {
+		t.tel.faultCycles.Observe(t.M.costs.Level[lvl])
+	}
 }
 
 // access accounts one scalar access of the given size at addr.
@@ -481,7 +581,21 @@ func (t *Thread) accessRange(first, last uint32, write bool) {
 							prev = pn
 						}
 					}
-					warm, cold := epc.TouchPages(pages)
+					var warm, cold uint64
+					if tel := t.tel; tel != nil && tel.tracer != nil {
+						// Traced probe: identical EPC transitions and
+						// counts, with a per-fault callback carrying page
+						// identity for the event stream.
+						ts, tid := t.C.Cycles, t.ID
+						warm, cold = epc.TouchPagesFunc(pages, func(pn uint32, r enclave.TouchResult) {
+							tel.noteEPC(tid, ts, pn, r)
+							if !r.Cold {
+								tel.faultCycles.Observe(t.M.costs.Level[perf.Fault])
+							}
+						})
+					} else {
+						warm, cold = epc.TouchPages(pages)
+					}
 					b.Hits[perf.DRAM] -= warm
 					b.Hits[perf.Fault] = warm
 					b.ColdFaults = cold
@@ -497,6 +611,17 @@ func (t *Thread) accessRange(first, last uint32, write bool) {
 	// still provably resident and stamp-order-safe.
 	t.lastLine = last + 1
 	t.prevLine = 0
+	if tel := t.tel; tel != nil {
+		before := t.C.Cycles
+		t.C.Charge(&b, &t.M.costs)
+		tel.batchLines.Observe(nLines)
+		tel.batchCycles.Observe(t.C.Cycles - before)
+		if memLines := b.Hits[perf.DRAM] + b.Hits[perf.Fault]; memLines >= MEEBurstLines && t.M.EPC != nil {
+			tel.tracer.Emit(telemetry.Event{Ts: t.C.Cycles, Tid: int32(t.ID), Kind: telemetry.EvMEEBurst,
+				Arg0: memLines, Arg1: nLines})
+		}
+		return
+	}
 	t.C.Charge(&b, &t.M.costs)
 }
 
@@ -546,6 +671,10 @@ func (m *Machine) Parallel(caller *Thread, n int, body func(w *Thread, i int)) {
 	workers := m.workers[:n]
 	m.mu.Unlock()
 
+	if tel := m.tel; tel != nil {
+		tel.tracer.Emit(telemetry.Event{Ts: caller.C.Cycles, Tid: int32(caller.ID),
+			Kind: telemetry.EvPhaseBegin, Name: "parallel", Arg0: uint64(n)})
+	}
 	panics := make([]any, n)
 	for i := 0; i < n; i++ {
 		func(i int) {
@@ -564,6 +693,10 @@ func (m *Machine) Parallel(caller *Thread, n int, body func(w *Thread, i int)) {
 		w.C = perf.Counters{} // drained into totals; the pool thread is reused
 	}
 	caller.C.Cycles += maxCycles
+	if tel := m.tel; tel != nil {
+		tel.tracer.Emit(telemetry.Event{Ts: caller.C.Cycles, Tid: int32(caller.ID),
+			Kind: telemetry.EvPhaseEnd, Name: "parallel", Arg0: uint64(n)})
+	}
 	for _, p := range panics {
 		if p != nil {
 			panic(p)

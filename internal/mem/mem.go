@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"sgxbounds/internal/telemetry"
 )
 
 const (
@@ -59,11 +61,23 @@ type AddressSpace struct {
 	reserved     atomic.Uint64 // bytes of reserved virtual memory
 	peakReserved atomic.Uint64 // high-water mark of reserved
 	peakCommit   atomic.Uint64 // high-water mark of committed
+
+	// Pre-resolved telemetry counters (nil when telemetry is disabled;
+	// nil-safe). Touched only on the commit/decommit slow paths.
+	mCommits   *telemetry.Counter
+	mDecommits *telemetry.Counter
 }
 
 // New returns an empty address space.
 func New() *AddressSpace {
 	return &AddressSpace{}
+}
+
+// Instrument attaches pre-resolved telemetry counters for page commits and
+// decommits. Nil handles disable the metric; Instrument must be called
+// before the space sees traffic.
+func (as *AddressSpace) Instrument(commits, decommits *telemetry.Counter) {
+	as.mCommits, as.mDecommits = commits, decommits
 }
 
 // Reserve records size bytes of reserved virtual memory (the analogue of
@@ -106,6 +120,7 @@ func (as *AddressSpace) Decommit(addr uint32) {
 		if ch[pn&(chunkPages-1)].Load() != nil {
 			ch[pn&(chunkPages-1)].Store(nil)
 			as.committed.Add(^uint64(PageSize - 1))
+			as.mDecommits.Inc()
 		}
 	}
 	as.commitMu.Unlock()
@@ -135,6 +150,7 @@ func (as *AddressSpace) commitPage(pn uint32) *page {
 	if p == nil {
 		p = new(page)
 		ch[pn&(chunkPages-1)].Store(p)
+		as.mCommits.Inc()
 		cur := as.committed.Add(PageSize)
 		for {
 			peak := as.peakCommit.Load()

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CellDump is the serialised form of one cell's Profile.
+type CellDump struct {
+	Label      string                  `json:"label"`
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Events     []EventDump             `json:"events,omitempty"`
+	Dropped    uint64                  `json:"dropped,omitempty"`
+	EventCap   int                     `json:"event_cap,omitempty"`
+}
+
+// EventDump is the serialised form of one Event, with the kind spelled out
+// so JSONL and profiles stay readable and stable across kind renumbering.
+type EventDump struct {
+	Ts   uint64 `json:"ts"`
+	Tid  int32  `json:"tid"`
+	Kind string `json:"kind"`
+	Arg0 uint64 `json:"arg0,omitempty"`
+	Arg1 uint64 `json:"arg1,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// RunProfile is the exportable capture of one run: every cell's metrics and
+// events, sorted by cell label so the file is deterministic regardless of
+// the engine's host scheduling. It is the interchange format of
+// cmd/sgxtrace.
+type RunProfile struct {
+	Version int        `json:"version"`
+	Cells   []CellDump `json:"cells"`
+}
+
+// ProfileVersion is the current RunProfile schema version.
+const ProfileVersion = 1
+
+// Dump snapshots the profiles into a RunProfile, sorted by label. Nil
+// profiles are skipped.
+func Dump(profiles []*Profile) *RunProfile {
+	rp := &RunProfile{Version: ProfileVersion}
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		cell := CellDump{Label: p.Label}
+		if p.Metrics != nil {
+			snap := p.Metrics.Snapshot()
+			cell.Counters = snap.Counters
+			cell.Histograms = snap.Histograms
+		}
+		if p.Trace != nil {
+			events := p.Trace.Events()
+			cell.Events = make([]EventDump, len(events))
+			for i, e := range events {
+				cell.Events[i] = EventDump{
+					Ts: e.Ts, Tid: e.Tid, Kind: e.Kind.String(),
+					Arg0: e.Arg0, Arg1: e.Arg1, Name: e.Name,
+				}
+			}
+			cell.Dropped = p.Trace.Dropped()
+			cell.EventCap = p.Trace.Cap()
+		}
+		rp.Cells = append(rp.Cells, cell)
+	}
+	sort.Slice(rp.Cells, func(i, j int) bool { return rp.Cells[i].Label < rp.Cells[j].Label })
+	return rp
+}
+
+// Cell returns the cell with the given label, or nil.
+func (rp *RunProfile) Cell(label string) *CellDump {
+	for i := range rp.Cells {
+		if rp.Cells[i].Label == label {
+			return &rp.Cells[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the run profile as indented JSON. encoding/json emits
+// map keys in sorted order, so the output is byte-deterministic.
+func (rp *RunProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rp)
+}
+
+// ReadRunProfile parses a run profile written by WriteJSON.
+func ReadRunProfile(r io.Reader) (*RunProfile, error) {
+	var rp RunProfile
+	if err := json.NewDecoder(r).Decode(&rp); err != nil {
+		return nil, fmt.Errorf("telemetry: reading run profile: %w", err)
+	}
+	if rp.Version != ProfileVersion {
+		return nil, fmt.Errorf("telemetry: run profile version %d, want %d", rp.Version, ProfileVersion)
+	}
+	return &rp, nil
+}
+
+// WriteEventsJSONL writes every event as one JSON object per line, tagged
+// with its cell label. Cells appear in label order, events in emission
+// order.
+func WriteEventsJSONL(w io.Writer, rp *RunProfile) error {
+	enc := json.NewEncoder(w)
+	for _, cell := range rp.Cells {
+		for _, e := range cell.Events {
+			line := struct {
+				Cell string `json:"cell"`
+				EventDump
+			}{cell.Label, e}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteMetricsCSV writes a per-cell metric summary: one row per counter
+// (value) and per histogram (count, sum, mean, p50, p99 upper bounds).
+func WriteMetricsCSV(w io.Writer, rp *RunProfile) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cell", "metric", "type", "value", "count", "sum", "mean", "p50", "p99"}); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, cell := range rp.Cells {
+		names := make([]string, 0, len(cell.Counters))
+		for n := range cell.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := cw.Write([]string{cell.Label, n, "counter", u(cell.Counters[n]), "", "", "", "", ""}); err != nil {
+				return err
+			}
+		}
+		names = names[:0]
+		for n := range cell.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := cell.Histograms[n]
+			row := []string{cell.Label, n, "histogram", "",
+				u(h.Count), u(h.Sum), strconv.FormatFloat(h.Mean(), 'g', 6, 64),
+				u(h.Quantile(0.50)), u(h.Quantile(0.99))}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// cyclesPerMicrosecond converts simulated cycles to trace timestamps: the
+// paper's testbed runs at 3.6 GHz, so one simulated microsecond is 3600
+// cycles. Chrome trace_event timestamps are in microseconds.
+const cyclesPerMicrosecond = 3600.0
+
+// chromeEvent is one Chrome trace_event entry (the subset Perfetto needs).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the run profile in Chrome trace_event format
+// (load the file at ui.perfetto.dev or chrome://tracing). Each cell
+// becomes one "process" named by its label; simulated threads become
+// threads; phases map to duration events and everything else to instant
+// events. Timestamps are simulated time, not host time.
+func WriteChromeTrace(w io.Writer, rp *RunProfile) error {
+	var events []chromeEvent
+	for pid, cell := range rp.Cells {
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid,
+			Args: map[string]any{"name": cell.Label},
+		})
+		for _, e := range cell.Events {
+			ce := chromeEvent{
+				Ts:  float64(e.Ts) / cyclesPerMicrosecond,
+				Pid: pid,
+				Tid: e.Tid,
+			}
+			switch e.Kind {
+			case EvPhaseBegin.String():
+				ce.Name, ce.Phase = e.Name, "B"
+			case EvPhaseEnd.String():
+				ce.Name, ce.Phase = e.Name, "E"
+			default:
+				ce.Name, ce.Phase, ce.Scope = e.Kind, "i", "t"
+				ce.Args = map[string]any{"arg0": e.Arg0, "arg1": e.Arg1}
+				if e.Name != "" {
+					ce.Args["name"] = e.Name
+				}
+			}
+			events = append(events, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFiles writes the collector's capture to files named base plus a
+// format suffix, returning the paths written. The run profile
+// (base + ".profile.json", the sgxtrace interchange format) is always
+// written; the metrics CSV is written when metrics were collected, and the
+// JSONL event log and Chrome trace (viewable at ui.perfetto.dev) when events
+// were.
+func (c *Collector) WriteFiles(base string) ([]string, error) {
+	rp := Dump(c.Profiles())
+	var paths []string
+	write := func(suffix string, emit func(io.Writer) error) error {
+		p := base + suffix
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	if err := write(".profile.json", rp.WriteJSON); err != nil {
+		return paths, err
+	}
+	if c.Opts.Metrics {
+		if err := write(".metrics.csv", func(w io.Writer) error { return WriteMetricsCSV(w, rp) }); err != nil {
+			return paths, err
+		}
+	}
+	if c.Opts.Events {
+		if err := write(".events.jsonl", func(w io.Writer) error { return WriteEventsJSONL(w, rp) }); err != nil {
+			return paths, err
+		}
+		if err := write(".trace.json", func(w io.Writer) error { return WriteChromeTrace(w, rp) }); err != nil {
+			return paths, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/telemetry -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output changed (rerun with -update if intended)\n--- want ---\n%s--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// sampleProfiles builds a small fixed capture: two cells, out of label
+// order to prove exporters sort, with every event kind represented.
+func sampleProfiles() []*Profile {
+	opts := Options{Metrics: true, Events: true, EventCap: 8}
+	b := NewProfile("wordcount/sgxbounds/S/t2", opts)
+	b.Counter("epc.faults").Add(3)
+	b.Counter("epc.evictions").Add(1)
+	b.Counter("run.checks").Add(512)
+	h := b.Histogram("machine.access_cycles")
+	for _, v := range []uint64{4, 4, 14, 50, 360, 40360} {
+		h.Observe(v)
+	}
+	tr := b.Tracer()
+	tr.Emit(Event{Ts: 0, Tid: 0, Kind: EvPhaseBegin, Name: "run"})
+	tr.Emit(Event{Ts: 1200, Tid: 0, Kind: EvEPCFault, Arg0: 0x10042, Arg1: 1})
+	tr.Emit(Event{Ts: 2400, Tid: 1, Kind: EvEPCFault, Arg0: 0x10043})
+	tr.Emit(Event{Ts: 2400, Tid: 1, Kind: EvEviction, Arg0: 0x10042})
+	tr.Emit(Event{Ts: 3000, Tid: 0, Kind: EvMEEBurst, Arg0: 40, Arg1: 64})
+	tr.Emit(Event{Ts: 4000, Tid: 0, Kind: EvViolation, Arg0: 0x8000_0000, Arg1: 8, Name: "sgxbounds"})
+	tr.Emit(Event{Ts: 5000, Tid: 0, Kind: EvPhaseEnd, Name: "run"})
+
+	a := NewProfile("kmeans/asan/S/t1", opts)
+	a.Counter("epc.faults").Add(1)
+	a.Histogram("machine.batch_lines").Observe(64)
+	atr := a.Tracer()
+	atr.Emit(Event{Ts: 10, Tid: 0, Kind: EvPhaseBegin, Name: "run"})
+	atr.Emit(Event{Ts: 90, Tid: 0, Kind: EvEPCFault, Arg0: 7, Arg1: 1})
+	atr.Emit(Event{Ts: 100, Tid: 0, Kind: EvPhaseEnd, Name: "run"})
+	for i := 0; i < 10; i++ {
+		atr.Emit(Event{Ts: 200, Tid: 0, Kind: EvEPCFault, Arg0: 8}) // overflows cap 8
+	}
+	return []*Profile{b, nil, a} // nil entries must be skipped
+}
+
+func TestGoldenProfileJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dump(sampleProfiles()).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "profile.json", buf.Bytes())
+
+	rp, err := ReadRunProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(rp.Cells) != 2 {
+		t.Fatalf("round trip cells = %d, want 2", len(rp.Cells))
+	}
+	if rp.Cells[0].Label != "kmeans/asan/S/t1" {
+		t.Fatalf("cells not sorted by label: first is %q", rp.Cells[0].Label)
+	}
+	if got := rp.Cells[0].Dropped; got != 5 {
+		t.Fatalf("dropped = %d, want 5 (13 emitted, cap 8)", got)
+	}
+	if rp.Cell("wordcount/sgxbounds/S/t2") == nil || rp.Cell("nope") != nil {
+		t.Fatal("Cell lookup broken")
+	}
+}
+
+func TestGoldenEventsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, Dump(sampleProfiles())); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.jsonl", buf.Bytes())
+}
+
+func TestGoldenMetricsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, Dump(sampleProfiles())); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.csv", buf.Bytes())
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, Dump(sampleProfiles())); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+}
+
+func TestReadRunProfileRejectsBadVersion(t *testing.T) {
+	if _, err := ReadRunProfile(bytes.NewReader([]byte(`{"version":99,"cells":[]}`))); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	if _, err := ReadRunProfile(bytes.NewReader([]byte(`not json`))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Options selects what a profile captures.
+type Options struct {
+	// Metrics enables the counter/histogram registry.
+	Metrics bool
+	// Events enables the structured event tracer (implies nothing about
+	// Metrics; commands enable both under -trace).
+	Events bool
+	// EventCap bounds the per-profile event buffer (DefaultTraceCap if 0).
+	EventCap int
+}
+
+// Profile is the telemetry attachment of one experiment cell: one metrics
+// registry plus one event tracer, labelled with the cell's identity.
+// Either part may be nil (disabled); all publishing through a nil part is a
+// no-op, so a single Profile pointer threads the whole configuration
+// through machine construction.
+type Profile struct {
+	Label   string
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewProfile builds a profile according to opts. It returns nil when opts
+// captures nothing, so callers can pass the result straight into a
+// machine config.
+func NewProfile(label string, opts Options) *Profile {
+	if !opts.Metrics && !opts.Events {
+		return nil
+	}
+	p := &Profile{Label: label}
+	if opts.Metrics {
+		p.Metrics = NewRegistry()
+	}
+	if opts.Events {
+		p.Trace = NewTracer(opts.EventCap)
+	}
+	return p
+}
+
+// Counter resolves a counter handle from the profile's registry (nil-safe).
+func (p *Profile) Counter(name string) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.Metrics.Counter(name)
+}
+
+// Histogram resolves a histogram handle from the profile's registry
+// (nil-safe).
+func (p *Profile) Histogram(name string) *Histogram {
+	if p == nil {
+		return nil
+	}
+	return p.Metrics.Histogram(name)
+}
+
+// Tracer returns the profile's event tracer (nil-safe).
+func (p *Profile) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.Trace
+}
+
+// Collector hands out per-cell profiles and keeps them for export. The
+// bench engine owns one collector per traced invocation; cells attach by
+// label, and cells that resolve to the same canonical identity share one
+// profile, which keeps attribution correct when the engine memoises
+// duplicate cells across figures. A nil *Collector attaches nil profiles
+// (telemetry off).
+type Collector struct {
+	Opts Options
+
+	mu       sync.Mutex
+	profiles map[string]*Profile
+	order    []string
+}
+
+// NewCollector returns a collector issuing profiles with opts.
+func NewCollector(opts Options) *Collector {
+	return &Collector{Opts: opts, profiles: make(map[string]*Profile)}
+}
+
+// Attach returns the profile for label, creating it on first use. Returns
+// nil on a nil collector.
+func (c *Collector) Attach(label string) *Profile {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.profiles[label]; ok {
+		return p
+	}
+	p := NewProfile(label, c.Opts)
+	if p == nil {
+		// Degenerate options: remember the nil so the label set stays
+		// consistent, but there is nothing to collect.
+		return nil
+	}
+	c.profiles[label] = p
+	c.order = append(c.order, label)
+	return p
+}
+
+// Profiles returns the attached profiles in attach order. Attach order
+// depends on host scheduling under a parallel engine, so exporters sort by
+// label; this accessor preserves arrival order for tests and debugging.
+func (c *Collector) Profiles() []*Profile {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Profile, 0, len(c.order))
+	for _, label := range c.order {
+		out = append(out, c.profiles[label])
+	}
+	return out
+}
+
+// Len returns the number of attached profiles.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// String describes the collector's options, for log lines.
+func (c *Collector) String() string {
+	if c == nil {
+		return "telemetry(off)"
+	}
+	return fmt.Sprintf("telemetry(metrics=%v events=%v cap=%d)", c.Opts.Metrics, c.Opts.Events, c.Opts.EventCap)
+}

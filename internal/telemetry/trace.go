@@ -1,0 +1,150 @@
+package telemetry
+
+import "sync"
+
+// EventKind identifies a structured trace event.
+type EventKind uint8
+
+// Event kinds. Arg0/Arg1 meaning is per kind.
+const (
+	// EvPhaseBegin / EvPhaseEnd bracket a named phase (a benchmark run, a
+	// parallel section). Name carries the phase name.
+	EvPhaseBegin EventKind = iota
+	EvPhaseEnd
+	// EvEPCFault is one EPC page fault. Arg0 = page number, Arg1 = 1 for a
+	// compulsory (cold, EAUG-style) fault, 0 for paging an evicted page in.
+	EvEPCFault
+	// EvEviction is one EPC eviction. Arg0 = evicted page number.
+	EvEviction
+	// EvMEEBurst marks a batched access whose memory-level traffic crossed
+	// the burst threshold — a spike of MEE-encrypted traffic. Arg0 = lines
+	// served by memory (DRAM + fault level), Arg1 = lines in the batch.
+	EvMEEBurst
+	// EvViolation is a memory-safety violation observed by a policy.
+	// Name = policy, Arg0 = offending address, Arg1 = access size.
+	EvViolation
+	numEventKinds
+)
+
+// String names the kind as exported in JSONL and Chrome traces.
+func (k EventKind) String() string {
+	switch k {
+	case EvPhaseBegin:
+		return "phase_begin"
+	case EvPhaseEnd:
+		return "phase_end"
+	case EvEPCFault:
+		return "epc_fault"
+	case EvEviction:
+		return "epc_eviction"
+	case EvMEEBurst:
+		return "mee_burst"
+	case EvViolation:
+		return "violation"
+	}
+	return "?"
+}
+
+// KindFromString inverts EventKind.String; ok is false for unknown names.
+func KindFromString(s string) (EventKind, bool) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Event is one structured trace event. Ts is the emitting simulated
+// thread's cycle count — simulated time, not host time — so traces are as
+// deterministic as the simulation itself.
+type Event struct {
+	Ts   uint64
+	Tid  int32
+	Kind EventKind
+	Arg0 uint64
+	Arg1 uint64
+	Name string // phases and violations only
+}
+
+// Tracer is a bounded event buffer. Publishers never block: once the
+// buffer is full, further events are dropped and accounted in Dropped.
+// Keeping the head of the run (rather than a sliding window of its tail)
+// makes the captured prefix stable and reproducible. A nil *Tracer
+// discards all events.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	dropped uint64
+}
+
+// DefaultTraceCap is the default per-tracer event capacity. At ~64 bytes an
+// event this bounds a tracer at a few MiB even for fault-heavy cells.
+const DefaultTraceCap = 1 << 15
+
+// NewTracer returns a tracer holding at most capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Emit records one event, or drops it if the buffer is full. Safe on a nil
+// receiver and for concurrent publishers.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the captured events in emission order (nil on a
+// nil receiver).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of captured events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Cap returns the tracer's capacity (0 on nil).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// Dropped returns how many events were discarded because the buffer was
+// full.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
