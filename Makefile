@@ -1,12 +1,12 @@
 # Tier-1 gate: everything `make ci` runs must stay green on every change.
 # It is what CI and reviewers run; `go build ./... && go test ./...` is the
 # historical minimum, plus vet and a short race pass over the packages with
-# real host concurrency (the bench engine's worker pool and the simulated
-# machine it fans cells over).
+# real host concurrency (the bench engine's worker pool, the simulated
+# machine it fans cells over, and the sgxd job queue/store).
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full bench golden experiments
+.PHONY: ci vet build test race test-race-full bench bench-json golden drift experiments
 
 ci: vet build test race
 
@@ -21,18 +21,32 @@ test:
 
 # Short race pass: the packages where goroutines actually meet shared state.
 race:
-	$(GO) test -race -short ./internal/bench/ ./internal/machine/ ./internal/mem/ ./internal/harden/ ./internal/core/
+	$(GO) test -race -short ./internal/bench/ ./internal/machine/ ./internal/mem/ ./internal/harden/ ./internal/core/ ./internal/serve/...
 
 # Full race sweep (slow; run before touching machine/bench concurrency).
 test-race-full:
 	$(GO) test -race ./...
 
+# Benchmark sweep across every package (benchmarks only, no unit tests).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# Record the benchmark sweep plus the sgxd cold/warm serving comparison.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -serve fig1 > BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 # Refresh the formatter golden files after an intended output change.
 golden:
 	$(GO) test ./internal/bench -run Golden -update
+
+# Golden-drift check, locally reproducible: regenerate the captured
+# experiment output and every golden file from this checkout, then fail on
+# any difference from the committed files. This is the same gate CI runs.
+drift:
+	$(GO) run ./cmd/sgxbench -experiment all > experiments_output.txt
+	$(MAKE) golden
+	git diff --exit-code experiments_output.txt internal/bench/testdata/
 
 experiments:
 	$(GO) run ./cmd/sgxbench -experiment all -progress

@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record, optionally augmented with an in-process cold/warm measurement of
+// the sgxd serving path (-serve EXPERIMENT). `make bench-json` pipes the
+// benchmark sweep through it to refresh BENCH_serve.json:
+//
+//	go test -bench=. -benchmem ./... | benchjson -serve fig1 > BENCH_serve.json
+//
+// The serve measurement submits the experiment twice against a fresh store:
+// the first (cold) submission simulates every cell, the second (warm) must
+// come back from disk with zero simulated cells — the daemon's headline
+// win. Timings are wall-clock on the current host.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/serve"
+	"sgxbounds/internal/serve/store"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> value (ns/op, B/op, ...)
+}
+
+// ServeResult is the cold/warm comparison of the sgxd serving path.
+type ServeResult struct {
+	Experiment    string  `json:"experiment"`
+	ColdMS        int64   `json:"cold_ms"`
+	ColdCells     int     `json:"cold_cells"`
+	WarmMS        int64   `json:"warm_ms"`
+	WarmCells     int     `json:"warm_cells"`
+	WarmFromStore bool    `json:"warm_from_store"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Output is the document benchjson emits.
+type Output struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	SimVersion    string       `json:"sim_version"`
+	Serve         *ServeResult `json:"serve,omitempty"`
+	Benchmarks    []Benchmark  `json:"benchmarks,omitempty"`
+}
+
+func main() {
+	serveExp := flag.String("serve", "", "also measure cold/warm serving of this experiment")
+	parallel := flag.Int("parallel", 0, "engine workers for the serve measurement")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	out := Output{
+		GeneratedUnix: time.Now().Unix(),
+		SimVersion:    bench.SimVersion,
+	}
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		benches, err := parseBench(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Benchmarks = benches
+	}
+	if *serveExp != "" {
+		res, err := measureServe(*serveExp, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Serve = res
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output:
+//
+//	BenchmarkFig1SQLite-8   1  1409031234 ns/op  3.21 x-overhead
+func parseBench(r *os.File) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// measureServe runs the cold/warm submission pair against an in-process
+// server over a fresh temp store.
+func measureServe(experiment string, parallel int) (*ServeResult, error) {
+	dir, err := os.MkdirTemp("", "benchjson-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{Store: st, Workers: 1, Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	runOnce := func() (serve.JobStatus, time.Duration, error) {
+		start := time.Now()
+		j, err := srv.Submit(serve.SubmitRequest{Experiment: experiment})
+		if err != nil {
+			return serve.JobStatus{}, 0, err
+		}
+		<-j.Done()
+		stat := j.Status()
+		if stat.State != serve.StateDone {
+			return stat, 0, fmt.Errorf("job %s ended %s: %s", stat.ID, stat.State, stat.Error)
+		}
+		return stat, time.Since(start), nil
+	}
+
+	cold, coldDur, err := runOnce()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: cold %s in %v (%d cells)\n", experiment, coldDur, cold.Cells.Runs)
+	warm, warmDur, err := runOnce()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: warm %s in %v (%d cells, from_store=%v)\n",
+		experiment, warmDur, warm.Cells.Runs, warm.FromStore)
+	if !warm.FromStore || warm.Cells.Runs != 0 {
+		return nil, fmt.Errorf("warm submission was not served from the store (cells=%d)", warm.Cells.Runs)
+	}
+	res := &ServeResult{
+		Experiment:    experiment,
+		ColdMS:        coldDur.Milliseconds(),
+		ColdCells:     cold.Cells.Runs,
+		WarmMS:        warmDur.Milliseconds(),
+		WarmCells:     warm.Cells.Runs,
+		WarmFromStore: warm.FromStore,
+	}
+	if warmDur > 0 {
+		res.Speedup = float64(coldDur) / float64(warmDur)
+	}
+	return res, nil
+}

@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,8 +37,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1 | fig2 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | table4 | all")
-	threads := flag.Int("threads", 8, "worker threads for the multithreaded suites")
+	exp := flag.String("experiment", "all", bench.ExperimentUsage())
+	threads := flag.Int("threads", bench.DefaultThreads, "worker threads for the multithreaded suites")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report cell progress and per-policy cycle totals to stderr")
 	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
@@ -100,63 +101,19 @@ func main() {
 			eng.Telemetry.Len(), strings.Join(paths, ", "))
 	}()
 
-	w := os.Stdout
-	writeCSV := func(name string, emit func(f *os.File) error) {
-		if *csvDir == "" {
-			return
-		}
-		f, err := os.Create(*csvDir + "/" + name + ".csv")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := emit(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	var csv bench.CSVSink
+	if *csvDir != "" {
+		csv = func(name string) (io.WriteCloser, error) {
+			return os.Create(*csvDir + "/" + name + ".csv")
 		}
 	}
-	run := func(name string) {
-		switch name {
-		case "fig1":
-			eng.Fig1(w)
-		case "fig2":
-			bench.Fig2(w)
-		case "fig13":
-			eng.Fig13(w, 2000)
-		case "table4":
-			eng.Table4(w)
-		case "fig7":
-			grid := eng.Fig7(w, *threads)
-			writeCSV("fig7", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
-		case "fig8":
-			res := eng.Fig8(w, *threads)
-			writeCSV("fig8", func(f *os.File) error { return bench.WriteFig8CSV(f, res) })
-		case "fig9":
-			eng.Fig9(w)
-		case "fig10":
-			eng.Fig10(w, *threads)
-		case "fig11":
-			grid := eng.Fig11(w)
-			writeCSV("fig11", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
-		case "fig12":
-			grid := eng.Fig12(w)
-			writeCSV("fig12", func(f *os.File) error { return bench.WriteGridCSV(f, grid) })
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
-		}
+	job := bench.Job{Experiment: *exp, Threads: *threads}
+	if err := bench.RunJob(eng, job, os.Stdout, csv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4"} {
-			fmt.Fprintf(w, "\n### %s\n", name)
-			run(name)
-		}
-		if *progress {
-			hits, runs := eng.CacheStats()
-			fmt.Fprintf(os.Stderr, "cells executed: %d, served from cache: %d\n", runs, hits)
-		}
-		return
+	if *exp == "all" && *progress {
+		hits, runs := eng.CacheStats()
+		fmt.Fprintf(os.Stderr, "cells executed: %d, served from cache: %d\n", runs, hits)
 	}
-	run(*exp)
 }

@@ -1,0 +1,378 @@
+// Command sgxctl is the client for sgxd, the experiment daemon.
+//
+// Usage:
+//
+//	sgxctl [-addr URL] <command> [args]
+//
+// Commands:
+//
+//	submit <experiment> [-threads N] [-requests N] [-size S] [-workloads a,b]
+//	       [-policies a,b] [-parallel N] [-trace] [-force]
+//	       submit a job; prints the job ID on stdout
+//	status [<job-id>]      one job's status, or every job
+//	wait <job-id>          block until the job is terminal; exit 0 only on done
+//	result <job-id> [-csv NAME] [-o FILE]
+//	                       fetch the result text (or one CSV grid)
+//	progress <job-id>      stream the job's progress lines
+//	profile <job-id> [-o FILE]
+//	                       download the telemetry run profile
+//	cancel <job-id>        cancel a queued or running job
+//	experiments            list runnable experiments
+//	gc                     sweep stale results from the store
+//	ping                   check the daemon is up
+//
+// The daemon address comes from -addr, else $SGXD_ADDR, else
+// http://127.0.0.1:7483.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sgxbounds/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", defaultAddr(), "sgxd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = c.submit(rest)
+	case "status":
+		err = c.status(rest)
+	case "wait":
+		err = c.wait(rest)
+	case "result":
+		err = c.result(rest)
+	case "progress":
+		err = c.progress(rest)
+	case "profile":
+		err = c.profile(rest)
+	case "cancel":
+		err = c.cancel(rest)
+	case "experiments":
+		err = c.experiments()
+	case "gc":
+		err = c.gc()
+	case "ping":
+		err = c.ping()
+	default:
+		fmt.Fprintf(os.Stderr, "sgxctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgxctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sgxctl [-addr URL] <command> [args]
+
+commands:
+  submit <experiment> [flags]   submit a job (prints the job ID)
+  status [<job-id>]             job status (all jobs when no ID)
+  wait <job-id>                 block until terminal; exit 0 only on done
+  result <job-id> [-csv NAME] [-o FILE]
+  progress <job-id>             stream progress lines
+  profile <job-id> [-o FILE]    download the telemetry run profile
+  cancel <job-id>
+  experiments                   list runnable experiments
+  gc                            sweep stale store entries
+  ping
+
+address: -addr, else $SGXD_ADDR, else http://127.0.0.1:7483
+`)
+}
+
+func defaultAddr() string {
+	if a := os.Getenv("SGXD_ADDR"); a != "" {
+		return a
+	}
+	return "http://127.0.0.1:7483"
+}
+
+type client struct{ base string }
+
+// api performs one JSON round trip; a non-2xx response decodes the server's
+// {"error": ...} envelope into an error.
+func (c *client) api(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	raw, _ := io.ReadAll(resp.Body)
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, env.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	threads := fs.Int("threads", 0, "worker threads (threaded experiments)")
+	requests := fs.Int("requests", 0, "requests per measurement (fig13)")
+	size := fs.String("size", "", "working-set size class (grid)")
+	workloadsF := fs.String("workloads", "", "comma-separated workloads (grid)")
+	policies := fs.String("policies", "", "comma-separated policies (grid)")
+	parallel := fs.Int("parallel", 0, "engine workers for this job")
+	trace := fs.Bool("trace", false, "record structured events in the profile")
+	force := fs.Bool("force", false, "recompute even on a store hit")
+	// Accept `submit fig1 -force` as well as `submit -force fig1`: lift a
+	// leading experiment name out so the flag parser sees only flags.
+	experiment := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		experiment, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if experiment == "" && fs.NArg() == 1 {
+		experiment = fs.Arg(0)
+	} else if fs.NArg() != 0 || experiment == "" {
+		return fmt.Errorf("usage: submit <experiment> [flags]")
+	}
+	req := serve.SubmitRequest{
+		Experiment: experiment,
+		Threads:    *threads,
+		Requests:   *requests,
+		Size:       *size,
+		Workloads:  splitList(*workloadsF),
+		Policies:   splitList(*policies),
+		Parallel:   *parallel,
+		Trace:      *trace,
+		Force:      *force,
+	}
+	var st serve.JobStatus
+	if err := c.api(http.MethodPost, "/api/v1/jobs", req, &st); err != nil {
+		return err
+	}
+	// Bare ID on stdout so scripts can capture it; detail on stderr.
+	fmt.Fprintf(os.Stderr, "job %s %s (key %s...)\n", st.ID, st.State, st.Key[:12])
+	fmt.Println(st.ID)
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func printStatus(st serve.JobStatus) {
+	line := fmt.Sprintf("%s\t%s\t%s", st.ID, st.State, st.Job.Experiment)
+	if st.FromStore {
+		line += "\t(from store)"
+	}
+	if st.State == serve.StateDone && !st.FromStore {
+		line += fmt.Sprintf("\t%dms\t%d cells", st.ElapsedMS, st.Cells.Runs)
+	}
+	if st.Error != "" {
+		line += "\t" + st.Error
+	}
+	fmt.Println(line)
+}
+
+func (c *client) status(args []string) error {
+	if len(args) == 0 {
+		var all []serve.JobStatus
+		if err := c.api(http.MethodGet, "/api/v1/jobs", nil, &all); err != nil {
+			return err
+		}
+		for _, st := range all {
+			printStatus(st)
+		}
+		return nil
+	}
+	var st serve.JobStatus
+	if err := c.api(http.MethodGet, "/api/v1/jobs/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	printStatus(st)
+	return nil
+}
+
+func (c *client) wait(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: wait <job-id>")
+	}
+	for {
+		var st serve.JobStatus
+		if err := c.api(http.MethodGet, "/api/v1/jobs/"+args[0], nil, &st); err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			printStatus(st)
+			if st.State != serve.StateDone {
+				os.Exit(1)
+			}
+			return nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// fetchTo streams a GET body to -o (default stdout).
+func (c *client) fetchTo(path, out string) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" && out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c *client) result(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	csvName := fs.String("csv", "", "fetch this CSV grid instead of the table text")
+	out := fs.String("o", "", "write to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: result <job-id> [-csv NAME] [-o FILE]")
+	}
+	path := "/api/v1/jobs/" + fs.Arg(0) + "/result"
+	if *csvName != "" {
+		path += "?csv=" + *csvName
+	}
+	return c.fetchTo(path, *out)
+}
+
+func (c *client) progress(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: progress <job-id>")
+	}
+	return c.fetchTo("/api/v1/jobs/"+args[0]+"/progress", "")
+}
+
+func (c *client) profile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	out := fs.String("o", "", "write to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: profile <job-id> [-o FILE]")
+	}
+	return c.fetchTo("/api/v1/jobs/"+fs.Arg(0)+"/profile", *out)
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cancel <job-id>")
+	}
+	var st serve.JobStatus
+	if err := c.api(http.MethodDelete, "/api/v1/jobs/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	printStatus(st)
+	return nil
+}
+
+func (c *client) experiments() error {
+	var infos []serve.ExperimentInfo
+	if err := c.api(http.MethodGet, "/api/v1/experiments", nil, &infos); err != nil {
+		return err
+	}
+	for _, info := range infos {
+		var params []string
+		if info.UsesThreads {
+			params = append(params, "threads")
+		}
+		if info.UsesRequests {
+			params = append(params, "requests")
+		}
+		if info.UsesGrid {
+			params = append(params, "grid")
+		}
+		suffix := ""
+		if len(params) > 0 {
+			suffix = " [" + strings.Join(params, ",") + "]"
+		}
+		fmt.Printf("%-8s %s%s\n", info.Name, info.Desc, suffix)
+	}
+	return nil
+}
+
+func (c *client) gc() error {
+	var out struct {
+		Removed int `json:"removed"`
+		Stats   struct {
+			Entries   int   `json:"entries"`
+			BodyBytes int64 `json:"body_bytes"`
+		} `json:"stats"`
+	}
+	if err := c.api(http.MethodPost, "/api/v1/gc", nil, &out); err != nil {
+		return err
+	}
+	fmt.Printf("removed %d stale entries; %d kept (%d bytes)\n",
+		out.Removed, out.Stats.Entries, out.Stats.BodyBytes)
+	return nil
+}
+
+func (c *client) ping() error {
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	fmt.Println("ok")
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command sgxd is the experiment daemon: it accepts experiment jobs over an
+// HTTP JSON API, runs them on a bounded queue layered over the bench
+// engine, and serves results from a persistent content-addressed store.
+// A figure fetched through sgxd is byte-identical to the same figure
+// printed by sgxbench; once computed, it is replayed from disk across
+// restarts without simulating a single cell.
+//
+// Usage:
+//
+//	sgxd [-addr 127.0.0.1:7483] [-store DIR] [-jobs 1] [-backlog 64] [-parallel 0]
+//
+// API (see internal/serve):
+//
+//	POST   /api/v1/jobs                submit {"experiment": "fig1", ...}
+//	GET    /api/v1/jobs                list jobs
+//	GET    /api/v1/jobs/{id}           job status
+//	DELETE /api/v1/jobs/{id}           cancel
+//	GET    /api/v1/jobs/{id}/result    table text (?csv=NAME for CSV grids)
+//	GET    /api/v1/jobs/{id}/progress  streamed progress lines
+//	GET    /api/v1/jobs/{id}/profile   telemetry run profile (JSON)
+//	GET    /api/v1/experiments         the experiment registry
+//	POST   /api/v1/gc                  sweep stale store entries
+//	GET    /metrics                    Prometheus exposition
+//	GET    /healthz                    liveness
+//
+// SIGINT/SIGTERM begin a graceful shutdown: queued jobs are cancelled,
+// in-flight jobs drain (bounded by -drain-timeout), then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/serve"
+	"sgxbounds/internal/serve/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7483", "listen address")
+	storeDir := flag.String("store", defaultStoreDir(), "result store directory")
+	jobs := flag.Int("jobs", 1, "concurrent jobs (each job parallelises internally)")
+	backlog := flag.Int("backlog", 64, "queued-job capacity")
+	parallel := flag.Int("parallel", 0, "default engine workers per job (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain-timeout", 10*time.Minute, "max time to drain in-flight jobs on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sgxd: ", log.LstdFlags)
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Store:    st,
+		Workers:  *jobs,
+		Backlog:  *backlog,
+		Parallel: *parallel,
+		Log:      logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	stats, _ := st.Stats()
+	logger.Printf("listening on %s (store %s: %d results, sim %s)",
+		*addr, *storeDir, stats.Entries, bench.SimVersion)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("%s: draining in-flight jobs", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}
+
+// defaultStoreDir places the store next to the user's cache, falling back
+// to the working directory when no cache dir is resolvable.
+func defaultStoreDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "sgxd", "store")
+	}
+	return "sgxd-store"
+}

@@ -75,9 +75,10 @@ func Run(spec Spec) Result {
 		spec.Threads = 1
 	}
 	if spec.Config.L1.Size == 0 {
-		tel := spec.Config.Tel
+		tel, cancel := spec.Config.Tel, spec.Config.Cancel
 		spec.Config = machine.DefaultConfig()
 		spec.Config.Tel = tel
+		spec.Config.Cancel = cancel
 	}
 	if spec.Policy == "sgxbounds" && !spec.CoreOptsSet {
 		spec.CoreOpts = core.AllOptimizations()

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxbounds/internal/machine"
+	"sgxbounds/internal/workloads"
+)
+
+// TestGoldenGridCSV pins WriteGridCSV's exact output — header, row order,
+// number formatting — on a small real fig7-shaped grid. The CSVs are what
+// downstream plotting consumes; a silent format change would corrupt every
+// archived figure.
+func TestGoldenGridCSV(t *testing.T) {
+	ws := mustWorkloads(t, "histogram", "kmeans")
+	grid := NewEngine(4).RunGrid(bytes.NewBuffer(nil), ws, PolicyNames,
+		workloads.XS, 2, machine.DefaultConfig())
+	var buf bytes.Buffer
+	if err := WriteGridCSV(&buf, grid); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7_csv", buf.Bytes())
+}
+
+// TestGoldenFig8CSV pins WriteFig8CSV on a reduced working-set sweep
+// (two workloads, XS and S points of the fig8 grid).
+func TestGoldenFig8CSV(t *testing.T) {
+	e := NewEngine(4)
+	sizes := []workloads.Size{workloads.XS, workloads.S}
+	policies := []string{"sgx", "sgxbounds", "asan", "mpx"}
+	names := []string{"kmeans", "wordcount"}
+	var specs []Spec
+	for _, name := range names {
+		for _, size := range sizes {
+			for _, pol := range policies {
+				specs = append(specs, Spec{Workload: name, Policy: pol, Size: size, Threads: 2})
+			}
+		}
+	}
+	results := e.RunAll(specs)
+	res := make(Fig8Result)
+	i := 0
+	for _, name := range names {
+		res[name] = make(map[workloads.Size]map[string]Result)
+		for _, size := range sizes {
+			row := make(map[string]Result)
+			for _, pol := range policies {
+				row[pol] = results[i]
+				i++
+			}
+			res[name][size] = row
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8_csv", buf.Bytes())
+}

@@ -1,18 +1,25 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgxbounds/internal/core"
+	"sgxbounds/internal/harden"
 	"sgxbounds/internal/machine"
 	"sgxbounds/internal/telemetry"
 	"sgxbounds/internal/workloads"
 )
+
+// canceledOutcome is the outcome of a cell the engine never ran because its
+// context was already cancelled.
+func canceledOutcome() harden.Outcome { return harden.Outcome{Canceled: true} }
 
 // Engine schedules experiment cells. Every cell — one Run(Spec), one
 // RunSpeedtest, one MeasureApp — builds a private machine.Machine and shares
@@ -40,6 +47,11 @@ type Engine struct {
 	// which the engine memoises into one execution — share one profile and
 	// attribution survives -parallel scheduling. Nil leaves telemetry off.
 	Telemetry *telemetry.Collector
+
+	// cancel, when non-nil, aborts the engine: queued cells are skipped and
+	// running cells panic out of the simulation at their next hierarchy
+	// probe (machine.Config.Cancel). Set by BindContext.
+	cancel *atomic.Bool
 
 	mu           sync.Mutex
 	cells        map[specKey]Result
@@ -69,6 +81,27 @@ func NewEngine(workers int) *Engine {
 
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// BindContext ties the engine's lifetime to ctx: when ctx is cancelled,
+// cells that have not started are skipped and cells in flight abort at
+// their next memory-hierarchy probe, unwinding as a Canceled outcome.
+// Canceled cells are never cached, and their results (zeroes or partial
+// counters) must be discarded along with any table text rendered from
+// them. Call before the first cell runs.
+func (e *Engine) BindContext(ctx context.Context) {
+	flag := new(atomic.Bool)
+	if ctx.Err() != nil {
+		// AfterFunc would fire asynchronously even for an already-dead
+		// context; an engine bound to one must refuse cells immediately.
+		flag.Store(true)
+	} else {
+		context.AfterFunc(ctx, func() { flag.Store(true) })
+	}
+	e.cancel = flag
+}
+
+// Canceled reports whether the engine's bound context has been cancelled.
+func (e *Engine) Canceled() bool { return e.cancel != nil && e.cancel.Load() }
 
 // CacheStats returns how many cells were served from the cache and how many
 // were actually executed.
@@ -121,9 +154,11 @@ func canonicalKey(spec Spec) (specKey, bool) {
 	if spec.Config.L1.Size == 0 {
 		spec.Config = machine.DefaultConfig()
 	}
-	// The attached telemetry profile is a side channel, never part of the
-	// cell's identity: cells differing only in Tel are the same cell.
+	// The attached telemetry profile and cancel flag are side channels,
+	// never part of the cell's identity: cells differing only in them are
+	// the same cell.
 	spec.Config.Tel = nil
+	spec.Config.Cancel = nil
 	var opts core.Options
 	if spec.Policy == "sgxbounds" {
 		// Only the SGXBounds policy consumes CoreOpts; flattening the
@@ -214,9 +249,13 @@ func (e *Engine) Run(spec Spec) Result {
 		e.mu.Unlock()
 		spec.Config.Tel = e.attach(specLabel(key))
 	}
+	if e.Canceled() {
+		return Result{Spec: spec, Outcome: canceledOutcome()}
+	}
+	spec.Config.Cancel = e.cancel
 	e.addTotal(1)
 	r := Run(spec)
-	if cacheable {
+	if cacheable && !r.Outcome.Canceled {
 		e.mu.Lock()
 		e.cells[key] = r
 		e.mu.Unlock()
@@ -264,9 +303,14 @@ func (e *Engine) RunAll(specs []Spec) []Result {
 		if cacheable[i] {
 			s.Config.Tel = e.attach(specLabel(keys[i]))
 		}
+		if e.Canceled() {
+			results[i] = Result{Spec: s, Outcome: canceledOutcome()}
+			return
+		}
+		s.Config.Cancel = e.cancel
 		r := Run(s)
 		results[i] = r
-		if cacheable[i] {
+		if cacheable[i] && !r.Outcome.Canceled {
 			e.mu.Lock()
 			e.cells[keys[i]] = r
 			e.mu.Unlock()
@@ -274,11 +318,16 @@ func (e *Engine) RunAll(specs []Spec) []Result {
 		e.noteDone(specs[i].Policy, r.Totals.Cycles)
 	})
 
-	// Fill the duplicates from the now-populated cache.
+	// Fill the duplicates from the now-populated cache. A duplicate whose
+	// owner cell was cancelled has no cache entry; it is cancelled too.
 	e.mu.Lock()
 	for i := range specs {
 		if cacheable[i] && results[i].Spec.Workload == "" {
-			results[i] = e.cells[keys[i]]
+			if r, ok := e.cells[keys[i]]; ok {
+				results[i] = r
+			} else {
+				results[i] = Result{Spec: specs[i], Outcome: canceledOutcome()}
+			}
 		}
 	}
 	e.mu.Unlock()
@@ -288,6 +337,8 @@ func (e *Engine) RunAll(specs []Spec) []Result {
 // runJobs executes n independent jobs with at most e.workers running
 // concurrently. A panicking job does not abort the others; the first panic
 // (in job order, for determinism) is re-raised after all jobs finish.
+// Cancellation is the job functions' concern: every engine entry point
+// checks e.Canceled() and returns a Canceled result without simulating.
 func (e *Engine) runJobs(n int, job func(i int)) {
 	if n == 0 {
 		return

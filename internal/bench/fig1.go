@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"sgxbounds/internal/apps/minidb"
 	"sgxbounds/internal/core"
@@ -37,13 +38,14 @@ type Fig1Row struct {
 // RunSpeedtest executes the minidb speedtest under one policy in a
 // database-sized enclave.
 func RunSpeedtest(policy string, items uint32) Fig1Row {
-	return runSpeedtest(policy, items, nil)
+	return runSpeedtest(policy, items, nil, nil)
 }
 
-func runSpeedtest(policy string, items uint32, tel *telemetry.Profile) Fig1Row {
+func runSpeedtest(policy string, items uint32, tel *telemetry.Profile, cancel *atomic.Bool) Fig1Row {
 	cfg := machine.DefaultConfig()
 	cfg.MemoryBudget = Fig1Budget
 	cfg.Tel = tel
+	cfg.Cancel = cancel
 	env := harden.NewEnv(cfg)
 	pl, err := NewPolicy(policy, env, core.AllOptimizations())
 	if err != nil {
@@ -73,11 +75,16 @@ func (e *Engine) RunSpeedtest(policy string, items uint32) Fig1Row {
 		return r
 	}
 	e.mu.Unlock()
+	if e.Canceled() {
+		return Fig1Row{Items: items, Policy: policy, Outcome: canceledOutcome()}
+	}
 	e.addTotal(1)
-	r := runSpeedtest(policy, items, e.attach(fmt.Sprintf("fig1:%s/%d", policy, items)))
-	e.mu.Lock()
-	e.speed[key] = r
-	e.mu.Unlock()
+	r := runSpeedtest(policy, items, e.attach(fmt.Sprintf("fig1:%s/%d", policy, items)), e.cancel)
+	if !r.Outcome.Canceled {
+		e.mu.Lock()
+		e.speed[key] = r
+		e.mu.Unlock()
+	}
 	e.noteDone(policy, r.Totals.Cycles)
 	return r
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"sgxbounds/internal/apps/httpd"
 	"sgxbounds/internal/apps/kvcache"
@@ -61,13 +62,14 @@ func (r AppResult) Latency(clients int) float64 {
 // MeasureApp runs `requests` requests of one app under one policy and
 // returns the per-request cost.
 func MeasureApp(app, policy string, requests int) AppResult {
-	return measureApp(app, policy, requests, nil)
+	return measureApp(app, policy, requests, nil, nil)
 }
 
-func measureApp(app, policy string, requests int, tel *telemetry.Profile) AppResult {
+func measureApp(app, policy string, requests int, tel *telemetry.Profile, cancel *atomic.Bool) AppResult {
 	cfg := machine.DefaultConfig()
 	cfg.MemoryBudget = AppBudget
 	cfg.Tel = tel
+	cfg.Cancel = cancel
 	env := harden.NewEnv(cfg)
 	pl, err := NewPolicy(policy, env, core.AllOptimizations())
 	if err != nil {
@@ -142,11 +144,16 @@ func (e *Engine) MeasureApp(app, policy string, requests int) AppResult {
 		return r
 	}
 	e.mu.Unlock()
+	if e.Canceled() {
+		return AppResult{App: app, Policy: policy, Outcome: canceledOutcome()}
+	}
 	e.addTotal(1)
-	r := measureApp(app, policy, requests, e.attach(fmt.Sprintf("fig13:%s/%s/r%d", app, policy, requests)))
-	e.mu.Lock()
-	e.apps[key] = r
-	e.mu.Unlock()
+	r := measureApp(app, policy, requests, e.attach(fmt.Sprintf("fig13:%s/%s/r%d", app, policy, requests)), e.cancel)
+	if !r.Outcome.Canceled {
+		e.mu.Lock()
+		e.apps[key] = r
+		e.mu.Unlock()
+	}
 	e.noteDone(policy, uint64(r.ServiceCycles*float64(requests)))
 	return r
 }

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/workloads"
+)
+
+// SimVersion stamps every persisted experiment result with the generation
+// of the simulator that produced it. Bump it whenever a change alters any
+// experiment's byte output (the same changes that force `make golden` /
+// `make drift` updates); stale store entries then read as misses and are
+// recomputed instead of serving outdated tables.
+const SimVersion = "sgxbounds-sim/4"
+
+// Job is the canonical description of one experiment request: the unit
+// sgxd digests, queues and stores. Two jobs with the same canonical form
+// produce byte-identical output, so they share one digest and one store
+// entry.
+type Job struct {
+	Experiment string `json:"experiment"`
+	Threads    int    `json:"threads,omitempty"`
+	Requests   int    `json:"requests,omitempty"`
+
+	// Custom grid parameters ("grid" experiment only).
+	Workloads []string `json:"workloads,omitempty"`
+	Policies  []string `json:"policies,omitempty"`
+	Size      string   `json:"size,omitempty"`
+}
+
+// KnownPolicies lists every mechanism name NewPolicy accepts.
+var KnownPolicies = []string{"sgx", "mpx", "asan", "sgxbounds", "baggy", "sfi"}
+
+func knownPolicy(name string) bool {
+	for _, p := range KnownPolicies {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSize resolves a size-class name ("XS".."XL", case-sensitive).
+func ParseSize(name string) (workloads.Size, error) {
+	for _, s := range []workloads.Size{workloads.XS, workloads.S, workloads.M, workloads.L, workloads.XL} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown size %q (want XS|S|M|L|XL)", name)
+}
+
+// Canonical resolves j's defaults and drops every parameter its experiment
+// ignores: fig2 at 4 threads is fig2, fig7 with a requests count is plain
+// fig7. The canonical form is what Digest hashes, so equivalent requests
+// dedupe to one store entry. "all" uses every parameter (its sweep spans
+// the threaded suites and fig13).
+func (j Job) Canonical() Job {
+	c := Job{Experiment: j.Experiment}
+	usesThreads, usesRequests, usesGrid := true, true, false
+	if exp, ok := LookupExperiment(j.Experiment); ok {
+		usesThreads, usesRequests, usesGrid = exp.UsesThreads, exp.UsesRequests, exp.UsesGrid
+	}
+	if usesThreads {
+		c.Threads = j.Threads
+		if c.Threads == 0 {
+			c.Threads = DefaultThreads
+		}
+	}
+	if usesRequests {
+		c.Requests = j.Requests
+		if c.Requests == 0 {
+			c.Requests = DefaultRequests
+		}
+	}
+	if usesGrid {
+		c.Workloads = append([]string(nil), j.Workloads...)
+		if len(c.Workloads) == 0 {
+			for _, wl := range workloads.PhoenixParsec() {
+				c.Workloads = append(c.Workloads, wl.Name)
+			}
+		}
+		c.Policies = append([]string(nil), j.Policies...)
+		if len(c.Policies) == 0 {
+			c.Policies = append(c.Policies, PolicyNames...)
+		}
+		c.Size = j.Size
+		if c.Size == "" {
+			c.Size = workloads.L.String()
+		}
+	}
+	return c
+}
+
+// Validate checks that the canonical job is runnable: a known experiment
+// name and, for grids, known workloads, policies and size.
+func (j Job) Validate() error {
+	if j.Experiment != "all" {
+		if _, ok := LookupExperiment(j.Experiment); !ok {
+			return fmt.Errorf("unknown experiment %q (want %s)", j.Experiment, ExperimentUsage())
+		}
+	}
+	c := j.Canonical()
+	for _, name := range c.Workloads {
+		if _, err := workloads.Get(name); err != nil {
+			return err
+		}
+	}
+	for _, pol := range c.Policies {
+		if !knownPolicy(pol) {
+			return fmt.Errorf("bench: unknown policy %q", pol)
+		}
+	}
+	if c.Size != "" {
+		if _, err := ParseSize(c.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Digest returns the content address of this job's result: a hex SHA-256
+// over the canonical job spec and the simulator version stamp. Any change
+// to either produces a different key, so a persistent store can never
+// serve a stale or mismatched result under a current key.
+func (j Job) Digest() string {
+	c := j.Canonical()
+	spec, err := json.Marshal(c)
+	if err != nil {
+		panic(err) // Job has no unmarshalable fields
+	}
+	h := sha256.New()
+	h.Write([]byte(SimVersion))
+	h.Write([]byte{0})
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Opts converts the canonical job into engine run options.
+func (j Job) Opts(csv CSVSink) RunOpts {
+	c := j.Canonical()
+	opts := RunOpts{
+		Threads:   c.Threads,
+		Requests:  c.Requests,
+		Workloads: c.Workloads,
+		Policies:  c.Policies,
+		CSV:       csv,
+	}
+	if c.Size != "" {
+		opts.Size, _ = ParseSize(c.Size)
+	}
+	return opts
+}
+
+// RunJob validates and executes j on the engine, writing the experiment's
+// table text to w.
+func RunJob(e *Engine, j Job, w io.Writer, csv CSVSink) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	return RunExperiment(e, j.Experiment, w, j.Opts(csv))
+}

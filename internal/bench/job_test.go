@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJobCanonicalDropsIgnoredParams: parameters an experiment never reads
+// do not change its canonical form or digest, so equivalent requests share
+// one store entry.
+func TestJobCanonicalDropsIgnoredParams(t *testing.T) {
+	cases := []struct {
+		a, b Job
+		same bool
+	}{
+		// fig2 ignores threads and requests entirely.
+		{Job{Experiment: "fig2"}, Job{Experiment: "fig2", Threads: 4, Requests: 999}, true},
+		// fig7 reads threads (default 8) but not requests.
+		{Job{Experiment: "fig7"}, Job{Experiment: "fig7", Threads: 8, Requests: 123}, true},
+		{Job{Experiment: "fig7"}, Job{Experiment: "fig7", Threads: 4}, false},
+		// fig13 reads requests (default 2000) but not threads.
+		{Job{Experiment: "fig13"}, Job{Experiment: "fig13", Threads: 2, Requests: 2000}, true},
+		{Job{Experiment: "fig13"}, Job{Experiment: "fig13", Requests: 100}, false},
+		// Different experiments never collide.
+		{Job{Experiment: "fig7"}, Job{Experiment: "fig8"}, false},
+		// Grid defaults are explicit in the canonical form.
+		{Job{Experiment: "grid"}, Job{Experiment: "grid", Size: "L"}, true},
+		{Job{Experiment: "grid"}, Job{Experiment: "grid", Size: "XS"}, false},
+	}
+	for _, c := range cases {
+		da, db := c.a.Digest(), c.b.Digest()
+		if (da == db) != c.same {
+			t.Errorf("digest(%+v) vs digest(%+v): same=%v, want %v", c.a, c.b, da == db, c.same)
+		}
+	}
+}
+
+// TestJobDigestIncludesSimVersion: the digest is pinned to the simulator
+// generation (indirectly: two jobs agree only through the same version
+// constant, and the digest must be a well-formed SHA-256 hex string).
+func TestJobDigestShape(t *testing.T) {
+	d := Job{Experiment: "fig1"}.Digest()
+	if len(d) != 64 || strings.Trim(d, "0123456789abcdef") != "" {
+		t.Errorf("digest %q is not 64 hex chars", d)
+	}
+	if d2 := (Job{Experiment: "fig1"}).Digest(); d2 != d {
+		t.Errorf("digest not deterministic: %q vs %q", d, d2)
+	}
+}
+
+// TestJobValidate: unknown names fail up front, before anything is queued.
+func TestJobValidate(t *testing.T) {
+	good := []Job{
+		{Experiment: "all"},
+		{Experiment: "fig1"},
+		{Experiment: "grid", Workloads: []string{"kmeans"}, Policies: []string{"sgx", "sgxbounds"}, Size: "XS"},
+	}
+	for _, j := range good {
+		if err := j.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", j, err)
+		}
+	}
+	bad := []Job{
+		{Experiment: "fig99"},
+		{Experiment: "grid", Workloads: []string{"no-such-workload"}},
+		{Experiment: "grid", Policies: []string{"no-such-policy"}},
+		{Experiment: "grid", Size: "XXL"},
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", j)
+		}
+	}
+}
+
+// TestRegistryCoversSgxbenchSweep: the registry's "all" sweep is exactly
+// the historical sgxbench order, and the usage string lists every name —
+// the anti-drift guarantee the registry exists for.
+func TestRegistryCoversSgxbenchSweep(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4"}
+	got := AllExperimentNames()
+	if len(got) != len(want) {
+		t.Fatalf("AllExperimentNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllExperimentNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	usage := ExperimentUsage()
+	for _, name := range ExperimentNames() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage %q missing experiment %q", usage, name)
+		}
+	}
+	if !strings.HasSuffix(usage, "| all") {
+		t.Errorf("usage %q must offer all", usage)
+	}
+	for _, name := range want {
+		exp, ok := LookupExperiment(name)
+		if !ok {
+			t.Errorf("LookupExperiment(%q) missing", name)
+			continue
+		}
+		if exp.Desc == "" {
+			t.Errorf("experiment %q has no description", name)
+		}
+	}
+}

@@ -25,6 +25,12 @@ func (e *Engine) Table4(w io.Writer) map[string]ripe.Summary {
 	summaries := make([]ripe.Summary, len(Table4Policies))
 	e.addTotal(len(Table4Policies))
 	e.runJobs(len(Table4Policies), func(i int) {
+		if e.Canceled() {
+			// RIPE sweeps don't run through Run's Capture, so the engine
+			// skips them wholesale; the zero summaries are discarded with
+			// the rest of a cancelled job's output.
+			return
+		}
 		pol := Table4Policies[i]
 		summaries[i] = ripe.RunAll(func() *harden.Ctx {
 			env := harden.NewEnv(machine.DefaultConfig())

@@ -179,11 +179,13 @@ type BulkPolicy interface {
 type Outcome struct {
 	Violation *Violation // non-nil if a bounds violation crashed the run
 	OOM       bool       // true if the run died of enclave memory exhaustion
+	Canceled  bool       // true if the host aborted the run (machine.ErrCanceled)
 	Panic     any        // any other panic (a bug in the harness or workload)
 }
 
-// Crashed reports whether the run terminated abnormally.
-func (o Outcome) Crashed() bool { return o.Violation != nil || o.OOM || o.Panic != nil }
+// Crashed reports whether the run terminated abnormally. Canceled runs
+// count: their counters are partial and must not enter any comparison.
+func (o Outcome) Crashed() bool { return o.Violation != nil || o.OOM || o.Canceled || o.Panic != nil }
 
 // String summarises the outcome.
 func (o Outcome) String() string {
@@ -192,6 +194,8 @@ func (o Outcome) String() string {
 		return "violation: " + o.Violation.Error()
 	case o.OOM:
 		return "crashed: out of memory"
+	case o.Canceled:
+		return "canceled"
 	case o.Panic != nil:
 		return fmt.Sprintf("panic: %v", o.Panic)
 	}
@@ -213,9 +217,12 @@ func Capture(fn func()) (out Outcome) {
 		case *Violation:
 			out.Violation = e
 		case error:
-			if e == machine.ErrOutOfMemory {
+			switch e {
+			case machine.ErrOutOfMemory:
 				out.OOM = true
-			} else {
+			case machine.ErrCanceled:
+				out.Canceled = true
+			default:
 				out.Panic = r
 			}
 		default:

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sgxbounds/internal/cache"
 	"sgxbounds/internal/enclave"
@@ -53,6 +54,12 @@ const StackSize = 256 << 10
 // MPX crashes due to insufficient memory" results (Fig. 1, Fig. 7, Fig. 11).
 var ErrOutOfMemory = errors.New("machine: enclave out of memory")
 
+// ErrCanceled aborts a simulated run whose Config.Cancel flag was set: the
+// next hierarchy probe on any thread panics with this value, which
+// harden.Capture converts into Outcome.Canceled. Canceled results carry
+// whatever partial counters had accumulated and must be discarded.
+var ErrCanceled = errors.New("machine: run canceled")
+
 // Config parameterises a Machine.
 type Config struct {
 	Enclave enclave.Config
@@ -71,6 +78,14 @@ type Config struct {
 	// predictable branch per instrumentation site, and telemetry never
 	// feeds back into simulated state, so results are identical either way.
 	Tel *telemetry.Profile
+
+	// Cancel, when non-nil, lets the host abort simulated execution: once
+	// the flag is set, every thread panics with ErrCanceled at its next
+	// hierarchy probe. Like Tel it is a host-side channel, never part of a
+	// cell's identity, and the disabled path (nil) costs one predictable
+	// branch per probe. A run that completes without the flag ever being
+	// set is bit-identical to one with Cancel == nil.
+	Cancel *atomic.Bool
 }
 
 // DefaultMemoryBudget is the scaled default enclave size (virtual memory
@@ -314,6 +329,9 @@ type Thread struct {
 	// field so the hot fields above sit at the same offsets as before
 	// telemetry existed.
 	tel *probes
+
+	// cancel copies M.Cfg.Cancel (same rationale and placement as tel).
+	cancel *atomic.Bool
 }
 
 // SpillBase returns a small per-thread region at the bottom of the stack
@@ -341,6 +359,7 @@ func (m *Machine) NewThread() *Thread {
 		l1:      cache.New(m.Cfg.L1),
 		l2:      cache.New(m.Cfg.L2),
 		tel:     m.tel,
+		cancel:  m.Cfg.Cancel,
 		stackLo: lo,
 		sp:      lo + StackSize,
 	}
@@ -355,6 +374,9 @@ func (t *Thread) Instr(n uint64) {
 // accessLine runs one cache-line access through the hierarchy and charges
 // its cost from the machine's precomputed table.
 func (t *Thread) accessLine(line uint32) {
+	if t.cancel != nil && t.cancel.Load() {
+		panic(ErrCanceled)
+	}
 	// The previous most-recent line stays trackable only if its L1 set is
 	// not the one this probe touches (see the lastLine/prevLine invariant).
 	if prev := t.lastLine; prev != 0 && t.l1.SetOf(prev-1) != t.l1.SetOf(line) {
@@ -552,6 +574,9 @@ func (t *Thread) accessRange(first, last uint32, write bool) {
 		return
 	}
 
+	if t.cancel != nil && t.cancel.Load() {
+		panic(ErrCanceled)
+	}
 	var b perf.Batch
 	if write {
 		b.Stores = nLines

@@ -1,0 +1,129 @@
+// Package serve implements sgxd, the experiment service: an HTTP JSON API
+// that accepts experiment jobs, runs them on a bounded queue layered over
+// the bench engine, and serves results from a persistent content-addressed
+// store.
+//
+// The serving invariant is byte-identity: a figure fetched through sgxd is
+// the same bytes as the same figure printed by `sgxbench -experiment ...`,
+// whether it was just computed or replayed from the store. Jobs are
+// identified by bench.Job.Digest — canonical spec plus simulator version —
+// so equivalent requests share one store entry and a simulator change can
+// never serve stale tables.
+package serve
+
+import (
+	"sgxbounds/internal/bench"
+)
+
+// SubmitRequest is the body of POST /api/v1/jobs: an experiment name plus
+// cell-grid parameters. The first six fields form the job's identity
+// (bench.Job); the rest shape how this run executes without affecting what
+// it produces.
+type SubmitRequest struct {
+	Experiment string   `json:"experiment"`
+	Threads    int      `json:"threads,omitempty"`
+	Requests   int      `json:"requests,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	Size       string   `json:"size,omitempty"`
+
+	// Parallel overrides the engine worker count for this job (0 = server
+	// default). Deliberately not part of the job's identity: engine results
+	// are byte-identical for every worker count.
+	Parallel int `json:"parallel,omitempty"`
+	// Trace additionally records structured events in the job's telemetry
+	// profile (heavier; metrics are always collected).
+	Trace bool `json:"trace,omitempty"`
+	// Force recomputes even when the store already holds the result.
+	Force bool `json:"force,omitempty"`
+}
+
+// Job extracts the identity portion of the request.
+func (r SubmitRequest) Job() bench.Job {
+	return bench.Job{
+		Experiment: r.Experiment,
+		Threads:    r.Threads,
+		Requests:   r.Requests,
+		Workloads:  r.Workloads,
+		Policies:   r.Policies,
+		Size:       r.Size,
+	}
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// CellStats echoes the engine's cache statistics for one job: how many
+// cells were served from the in-engine memo and how many actually
+// simulated. A job replayed from the persistent store ran zero cells.
+type CellStats struct {
+	Hits int `json:"hits"`
+	Runs int `json:"runs"`
+}
+
+// JobStatus is the wire form of one job's state.
+type JobStatus struct {
+	ID         string    `json:"id"`
+	Key        string    `json:"key"` // store digest (content address)
+	State      JobState  `json:"state"`
+	Job        bench.Job `json:"job"` // canonical form
+	FromStore  bool      `json:"from_store,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	ElapsedMS  int64     `json:"elapsed_ms,omitempty"`
+	Cells      CellStats `json:"cells"`
+	CreatedUnix  int64   `json:"created_unix"`
+	StartedUnix  int64   `json:"started_unix,omitempty"`
+	FinishedUnix int64   `json:"finished_unix,omitempty"`
+}
+
+// ResultBundle is the store body format: the experiment's table text
+// verbatim, plus any CSV exports keyed by grid name. Output is the
+// byte-identity carrier — it is exactly what sgxbench would have printed.
+type ResultBundle struct {
+	Output string            `json:"output"`
+	CSV    map[string]string `json:"csv,omitempty"`
+}
+
+// ExperimentInfo describes one runnable experiment for GET /api/v1/experiments.
+type ExperimentInfo struct {
+	Name         string `json:"name"`
+	Desc         string `json:"desc"`
+	UsesThreads  bool   `json:"uses_threads,omitempty"`
+	UsesRequests bool   `json:"uses_requests,omitempty"`
+	UsesGrid     bool   `json:"uses_grid,omitempty"`
+	Custom       bool   `json:"custom,omitempty"`
+}
+
+// ListExperiments renders the bench registry (plus the "all" sweep) as API
+// metadata — the daemon's experiment list is derived, never hand-written.
+func ListExperiments() []ExperimentInfo {
+	infos := make([]ExperimentInfo, 0, len(bench.Experiments)+1)
+	for _, exp := range bench.Experiments {
+		infos = append(infos, ExperimentInfo{
+			Name:         exp.Name,
+			Desc:         exp.Desc,
+			UsesThreads:  exp.UsesThreads,
+			UsesRequests: exp.UsesRequests,
+			UsesGrid:     exp.UsesGrid,
+			Custom:       exp.Custom,
+		})
+	}
+	infos = append(infos, ExperimentInfo{
+		Name: "all", Desc: "every non-custom experiment, in evaluation order",
+		UsesThreads: true, UsesRequests: true,
+	})
+	return infos
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+)
+
+// lineBuffer accumulates a job's progress lines (the engine's throttled
+// progress reports) and replays them to any number of concurrent
+// subscribers: a subscriber first drains the backlog, then blocks on the
+// change channel for live lines. The engine writes through the io.Writer
+// face; HTTP handlers read through Snapshot.
+type lineBuffer struct {
+	mu      sync.Mutex
+	lines   []string
+	partial strings.Builder
+	done    bool
+	changed chan struct{} // closed and replaced on every append/Close
+}
+
+func newLineBuffer() *lineBuffer {
+	return &lineBuffer{changed: make(chan struct{})}
+}
+
+// Write implements io.Writer, splitting the stream into lines.
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return len(p), nil
+	}
+	grew := false
+	for _, c := range p {
+		if c == '\n' {
+			b.lines = append(b.lines, b.partial.String())
+			b.partial.Reset()
+			grew = true
+		} else {
+			b.partial.WriteByte(c)
+		}
+	}
+	if grew {
+		b.notifyLocked()
+	}
+	return len(p), nil
+}
+
+// Append adds one complete line.
+func (b *lineBuffer) Append(line string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.lines = append(b.lines, line)
+	b.notifyLocked()
+}
+
+// Close marks the stream complete (flushing any partial trailing line) and
+// wakes all subscribers for the last time.
+func (b *lineBuffer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	if b.partial.Len() > 0 {
+		b.lines = append(b.lines, b.partial.String())
+		b.partial.Reset()
+	}
+	b.done = true
+	b.notifyLocked()
+}
+
+func (b *lineBuffer) notifyLocked() {
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// Snapshot returns the lines at index >= from, whether the stream has
+// ended, and a channel that closes on the next change. The subscriber loop
+// is: drain, emit, and if !done, wait on changed (or the client context).
+func (b *lineBuffer) Snapshot(from int) (lines []string, done bool, changed <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(b.lines) {
+		lines = append(lines, b.lines[from:]...)
+	}
+	return lines, b.done, b.changed
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/telemetry"
+)
+
+// ErrBacklogFull is returned by Enqueue when the queue's backlog is at
+// capacity; the API maps it to 503 so clients retry rather than pile up.
+var ErrBacklogFull = errors.New("serve: job backlog full")
+
+// ErrShuttingDown is returned by Add/Enqueue once shutdown has begun.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// job is the server-side record of one submitted job: its wire status plus
+// the run-side channels (cancellation, progress, telemetry profile).
+type job struct {
+	req      SubmitRequest
+	ctx      context.Context
+	cancel   context.CancelFunc
+	progress *lineBuffer
+	done     chan struct{} // closed when the job reaches a terminal state
+
+	mu      sync.Mutex
+	status  JobStatus
+	bundle  *ResultBundle         // set when State == done
+	profile *telemetry.RunProfile // set after a computed (non-store) run
+}
+
+// Status returns a copy of the job's current wire status.
+func (j *job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Bundle returns the result bundle once the job is done.
+func (j *job) Bundle() (*ResultBundle, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bundle, j.bundle != nil
+}
+
+// Profile returns the job's telemetry dump, if it computed anything.
+func (j *job) Profile() (*telemetry.RunProfile, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile, j.profile != nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *job) Done() <-chan struct{} { return j.done }
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status.State = StateRunning
+	j.status.StartedUnix = time.Now().Unix()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes waiters. mutate runs
+// under the job lock to fill in state-specific fields (including the
+// private bundle/profile, which is why it closes over j).
+func (j *job) finish(state JobState, mutate func(*JobStatus)) {
+	j.mu.Lock()
+	if j.status.State.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = state
+	j.status.FinishedUnix = time.Now().Unix()
+	if mutate != nil {
+		mutate(&j.status)
+	}
+	j.mu.Unlock()
+	j.progress.Close()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// queue is a bounded job queue: a fixed worker pool draining a fixed-size
+// backlog. Submission is non-blocking — a full backlog is an error, not a
+// stall — and shutdown drains what was already accepted.
+type queue struct {
+	run     func(*job)
+	backlog chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// newQueue starts workers goroutines draining a backlog of the given
+// capacity; run executes one job.
+func newQueue(workers, backlog int, run func(*job)) *queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if backlog <= 0 {
+		backlog = 64
+	}
+	q := &queue{
+		run:     run,
+		backlog: make(chan *job, backlog),
+		jobs:    make(map[string]*job),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for j := range q.backlog {
+		if j.ctx.Err() != nil {
+			// Cancelled while queued: never started, nothing to discard.
+			j.finish(StateCanceled, nil)
+			continue
+		}
+		q.run(j)
+	}
+}
+
+// Add registers a new job record built from req, with its canonical spec
+// and store key resolved into the status. The job is visible to Get/List
+// immediately but runs only once Enqueue hands it to the worker pool — the
+// gap is where the server resolves instant warm hits without burning a
+// worker slot.
+func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		req:      req,
+		ctx:      ctx,
+		cancel:   cancel,
+		progress: newLineBuffer(),
+		done:     make(chan struct{}),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		cancel()
+		return nil, ErrShuttingDown
+	}
+	q.nextID++
+	id := fmt.Sprintf("j%06d", q.nextID)
+	j.status = JobStatus{
+		ID: id, Key: key, State: StateQueued, Job: spec,
+		CreatedUnix: time.Now().Unix(),
+	}
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	return j, nil
+}
+
+// Enqueue hands an Added job to the worker pool. On a full backlog the job
+// is removed again so a rejected submission leaves no trace.
+func (q *queue) Enqueue(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.remove(j)
+		return ErrShuttingDown
+	}
+	select {
+	case q.backlog <- j: // buffered send under mu; never blocks
+		return nil
+	default:
+		q.remove(j)
+		return ErrBacklogFull
+	}
+}
+
+// remove deletes a job record (caller holds q.mu).
+func (q *queue) remove(j *job) {
+	id := j.Status().ID
+	delete(q.jobs, id)
+	for i, o := range q.order {
+		if o == id {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			break
+		}
+	}
+	j.cancel()
+}
+
+// Get returns the job with the given ID.
+func (q *queue) Get(id string) (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// List returns every job in submission order.
+func (q *queue) List() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*job, len(q.order))
+	for i, id := range q.order {
+		out[i] = q.jobs[id]
+	}
+	return out
+}
+
+// Shutdown stops intake and drains: jobs still queued are cancelled (they
+// never started computing), jobs in flight run to completion so their
+// results land in the store. If ctx expires first, in-flight jobs are
+// cancelled too and Shutdown returns ctx's error once they unwind.
+func (q *queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	for _, j := range q.jobs {
+		if j.Status().State == StateQueued {
+			j.cancel()
+		}
+	}
+	close(q.backlog)
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { q.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		for _, j := range q.jobs {
+			j.cancel()
+		}
+		q.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

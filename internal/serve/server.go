@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/serve/store"
+	"sgxbounds/internal/telemetry"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	Store    *store.Store
+	Workers  int // concurrent jobs (default 1: jobs already parallelise internally)
+	Backlog  int // queued-job capacity (default 64)
+	Parallel int // default engine workers per job (0 = GOMAXPROCS)
+	Log      *log.Logger
+}
+
+// Server is the sgxd daemon core: job queue, result store, and HTTP API.
+type Server struct {
+	store    *store.Store
+	queue    *queue
+	parallel int
+	log      *log.Logger
+	metrics  *telemetry.Registry
+	mux      *http.ServeMux
+}
+
+// New builds a server; call Handler for its API and Shutdown to drain.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("serve: Config.Store is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		store:    cfg.Store,
+		parallel: cfg.Parallel,
+		log:      cfg.Log,
+		metrics:  telemetry.NewRegistry(),
+	}
+	s.queue = newQueue(cfg.Workers, cfg.Backlog, s.runJob)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the queue; see queue.Shutdown for the semantics.
+func (s *Server) Shutdown(ctx context.Context) error { return s.queue.Shutdown(ctx) }
+
+// Submit validates and enqueues a job (the Go-level form of POST
+// /api/v1/jobs, shared by the in-process tests and cmd tooling). A job
+// whose result is already in the store completes immediately, without
+// waiting behind whatever the worker pool is computing.
+func (s *Server) Submit(req SubmitRequest) (*job, error) {
+	j := req.Job()
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	spec := j.Canonical()
+	rec, err := s.queue.Add(req, spec, j.Digest())
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Counter("jobs.submitted").Inc()
+	if !req.Force {
+		if bundle, meta, ok := s.fetch(rec.Status().Key); ok {
+			s.metrics.Counter("store.hits").Inc()
+			rec.progress.Append(fmt.Sprintf("served from store (saved ~%dms of compute)", meta.ElapsedMS))
+			rec.finish(StateDone, func(st *JobStatus) {
+				st.FromStore = true
+				rec.bundle = bundle
+			})
+			return rec, nil
+		}
+	}
+	if err := s.queue.Enqueue(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// runJob executes one job on a worker: replay from the store when possible,
+// otherwise compute on a private cancellable engine and persist the result.
+func (s *Server) runJob(j *job) {
+	j.setRunning()
+	key := j.Status().Key
+
+	// Warm path: the submission-time check may have raced another job
+	// computing the same key, so recheck here where it's cheapest.
+	if !j.req.Force {
+		if bundle, meta, ok := s.fetch(key); ok {
+			s.metrics.Counter("store.hits").Inc()
+			j.progress.Append(fmt.Sprintf("served from store (saved ~%dms of compute)", meta.ElapsedMS))
+			j.finish(StateDone, func(st *JobStatus) {
+				st.FromStore = true
+				j.bundle = bundle
+			})
+			return
+		}
+	}
+	s.metrics.Counter("store.misses").Inc()
+
+	eng := bench.NewEngine(s.jobParallel(j))
+	eng.BindContext(j.ctx)
+	eng.Progress = j.progress
+	eng.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true, Events: j.req.Trace})
+
+	var out bytes.Buffer
+	csvs := map[string]*bytes.Buffer{}
+	sink := func(name string) (io.WriteCloser, error) {
+		buf := &bytes.Buffer{}
+		csvs[name] = buf
+		return nopCloser{buf}, nil
+	}
+	start := time.Now()
+	err := runSafely(eng, j.Status().Job, &out, sink)
+	elapsed := time.Since(start).Milliseconds()
+	hits, runs := eng.CacheStats()
+	profile := telemetry.Dump(eng.Telemetry.Profiles())
+
+	switch {
+	case eng.Canceled():
+		// A cancelled engine unwinds with partial tables and zeroed cells;
+		// everything it printed is discarded with the job.
+		s.metrics.Counter("jobs.canceled").Inc()
+		j.finish(StateCanceled, func(st *JobStatus) {
+			st.ElapsedMS = elapsed
+			st.Cells = CellStats{Hits: hits, Runs: runs}
+			j.profile = profile
+		})
+	case err != nil:
+		s.metrics.Counter("jobs.failed").Inc()
+		s.log.Printf("job %s failed: %v", j.Status().ID, err)
+		j.finish(StateFailed, func(st *JobStatus) {
+			st.Error = err.Error()
+			st.ElapsedMS = elapsed
+			st.Cells = CellStats{Hits: hits, Runs: runs}
+			j.profile = profile
+		})
+	default:
+		bundle := &ResultBundle{Output: out.String()}
+		if len(csvs) > 0 {
+			bundle.CSV = make(map[string]string, len(csvs))
+			for name, buf := range csvs {
+				bundle.CSV[name] = buf.String()
+			}
+		}
+		s.persist(key, j.Status().Job, bundle, elapsed)
+		s.metrics.Counter("jobs.completed").Inc()
+		s.metrics.Counter("cells.run").Add(uint64(runs))
+		s.metrics.Counter("cells.cached").Add(uint64(hits))
+		s.metrics.Histogram("job.elapsed_ms").Observe(uint64(elapsed))
+		j.finish(StateDone, func(st *JobStatus) {
+			st.ElapsedMS = elapsed
+			st.Cells = CellStats{Hits: hits, Runs: runs}
+			j.bundle = bundle
+			j.profile = profile
+		})
+	}
+}
+
+func (s *Server) jobParallel(j *job) int {
+	if j.req.Parallel > 0 {
+		return j.req.Parallel
+	}
+	return s.parallel
+}
+
+// runSafely executes the job, converting a panic out of the bench layer
+// (bad workload wiring, simulator invariant failures) into a job error
+// instead of killing the worker.
+func runSafely(eng *bench.Engine, spec bench.Job, w io.Writer, csv bench.CSVSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment panicked: %v", r)
+		}
+	}()
+	return bench.RunJob(eng, spec, w, csv)
+}
+
+// fetch loads and decodes a stored bundle; a decode failure is treated as
+// corruption (delete and recompute), mirroring the store's own checks.
+func (s *Server) fetch(key string) (*ResultBundle, store.Meta, bool) {
+	body, meta, ok := s.store.Get(key, bench.SimVersion)
+	if !ok {
+		return nil, store.Meta{}, false
+	}
+	var bundle ResultBundle
+	if err := json.Unmarshal(body, &bundle); err != nil {
+		s.store.Delete(key)
+		return nil, store.Meta{}, false
+	}
+	return &bundle, meta, true
+}
+
+func (s *Server) persist(key string, spec bench.Job, bundle *ResultBundle, elapsedMS int64) {
+	body, err := json.Marshal(bundle)
+	if err != nil {
+		s.log.Printf("store: encode %s: %v", key, err)
+		return
+	}
+	jobJSON, _ := json.Marshal(spec)
+	meta := store.Meta{
+		Version:     bench.SimVersion,
+		CreatedUnix: time.Now().Unix(),
+		ElapsedMS:   elapsedMS,
+		Job:         jobJSON,
+	}
+	if err := s.store.Put(key, body, meta); err != nil {
+		// A failed persist degrades the warm path but not this job: the
+		// result is still served from memory.
+		s.log.Printf("store: put %s: %v", key, err)
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// ---- HTTP layer ----
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ListExperiments())
+	})
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /api/v1/gc", s.handleGC)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBacklogFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, j.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", st.ID, st.State)
+		return
+	}
+	bundle, ok := j.Bundle()
+	if !ok {
+		writeError(w, http.StatusGone, "job %s %s: %s", st.ID, st.State, st.Error)
+		return
+	}
+	if name := r.URL.Query().Get("csv"); name != "" {
+		csv, ok := bundle.CSV[name]
+		if !ok {
+			names := make([]string, 0, len(bundle.CSV))
+			for n := range bundle.CSV {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			writeError(w, http.StatusNotFound, "job %s has no CSV %q (have %v)", st.ID, name, names)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		io.WriteString(w, csv)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, bundle.Output)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		lines, done, changed := j.progress.Snapshot(from)
+		for _, line := range lines {
+			fmt.Fprintln(w, line)
+		}
+		from += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; profile not ready", st.ID, st.State)
+		return
+	}
+	profile, ok := j.Profile()
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %s ran no cells (served from store)", st.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	profile.WriteJSON(w)
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	removed, err := s.store.GC(bench.SimVersion)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "gc: %v", err)
+		return
+	}
+	stats, _ := s.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"removed": removed,
+		"stats":   stats,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, "sgxd.", s.metrics.Snapshot())
+	if stats, err := s.store.Stats(); err == nil {
+		fmt.Fprintf(w, "# TYPE sgxd_store_entries gauge\nsgxd_store_entries %d\n", stats.Entries)
+		fmt.Fprintf(w, "# TYPE sgxd_store_body_bytes gauge\nsgxd_store_body_bytes %d\n", stats.BodyBytes)
+	}
+}

@@ -1,0 +1,295 @@
+// Package store is sgxd's persistent result cache: a content-addressed,
+// crash-safe store of finished experiment results on the local filesystem.
+//
+// Entries are keyed by the caller's digest (in sgxd: SHA-256 over the
+// canonical job spec plus the simulator version stamp) and hold an opaque
+// body plus a small JSON metadata record. The layout under the root is
+//
+//	<root>/<key[:2]>/<key>.body   — the result bytes, verbatim
+//	<root>/<key[:2]>/<key>.json   — Meta (version, body checksum, job echo)
+//
+// Writes are atomic: body and meta are staged as temp files in the entry's
+// directory and renamed into place, body first — the meta rename is the
+// commit point, so a crash mid-Put leaves at worst an orphaned body that a
+// later Put overwrites or GC removes. Reads verify the body's SHA-256
+// against the meta record and the stored simulator version against the
+// caller's; a corrupt, truncated, or version-stale entry reports a plain
+// miss (and is deleted) so the caller recomputes instead of serving bad
+// bytes.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meta is the metadata record stored alongside each body.
+type Meta struct {
+	// Version stamps the generation of the producer (sgxd stores
+	// bench.SimVersion). Get treats any mismatch as a miss: results from
+	// an older simulator are never served.
+	Version string `json:"version"`
+	// Key echoes the entry key, guarding against misfiled entries.
+	Key string `json:"key"`
+	// BodySHA256 is the hex SHA-256 of the body file.
+	BodySHA256 string `json:"body_sha256"`
+	// Size is the body length in bytes.
+	Size int64 `json:"size"`
+	// CreatedUnix is the wall-clock write time (seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// ElapsedMS records how long the result took to compute, so a warm
+	// hit can report the time it saved.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Job is the producer's own description of the work (sgxd stores the
+	// canonical job spec), kept verbatim for listings and debugging.
+	Job json.RawMessage `json:"job,omitempty"`
+}
+
+// Store is a content-addressed result cache rooted at a directory. Methods
+// are safe for concurrent use within one process; cross-process writers are
+// safe against each other through the atomic rename protocol.
+type Store struct {
+	root string
+	mu   sync.Mutex // serialises same-key writers in this process
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func validKey(key string) error {
+	if len(key) < 4 {
+		return fmt.Errorf("store: key %q too short", key)
+	}
+	for _, r := range key {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			return fmt.Errorf("store: key %q is not lower-case hex", key)
+		}
+	}
+	return nil
+}
+
+func (s *Store) dir(key string) string  { return filepath.Join(s.root, key[:2]) }
+func (s *Store) body(key string) string { return filepath.Join(s.dir(key), key+".body") }
+func (s *Store) meta(key string) string { return filepath.Join(s.dir(key), key+".json") }
+
+// Put writes body under key with the given metadata. meta.Key, BodySHA256
+// and Size are filled in by the store; the caller provides Version,
+// CreatedUnix, ElapsedMS and Job.
+func (s *Store) Put(key string, body []byte, meta Meta) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if meta.Version == "" {
+		return errors.New("store: Put requires a version stamp")
+	}
+	meta.Key = key
+	sum := sha256.Sum256(body)
+	meta.BodySHA256 = hex.EncodeToString(sum[:])
+	meta.Size = int64(len(body))
+	mj, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	mj = append(mj, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.dir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Body first, then meta: the meta rename is the commit point. A
+	// reader that races a Put either misses (no meta yet) or sees the
+	// complete new pair.
+	if err := writeAtomic(dir, s.body(key), body); err != nil {
+		return err
+	}
+	if err := writeAtomic(dir, s.meta(key), mj); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeAtomic(dir, dst string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = serr
+	}
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, dst)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: write %s: %w", dst, werr)
+	}
+	return nil
+}
+
+// Get returns the body and metadata stored under key, or ok=false on a
+// miss. A miss includes any entry that fails verification — meta unreadable,
+// key or version mismatch, body checksum or size wrong — and such entries
+// are deleted so they cannot shadow a recompute.
+func (s *Store) Get(key, version string) (body []byte, meta Meta, ok bool) {
+	if validKey(key) != nil {
+		return nil, Meta{}, false
+	}
+	mj, err := os.ReadFile(s.meta(key))
+	if err != nil {
+		return nil, Meta{}, false
+	}
+	if err := json.Unmarshal(mj, &meta); err != nil {
+		s.Delete(key)
+		return nil, Meta{}, false
+	}
+	if meta.Key != key || meta.Version != version {
+		// Stale generation (or misfiled entry): recompute. Deleting keeps
+		// the store from accumulating dead entries across sim bumps.
+		s.Delete(key)
+		return nil, Meta{}, false
+	}
+	body, err = os.ReadFile(s.body(key))
+	if err != nil || int64(len(body)) != meta.Size {
+		s.Delete(key)
+		return nil, Meta{}, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != meta.BodySHA256 {
+		s.Delete(key)
+		return nil, Meta{}, false
+	}
+	return body, meta, true
+}
+
+// Stat returns the metadata for key without reading or verifying the body.
+func (s *Store) Stat(key string) (Meta, bool) {
+	if validKey(key) != nil {
+		return Meta{}, false
+	}
+	mj, err := os.ReadFile(s.meta(key))
+	if err != nil {
+		return Meta{}, false
+	}
+	var meta Meta
+	if err := json.Unmarshal(mj, &meta); err != nil {
+		return Meta{}, false
+	}
+	return meta, true
+}
+
+// Delete removes the entry under key (missing entries are not an error).
+func (s *Store) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	err1 := os.Remove(s.meta(key))
+	err2 := os.Remove(s.body(key))
+	if err1 != nil && !errors.Is(err1, fs.ErrNotExist) {
+		return err1
+	}
+	if err2 != nil && !errors.Is(err2, fs.ErrNotExist) {
+		return err2
+	}
+	return nil
+}
+
+// Keys lists every committed entry key, sorted.
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".json") && !strings.HasPrefix(name, ".tmp-") {
+			keys = append(keys, strings.TrimSuffix(name, ".json"))
+		}
+		return nil
+	})
+	sort.Strings(keys)
+	return keys, err
+}
+
+// Stats summarises the store's contents.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	BodyBytes int64 `json:"body_bytes"`
+}
+
+// Stats walks the store and reports entry count and total body size.
+func (s *Store) Stats() (Stats, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Entries: len(keys)}
+	for _, k := range keys {
+		if m, ok := s.Stat(k); ok {
+			st.BodyBytes += m.Size
+		}
+	}
+	return st, nil
+}
+
+// GC removes entries whose version differs from keep, plus any stranded
+// temp or orphaned body files, and returns the number of entries removed.
+func (s *Store) GC(keep string) (removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	werr := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			os.Remove(path)
+		case strings.HasSuffix(name, ".json"):
+			key := strings.TrimSuffix(name, ".json")
+			m, ok := s.Stat(key)
+			if !ok || m.Version != keep || m.Key != key {
+				if derr := s.Delete(key); derr != nil && firstErr == nil {
+					firstErr = derr
+				}
+				removed++
+			}
+		case strings.HasSuffix(name, ".body"):
+			key := strings.TrimSuffix(name, ".body")
+			if _, err := os.Stat(s.meta(key)); errors.Is(err, fs.ErrNotExist) {
+				os.Remove(path) // orphan from an interrupted Put
+			}
+		}
+		return nil
+	})
+	if firstErr == nil {
+		firstErr = werr
+	}
+	return removed, firstErr
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const v1 = "sim/1"
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const key1 = "ab12cd34ef567890ab12cd34ef567890ab12cd34ef567890ab12cd34ef567890"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	body := []byte("figure 1 output\nmore lines\n")
+	if err := s.Put(key1, body, Meta{Version: v1, ElapsedMS: 1234, Job: json.RawMessage(`{"experiment":"fig1"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, ok := s.Get(key1, v1)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("body round trip: got %q want %q", got, body)
+	}
+	if meta.Key != key1 || meta.Version != v1 || meta.Size != int64(len(body)) || meta.ElapsedMS != 1234 {
+		t.Errorf("meta = %+v", meta)
+	}
+	if m, ok := s.Stat(key1); !ok || m.BodySHA256 != meta.BodySHA256 {
+		t.Errorf("Stat = %+v, %v", m, ok)
+	}
+}
+
+func TestGetMissesAreClean(t *testing.T) {
+	s := open(t)
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("hit on empty store")
+	}
+	if _, _, ok := s.Get("not-hex", v1); ok {
+		t.Fatal("hit on invalid key")
+	}
+}
+
+// TestSurvivesReopen: results persist across daemon restarts.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key1, []byte("persisted"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body, _, ok := s2.Get(key1, v1); !ok || string(body) != "persisted" {
+		t.Fatalf("reopen: got %q, %v", body, ok)
+	}
+}
+
+// TestVersionMismatchIsMiss: a sim-version bump invalidates old entries and
+// removes them so the store never grows stale generations.
+func TestVersionMismatchIsMiss(t *testing.T) {
+	s := open(t)
+	if err := s.Put(key1, []byte("old result"), Meta{Version: "sim/0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("stale version served")
+	}
+	if _, ok := s.Stat(key1); ok {
+		t.Error("stale entry not deleted after miss")
+	}
+}
+
+// TestCorruptBodyIsMiss: a flipped byte in the body file fails the checksum
+// and reads as a miss, not as corrupt data.
+func TestCorruptBodyIsMiss(t *testing.T) {
+	s := open(t)
+	if err := s.Put(key1, []byte("correct bytes"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), key1[:2], key1+".body")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("corrupt body served")
+	}
+	// And a truncated body:
+	if err := s.Put(key1, []byte("correct bytes"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("cor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("truncated body served")
+	}
+}
+
+// TestCorruptMetaIsMiss: unparseable metadata reads as a miss.
+func TestCorruptMetaIsMiss(t *testing.T) {
+	s := open(t)
+	if err := s.Put(key1, []byte("x"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Root(), key1[:2], key1+".json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("corrupt meta served")
+	}
+}
+
+// TestRecomputeAfterCorruption: the full recovery path — corrupt entry
+// misses, caller recomputes and Puts, next Get hits with good bytes.
+func TestRecomputeAfterCorruption(t *testing.T) {
+	s := open(t)
+	if err := s.Put(key1, []byte("v already gone"), Meta{Version: "sim/0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(key1, v1); ok {
+		t.Fatal("should miss")
+	}
+	if err := s.Put(key1, []byte("recomputed"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	if body, _, ok := s.Get(key1, v1); !ok || string(body) != "recomputed" {
+		t.Fatalf("after recompute: %q, %v", body, ok)
+	}
+}
+
+func TestKeysAndStats(t *testing.T) {
+	s := open(t)
+	k2 := strings.Replace(key1, "ab12", "cd34", 1)
+	if err := s.Put(key1, []byte("aaaa"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, []byte("bb"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != key1 || keys[1] != k2 {
+		t.Errorf("Keys = %v", keys)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.BodyBytes != 6 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// TestGC removes stale-version entries, stranded temp files, and orphaned
+// bodies, and keeps current entries.
+func TestGC(t *testing.T) {
+	s := open(t)
+	k2 := strings.Replace(key1, "ab12", "cd34", 1)
+	k3 := strings.Replace(key1, "ab12", "ef56", 1)
+	if err := s.Put(key1, []byte("keep"), Meta{Version: v1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, []byte("stale"), Meta{Version: "sim/0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Orphaned body (interrupted Put: body renamed, meta never committed).
+	if err := os.MkdirAll(filepath.Join(s.Root(), k3[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(s.Root(), k3[:2], k3+".body")
+	if err := os.WriteFile(orphan, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(s.Root(), key1[:2], ".tmp-stranded")
+	if err := os.WriteFile(tmp, []byte("tmp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("GC removed %d entries, want 1", removed)
+	}
+	if _, _, ok := s.Get(key1, v1); !ok {
+		t.Error("GC removed a current entry")
+	}
+	if _, ok := s.Stat(k2); ok {
+		t.Error("GC kept a stale entry")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("GC kept an orphaned body")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("GC kept a stranded temp file")
+	}
+}
+
+// TestConcurrentSameKey: racing writers and readers on one key never
+// produce a torn read — every hit is one of the written bodies, intact.
+func TestConcurrentSameKey(t *testing.T) {
+	s := open(t)
+	bodies := [][]byte{
+		bytes.Repeat([]byte("A"), 4096),
+		bytes.Repeat([]byte("B"), 4096),
+		bytes.Repeat([]byte("C"), 4096),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(b []byte) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := s.Put(key1, b, Meta{Version: v1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(bodies[i])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			body, _, ok := s.Get(key1, v1)
+			if !ok {
+				continue
+			}
+			if len(body) != 4096 || bytes.Count(body, body[:1]) != 4096 {
+				t.Errorf("torn read: %d bytes, first=%q", len(body), body[:1])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

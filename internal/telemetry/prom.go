@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters become `<prefix><name>_total`
+// counter families; log2 histograms become cumulative histogram families
+// whose `le` boundaries are the upper bounds of the populated power-of-two
+// buckets (bucket i covers values with bit length i, so its inclusive upper
+// bound is 2^i - 1). Names are sanitised to the Prometheus charset, and
+// families are emitted in sorted order so the output is deterministic.
+func WritePrometheus(w io.Writer, prefix string, snap MetricsSnapshot) error {
+	for _, name := range snap.CounterNames() {
+		fam := promName(prefix+name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			fam, fam, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range snap.HistogramNames() {
+		fam := promName(prefix + name)
+		h := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n",
+				fam, bucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			fam, h.Count, fam, h.Sum, fam, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketUpper returns the inclusive upper bound of log2 bucket i: bucket 0
+// holds exactly 0, bucket i>0 holds values up to 2^i - 1. Bucket 64 (top
+// bit set) saturates at MaxUint64.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// promName maps a registry metric name ("epc.faults", "alloc.size") onto
+// the Prometheus metric charset [a-zA-Z0-9_:], replacing everything else
+// with '_' and prefixing names that start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epc.faults").Add(42)
+	r.Counter("run.cycles").Add(7)
+	var b strings.Builder
+	if err := WritePrometheus(&b, "sgx_", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sgx_epc_faults_total counter\n",
+		"sgx_epc_faults_total 42\n",
+		"sgx_run_cycles_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted family order: epc before run.
+	if strings.Index(out, "epc_faults") > strings.Index(out, "run_cycles") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc.size")
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(1) // bucket 1, le="1"
+	h.Observe(3) // bucket 2, le="3"
+	h.Observe(3)
+	var b strings.Builder
+	if err := WritePrometheus(&b, "", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# TYPE alloc_size histogram\n" +
+		"alloc_size_bucket{le=\"0\"} 1\n" +
+		"alloc_size_bucket{le=\"1\"} 2\n" +
+		"alloc_size_bucket{le=\"3\"} 4\n" +
+		"alloc_size_bucket{le=\"+Inf\"} 4\n" +
+		"alloc_size_sum 7\n" +
+		"alloc_size_count 4\n"
+	if out != want {
+		t.Errorf("histogram exposition:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, "x_", MetricsSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty snapshot produced output %q", b.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"epc.faults":  "epc_faults",
+		"run.cycles":  "run_cycles",
+		"ok_name:sub": "ok_name:sub",
+		"9lives":      "_9lives",
+		"a-b c":       "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
