@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full bench bench-json golden drift experiments
+.PHONY: ci vet build test race test-race-full chaos bench bench-json golden drift experiments
 
 ci: vet build test race
 
@@ -26,6 +26,12 @@ race:
 # Full race sweep (slow; run before touching machine/bench concurrency).
 test-race-full:
 	$(GO) test -race ./...
+
+# Chaos suites: SIGKILL real sgxd processes mid-sweep, fire injected crash
+# points in the store's torn-write window, and drive faulted sweeps through
+# retry/quarantine — under the race detector. Same gate the CI chaos job runs.
+chaos:
+	SGXD_CHAOS=1 $(GO) test -race -timeout 20m ./internal/faultline/ ./internal/serve/ ./internal/serve/store/
 
 # Benchmark sweep across every package (benchmarks only, no unit tests).
 bench:

@@ -7,7 +7,7 @@
 // Commands:
 //
 //	submit <experiment> [-threads N] [-requests N] [-size S] [-workloads a,b]
-//	       [-policies a,b] [-parallel N] [-trace] [-force]
+//	       [-policies a,b] [-parallel N] [-deadline D] [-trace] [-force]
 //	       submit a job; prints the job ID on stdout
 //	status [<job-id>]      one job's status, or every job
 //	wait <job-id>          block until the job is terminal; exit 0 only on done
@@ -17,9 +17,12 @@
 //	profile <job-id> [-o FILE]
 //	                       download the telemetry run profile
 //	cancel <job-id>        cancel a queued or running job
+//	quarantine ls          list parked poison jobs (panicked/timed out N times)
+//	requeue <job-id>       release a quarantined job as a fresh submission
 //	experiments            list runnable experiments
 //	gc                     sweep stale results from the store
-//	ping                   check the daemon is up
+//	ping                   check the daemon is up (liveness)
+//	ready                  check the daemon accepts work (readiness)
 //
 // The daemon address comes from -addr, else $SGXD_ADDR, else
 // http://127.0.0.1:7483.
@@ -65,12 +68,18 @@ func main() {
 		err = c.profile(rest)
 	case "cancel":
 		err = c.cancel(rest)
+	case "quarantine":
+		err = c.quarantine(rest)
+	case "requeue":
+		err = c.requeue(rest)
 	case "experiments":
 		err = c.experiments()
 	case "gc":
 		err = c.gc()
 	case "ping":
 		err = c.ping()
+	case "ready":
+		err = c.ready()
 	default:
 		fmt.Fprintf(os.Stderr, "sgxctl: unknown command %q\n", cmd)
 		usage()
@@ -93,9 +102,12 @@ commands:
   progress <job-id>             stream progress lines
   profile <job-id> [-o FILE]    download the telemetry run profile
   cancel <job-id>
+  quarantine ls                 list parked poison jobs
+  requeue <job-id>              release a quarantined job as a fresh submission
   experiments                   list runnable experiments
   gc                            sweep stale store entries
-  ping
+  ping                          liveness
+  ready                         readiness (journal replayed, store writable)
 
 address: -addr, else $SGXD_ADDR, else http://127.0.0.1:7483
 `)
@@ -161,6 +173,7 @@ func (c *client) submit(args []string) error {
 	workloadsF := fs.String("workloads", "", "comma-separated workloads (grid)")
 	policies := fs.String("policies", "", "comma-separated policies (grid)")
 	parallel := fs.Int("parallel", 0, "engine workers for this job")
+	deadline := fs.Duration("deadline", 0, "per-attempt deadline (0 = server default)")
 	trace := fs.Bool("trace", false, "record structured events in the profile")
 	force := fs.Bool("force", false, "recompute even on a store hit")
 	// Accept `submit fig1 -force` as well as `submit -force fig1`: lift a
@@ -183,6 +196,7 @@ func (c *client) submit(args []string) error {
 		Workloads:  splitList(*workloadsF),
 		Policies:   splitList(*policies),
 		Parallel:   *parallel,
+		DeadlineMS: deadline.Milliseconds(),
 		Trace:      *trace,
 		Force:      *force,
 	}
@@ -323,6 +337,44 @@ func (c *client) cancel(args []string) error {
 	return nil
 }
 
+// quarantine lists the parked poison jobs with their fault context.
+func (c *client) quarantine(args []string) error {
+	if len(args) != 0 && !(len(args) == 1 && args[0] == "ls") {
+		return fmt.Errorf("usage: quarantine ls")
+	}
+	var jobs []serve.JobStatus
+	if err := c.api(http.MethodGet, "/api/v1/quarantine", nil, &jobs); err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("quarantine empty")
+		return nil
+	}
+	for _, st := range jobs {
+		fmt.Printf("%s\t%s\tattempts=%d\t%s\n", st.ID, st.Job.Experiment, st.Attempts, st.Error)
+	}
+	return nil
+}
+
+// requeue releases one quarantined job; prints the replacement job's ID on
+// stdout (like submit) so scripts can chain into wait/result.
+func (c *client) requeue(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: requeue <job-id>")
+	}
+	var out struct {
+		Quarantined serve.JobStatus `json:"quarantined"`
+		Requeued    serve.JobStatus `json:"requeued"`
+	}
+	if err := c.api(http.MethodPost, "/api/v1/quarantine/"+args[0]+"/requeue", nil, &out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s released as %s (%s)\n",
+		out.Quarantined.ID, out.Requeued.ID, out.Requeued.State)
+	fmt.Println(out.Requeued.ID)
+	return nil
+}
+
 func (c *client) experiments() error {
 	var infos []serve.ExperimentInfo
 	if err := c.api(http.MethodGet, "/api/v1/experiments", nil, &infos); err != nil {
@@ -374,5 +426,20 @@ func (c *client) ping() error {
 		return apiError(resp)
 	}
 	fmt.Println("ok")
+	return nil
+}
+
+// ready checks the daemon's readiness probe; exit 0 only when it accepts
+// work.
+func (c *client) ready() error {
+	var rd struct {
+		Ready bool   `json:"ready"`
+		Store string `json:"store"`
+		Queue string `json:"queue"`
+	}
+	if err := c.api(http.MethodGet, "/readyz", nil, &rd); err != nil {
+		return err
+	}
+	fmt.Println("ready")
 	return nil
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sgxd [-addr 127.0.0.1:7483] [-store DIR] [-jobs 1] [-backlog 64] [-parallel 0]
+//	     [-journal FILE] [-faults SPEC.json] [-max-attempts 3] [-deadline 0]
 //
 // API (see internal/serve):
 //
@@ -19,9 +20,19 @@
 //	GET    /api/v1/jobs/{id}/progress  streamed progress lines
 //	GET    /api/v1/jobs/{id}/profile   telemetry run profile (JSON)
 //	GET    /api/v1/experiments         the experiment registry
+//	GET    /api/v1/quarantine          parked poison jobs
+//	POST   /api/v1/quarantine/{id}/requeue  release one as a fresh job
 //	POST   /api/v1/gc                  sweep stale store entries
 //	GET    /metrics                    Prometheus exposition
-//	GET    /healthz                    liveness
+//	GET    /healthz                    liveness (process is up)
+//	GET    /readyz                     readiness (journal replayed, store writable)
+//
+// The journal (on by default, next to the store) makes accepted jobs
+// durable: after a crash or SIGKILL, restart replays it — queued and
+// interrupted jobs re-run to byte-identical results, quarantined jobs stay
+// parked. -faults arms a deterministic fault-injection spec (see
+// internal/faultline) for chaos testing the daemon under flaky I/O, poison
+// cells, and crash points.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: queued jobs are cancelled,
 // in-flight jobs drain (bounded by -drain-timeout), then the listener
@@ -41,6 +52,7 @@ import (
 	"time"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/serve"
 	"sgxbounds/internal/serve/store"
 )
@@ -52,6 +64,10 @@ func main() {
 	backlog := flag.Int("backlog", 64, "queued-job capacity")
 	parallel := flag.Int("parallel", 0, "default engine workers per job (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain-timeout", 10*time.Minute, "max time to drain in-flight jobs on shutdown")
+	journal := flag.String("journal", "", "job journal path (default <store>/../journal.jsonl; \"off\" disables durability)")
+	faults := flag.String("faults", "", "fault-injection spec file (JSON; see internal/faultline)")
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per job before quarantine")
+	deadline := flag.Duration("deadline", 0, "default per-attempt job deadline (0 = unbounded)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sgxd: ", log.LstdFlags)
@@ -59,12 +75,32 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	// The journal lives next to the store root, not inside it: store GC
+	// sweeps unknown files under its root.
+	journalPath := *journal
+	switch journalPath {
+	case "":
+		journalPath = filepath.Join(filepath.Dir(filepath.Clean(*storeDir)), "journal.jsonl")
+	case "off":
+		journalPath = ""
+	}
+	var inj *faultline.Injector
+	if *faults != "" {
+		if inj, err = faultline.Load(*faults); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("fault injection armed from %s", *faults)
+	}
 	srv, err := serve.New(serve.Config{
-		Store:    st,
-		Workers:  *jobs,
-		Backlog:  *backlog,
-		Parallel: *parallel,
-		Log:      logger,
+		Store:           st,
+		Workers:         *jobs,
+		Backlog:         *backlog,
+		Parallel:        *parallel,
+		Log:             logger,
+		Journal:         journalPath,
+		Faults:          inj,
+		MaxAttempts:     *maxAttempts,
+		DefaultDeadline: *deadline,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -74,8 +110,12 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	stats, _ := st.Stats()
-	logger.Printf("listening on %s (store %s: %d results, sim %s)",
-		*addr, *storeDir, stats.Entries, bench.SimVersion)
+	jdesc := journalPath
+	if jdesc == "" {
+		jdesc = "off"
+	}
+	logger.Printf("listening on %s (store %s: %d results, journal %s, sim %s)",
+		*addr, *storeDir, stats.Entries, jdesc, bench.SimVersion)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -53,6 +53,14 @@ type Engine struct {
 	// probe (machine.Config.Cancel). Set by BindContext.
 	cancel *atomic.Bool
 
+	// CellHook, when non-nil, runs at the start of every cell the engine
+	// actually executes (cache hits skip it), keyed by the cell's canonical
+	// label. It is the fault-injection seam: a hook may sleep (slow cell),
+	// panic (poison cell — unwound like any workload panic, so one poisoned
+	// cell fails the experiment without killing the process), or abort the
+	// process outright (crash testing). It must not mutate engine state.
+	CellHook func(label string)
+
 	mu           sync.Mutex
 	cells        map[specKey]Result
 	apps         map[appKey]AppResult
@@ -236,6 +244,13 @@ func (e *Engine) attach(label string) *telemetry.Profile {
 	return e.Telemetry.Attach(label)
 }
 
+// cellStart announces an executing cell to the CellHook, if any.
+func (e *Engine) cellStart(label string) {
+	if e.CellHook != nil {
+		e.CellHook(label)
+	}
+}
+
 // Run executes one cell through the engine's cache.
 func (e *Engine) Run(spec Spec) Result {
 	key, cacheable := canonicalKey(spec)
@@ -251,6 +266,11 @@ func (e *Engine) Run(spec Spec) Result {
 	}
 	if e.Canceled() {
 		return Result{Spec: spec, Outcome: canceledOutcome()}
+	}
+	if cacheable {
+		e.cellStart(specLabel(key))
+	} else {
+		e.cellStart(spec.Workload + "/" + spec.Policy)
 	}
 	spec.Config.Cancel = e.cancel
 	e.addTotal(1)
@@ -306,6 +326,11 @@ func (e *Engine) RunAll(specs []Spec) []Result {
 		if e.Canceled() {
 			results[i] = Result{Spec: s, Outcome: canceledOutcome()}
 			return
+		}
+		if cacheable[i] {
+			e.cellStart(specLabel(keys[i]))
+		} else {
+			e.cellStart(s.Workload + "/" + s.Policy)
 		}
 		s.Config.Cancel = e.cancel
 		r := Run(s)

@@ -78,8 +78,10 @@ func (e *Engine) RunSpeedtest(policy string, items uint32) Fig1Row {
 	if e.Canceled() {
 		return Fig1Row{Items: items, Policy: policy, Outcome: canceledOutcome()}
 	}
+	label := fmt.Sprintf("fig1:%s/%d", policy, items)
+	e.cellStart(label)
 	e.addTotal(1)
-	r := runSpeedtest(policy, items, e.attach(fmt.Sprintf("fig1:%s/%d", policy, items)), e.cancel)
+	r := runSpeedtest(policy, items, e.attach(label), e.cancel)
 	if !r.Outcome.Canceled {
 		e.mu.Lock()
 		e.speed[key] = r

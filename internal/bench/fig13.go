@@ -147,8 +147,10 @@ func (e *Engine) MeasureApp(app, policy string, requests int) AppResult {
 	if e.Canceled() {
 		return AppResult{App: app, Policy: policy, Outcome: canceledOutcome()}
 	}
+	label := fmt.Sprintf("fig13:%s/%s/r%d", app, policy, requests)
+	e.cellStart(label)
 	e.addTotal(1)
-	r := measureApp(app, policy, requests, e.attach(fmt.Sprintf("fig13:%s/%s/r%d", app, policy, requests)), e.cancel)
+	r := measureApp(app, policy, requests, e.attach(label), e.cancel)
 	if !r.Outcome.Canceled {
 		e.mu.Lock()
 		e.apps[key] = r

@@ -32,6 +32,7 @@ func (e *Engine) Table4(w io.Writer) map[string]ripe.Summary {
 			return
 		}
 		pol := Table4Policies[i]
+		e.cellStart("table4:" + pol)
 		summaries[i] = ripe.RunAll(func() *harden.Ctx {
 			env := harden.NewEnv(machine.DefaultConfig())
 			p, err := NewPolicy(pol, env, core.AllOptimizations())

@@ -85,6 +85,13 @@ type Config struct {
 	// cell's identity, and the disabled path (nil) costs one predictable
 	// branch per probe. A run that completes without the flag ever being
 	// set is bit-identical to one with Cancel == nil.
+	//
+	// This flag is the single abort path for every host-side lifetime
+	// bound: user cancellation AND per-job deadlines both arrive here —
+	// bench.Engine.BindContext sets the flag from a context, and sgxd
+	// binds each job attempt to a deadline-bearing context, so a wedged
+	// or slow cell unwinds at its next probe instead of holding a worker
+	// forever.
 	Cancel *atomic.Bool
 }
 

@@ -31,6 +31,12 @@ type SubmitRequest struct {
 	// default). Deliberately not part of the job's identity: engine results
 	// are byte-identical for every worker count.
 	Parallel int `json:"parallel,omitempty"`
+	// DeadlineMS bounds each attempt of this job in wall-clock
+	// milliseconds (0 = the server's default deadline). An attempt that
+	// overruns is aborted at its next memory-hierarchy probe and retried;
+	// a job that times out repeatedly is quarantined. Like Parallel, not
+	// part of the job's identity.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Trace additionally records structured events in the job's telemetry
 	// profile (heavier; metrics are always collected).
 	Trace bool `json:"trace,omitempty"`
@@ -59,11 +65,18 @@ const (
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
+	// StateQuarantined parks a poison job: one that panicked or timed out
+	// on every allowed attempt. Parked jobs are never retried implicitly;
+	// they persist across restarts (via the journal) with their fault
+	// context, and are released explicitly through the quarantine API
+	// (`sgxctl requeue`), which resubmits the request as a fresh job.
+	StateQuarantined JobState = "quarantined"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final (quarantined is final for
+// the job record; release happens by resubmission, not resurrection).
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // CellStats echoes the engine's cache statistics for one job: how many
@@ -84,9 +97,15 @@ type JobStatus struct {
 	Error      string    `json:"error,omitempty"`
 	ElapsedMS  int64     `json:"elapsed_ms,omitempty"`
 	Cells      CellStats `json:"cells"`
-	CreatedUnix  int64   `json:"created_unix"`
-	StartedUnix  int64   `json:"started_unix,omitempty"`
-	FinishedUnix int64   `json:"finished_unix,omitempty"`
+	// Attempts counts execution attempts (>1 means retries happened); the
+	// fault context of a quarantined job is this plus Error.
+	Attempts int `json:"attempts,omitempty"`
+	// RequeuedAs names the fresh job a quarantined job was released as.
+	RequeuedAs   string `json:"requeued_as,omitempty"`
+	Replayed     bool   `json:"replayed,omitempty"` // resumed from the journal at boot
+	CreatedUnix  int64  `json:"created_unix"`
+	StartedUnix  int64  `json:"started_unix,omitempty"`
+	FinishedUnix int64  `json:"finished_unix,omitempty"`
 }
 
 // ResultBundle is the store body format: the experiment's table text

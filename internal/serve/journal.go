@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job journal is sgxd's crash-durability layer: an append-only JSONL
+// file recording every job's lifecycle transitions, fsync'd per record. On
+// boot the journal is replayed — jobs that were queued or running when the
+// process died are resubmitted (their IDs preserved), quarantined jobs are
+// restored parked — and then compacted, so the file holds only live state
+// plus the records appended since boot.
+//
+// Record stream grammar (one JSON object per line):
+//
+//	{"t":"submitted","id":"j000001","key":"...","req":{...},"unix":...}
+//	{"t":"started","id":"j000001","unix":...}          // one per attempt
+//	{"t":"finished","id":"j000001","state":"done",...} // done|failed|canceled|quarantined
+//	{"t":"requeued","id":"j000001","new":"j000005"}    // quarantine release
+//
+// A job with a submitted record and no finished record is pending: it is
+// re-enqueued on replay (a crash between "started" and "finished" re-runs
+// the job — results are deterministic and cached, so convergence is
+// byte-identical). A finished record with state "quarantined" parks the
+// job across restarts until a "requeued" record releases it. A torn final
+// line (the crash landed mid-append) is tolerated and dropped; replay
+// stops at the first unparsable line.
+type journalRecord struct {
+	T        string         `json:"t"`
+	ID       string         `json:"id"`
+	Unix     int64          `json:"unix,omitempty"`
+	Key      string         `json:"key,omitempty"`
+	Req      *SubmitRequest `json:"req,omitempty"`
+	State    JobState       `json:"state,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Attempts int            `json:"attempts,omitempty"`
+	New      string         `json:"new,omitempty"` // requeued: replacement job ID
+}
+
+// ReplayJob is one job reconstructed from the journal at boot.
+type ReplayJob struct {
+	ID          string
+	Req         SubmitRequest
+	CreatedUnix int64
+	Quarantined bool // parked; restore without re-running
+	Interrupted bool // had started at least one attempt when the process died
+	Attempts    int
+	Error       string
+}
+
+// Replay is the reconstructed journal state.
+type Replay struct {
+	Jobs   []ReplayJob // journal order: pending first-submitted first
+	MaxSeq int         // highest job sequence number ever issued
+}
+
+// Journal is the append side: one exclusive writer per daemon.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal replays the journal at path (creating it if absent), compacts
+// it to the surviving state, and returns the open journal plus the replay.
+func OpenJournal(path string) (*Journal, Replay, error) {
+	replay, err := readJournal(path)
+	if err != nil {
+		return nil, Replay{}, err
+	}
+	if err := compactJournal(path, replay); err != nil {
+		return nil, Replay{}, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	return &Journal{path: path, f: f}, replay, nil
+}
+
+func readJournal(path string) (Replay, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return Replay{}, nil
+	}
+	if err != nil {
+		return Replay{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	type jobState struct {
+		ReplayJob
+		settled bool // finished (non-quarantine) or requeued
+	}
+	jobs := make(map[string]*jobState)
+	var order []string
+	maxSeq := 0
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn append from the crash that brought us here; nothing
+			// after it can be trusted.
+			break
+		}
+		if seq := jobSeq(rec.ID); seq > maxSeq {
+			maxSeq = seq
+		}
+		switch rec.T {
+		case "submitted":
+			if rec.Req == nil {
+				continue
+			}
+			if _, ok := jobs[rec.ID]; !ok {
+				jobs[rec.ID] = &jobState{ReplayJob: ReplayJob{
+					ID: rec.ID, Req: *rec.Req, CreatedUnix: rec.Unix,
+				}}
+				order = append(order, rec.ID)
+			}
+		case "started":
+			if j, ok := jobs[rec.ID]; ok {
+				j.Interrupted = true
+				j.Attempts++
+			}
+		case "finished":
+			if j, ok := jobs[rec.ID]; ok {
+				if rec.State == StateQuarantined {
+					j.Quarantined = true
+					j.Error = rec.Error
+					if rec.Attempts > 0 {
+						j.Attempts = rec.Attempts
+					}
+				} else {
+					j.settled = true
+				}
+			}
+		case "requeued":
+			if j, ok := jobs[rec.ID]; ok {
+				j.settled = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Replay{}, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+
+	replay := Replay{MaxSeq: maxSeq}
+	for _, id := range order {
+		if j := jobs[id]; !j.settled {
+			replay.Jobs = append(replay.Jobs, j.ReplayJob)
+		}
+	}
+	return replay, nil
+}
+
+// compactJournal rewrites the journal to hold exactly the surviving state:
+// a submitted record per live job, plus the quarantine verdicts. Staged
+// next to the journal and renamed into place, so a crash mid-compaction
+// leaves the previous journal intact.
+func compactJournal(path string, replay Replay) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	name := tmp.Name()
+	enc := json.NewEncoder(tmp)
+	werr := func() error {
+		for _, j := range replay.Jobs {
+			req := j.Req
+			rec := journalRecord{T: "submitted", ID: j.ID, Req: &req, Unix: j.CreatedUnix, Key: req.Job().Digest()}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			if j.Interrupted && !j.Quarantined {
+				if err := enc.Encode(journalRecord{T: "started", ID: j.ID}); err != nil {
+					return err
+				}
+			}
+			if j.Quarantined {
+				rec := journalRecord{T: "finished", ID: j.ID, State: StateQuarantined,
+					Error: j.Error, Attempts: j.Attempts}
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return tmp.Sync()
+	}()
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, path)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("journal: compact %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Append writes one record and syncs it to disk before returning: a record
+// the caller acted on (a 201 to a client, a worker starting) is durable.
+func (jn *Journal) Append(rec journalRecord) error {
+	if jn == nil {
+		return nil
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if _, err := jn.f.Write(raw); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := jn.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (jn *Journal) Close() error {
+	if jn == nil {
+		return nil
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	return jn.f.Close()
+}
+
+// Path returns the journal's file path.
+func (jn *Journal) Path() string {
+	if jn == nil {
+		return ""
+	}
+	return jn.path
+}
+
+// jobSeq parses the sequence number out of a "jNNNNNN" job ID (0 if the ID
+// is not in that form).
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openJournalT(t *testing.T, path string) (*Journal, Replay) {
+	t.Helper()
+	jn, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jn.Close() })
+	return jn, replay
+}
+
+// TestJournalReplaySemantics: each record combination reconstructs the
+// right job state — pending, interrupted, quarantined, or settled.
+func TestJournalReplaySemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, replay := openJournalT(t, path)
+	if len(replay.Jobs) != 0 || replay.MaxSeq != 0 {
+		t.Fatalf("fresh journal replay = %+v", replay)
+	}
+
+	req := func(exp string) *SubmitRequest { return &SubmitRequest{Experiment: exp} }
+	records := []journalRecord{
+		// j1: pending (accepted, never started).
+		{T: "submitted", ID: "j000001", Req: req("fig2"), Unix: 100},
+		// j2: interrupted mid-attempt.
+		{T: "submitted", ID: "j000002", Req: req("table4"), Unix: 101},
+		{T: "started", ID: "j000002"},
+		// j3: finished cleanly — settled.
+		{T: "submitted", ID: "j000003", Req: req("fig2"), Unix: 102},
+		{T: "started", ID: "j000003"},
+		{T: "finished", ID: "j000003", State: StateDone},
+		// j4: quarantined with fault context — parked.
+		{T: "submitted", ID: "j000004", Req: req("table4"), Unix: 103},
+		{T: "started", ID: "j000004"},
+		{T: "started", ID: "j000004"},
+		{T: "finished", ID: "j000004", State: StateQuarantined, Error: "poison cell", Attempts: 2},
+		// j5: quarantined then released — settled.
+		{T: "submitted", ID: "j000005", Req: req("fig2"), Unix: 104},
+		{T: "finished", ID: "j000005", State: StateQuarantined, Error: "x", Attempts: 3},
+		{T: "requeued", ID: "j000005", New: "j000006"},
+	}
+	for _, rec := range records {
+		if err := jn.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jn.Close()
+
+	_, replay = openJournalT(t, path)
+	if replay.MaxSeq != 5 {
+		t.Errorf("MaxSeq = %d, want 5", replay.MaxSeq)
+	}
+	byID := make(map[string]ReplayJob)
+	for _, j := range replay.Jobs {
+		byID[j.ID] = j
+	}
+	if len(byID) != 3 {
+		t.Fatalf("replayed %d jobs (%v), want j1, j2, j4", len(byID), replay.Jobs)
+	}
+	if j := byID["j000001"]; j.Interrupted || j.Quarantined || j.Req.Experiment != "fig2" || j.CreatedUnix != 100 {
+		t.Errorf("j1 = %+v, want pending fig2", j)
+	}
+	if j := byID["j000002"]; !j.Interrupted || j.Quarantined || j.Attempts != 1 {
+		t.Errorf("j2 = %+v, want interrupted after 1 attempt", j)
+	}
+	if j := byID["j000004"]; !j.Quarantined || j.Error != "poison cell" || j.Attempts != 2 {
+		t.Errorf("j4 = %+v, want quarantined(poison cell, 2 attempts)", j)
+	}
+	if _, ok := byID["j000003"]; ok {
+		t.Error("finished job j3 resurrected")
+	}
+	if _, ok := byID["j000005"]; ok {
+		t.Error("requeued job j5 resurrected")
+	}
+}
+
+// TestJournalToleratesTornTail: a crash mid-append leaves a partial final
+// line; replay keeps everything before it and drops the tear.
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, _ := openJournalT(t, path)
+	jn.Append(journalRecord{T: "submitted", ID: "j000001", Req: &SubmitRequest{Experiment: "fig2"}, Unix: 1})
+	jn.Append(journalRecord{T: "submitted", ID: "j000002", Req: &SubmitRequest{Experiment: "table4"}, Unix: 2})
+	jn.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"finished","id":"j0000`) // torn mid-record
+	f.Close()
+
+	_, replay := openJournalT(t, path)
+	if len(replay.Jobs) != 2 {
+		t.Fatalf("replay after torn tail = %+v, want both jobs", replay.Jobs)
+	}
+	// The reopened journal was compacted: the torn line is gone for good.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("compacted journal still has an unparsable line: %q", line)
+		}
+	}
+}
+
+// TestJournalCompaction: settled jobs' records do not accumulate — reopen
+// rewrites the file to just the live state.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, _ := openJournalT(t, path)
+	for i := 0; i < 50; i++ {
+		id := "j000001"
+		jn.Append(journalRecord{T: "submitted", ID: id, Req: &SubmitRequest{Experiment: "fig2"}})
+		jn.Append(journalRecord{T: "started", ID: id})
+		jn.Append(journalRecord{T: "finished", ID: id, State: StateDone})
+	}
+	jn.Append(journalRecord{T: "submitted", ID: "j000051", Req: &SubmitRequest{Experiment: "table4"}, Unix: 9})
+	jn.Close()
+	before, _ := os.Stat(path)
+
+	_, replay := openJournalT(t, path)
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if len(replay.Jobs) != 1 || replay.Jobs[0].ID != "j000051" {
+		t.Fatalf("replay = %+v, want only j000051", replay.Jobs)
+	}
+	// Keys are recomputed at compaction time from the request, pinning the
+	// entry to the current simulator version.
+	raw, _ := os.ReadFile(path)
+	var rec journalRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Key != (SubmitRequest{Experiment: "table4"}).Job().Digest() {
+		t.Errorf("compacted key = %q, want current digest", rec.Key)
+	}
+}
+
+// TestJournalNilSafe: a server without a journal path calls through a nil
+// *Journal everywhere.
+func TestJournalNilSafe(t *testing.T) {
+	var jn *Journal
+	if err := jn.Append(journalRecord{T: "submitted", ID: "j000001"}); err != nil {
+		t.Errorf("nil Append = %v", err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if jn.Path() != "" {
+		t.Errorf("nil Path = %q", jn.Path())
+	}
+}

@@ -26,6 +26,7 @@ type job struct {
 	cancel   context.CancelFunc
 	progress *lineBuffer
 	done     chan struct{} // closed when the job reaches a terminal state
+	onFinish func(*job)    // journal hook; runs once, after the terminal transition
 
 	mu      sync.Mutex
 	status  JobStatus
@@ -64,6 +65,12 @@ func (j *job) setRunning() {
 	j.mu.Unlock()
 }
 
+func (j *job) setAttempt(n int) {
+	j.mu.Lock()
+	j.status.Attempts = n
+	j.mu.Unlock()
+}
+
 // finish moves the job to a terminal state and wakes waiters. mutate runs
 // under the job lock to fill in state-specific fields (including the
 // private bundle/profile, which is why it closes over j).
@@ -82,15 +89,19 @@ func (j *job) finish(state JobState, mutate func(*JobStatus)) {
 	j.progress.Close()
 	j.cancel() // release the context's resources
 	close(j.done)
+	if j.onFinish != nil {
+		j.onFinish(j)
+	}
 }
 
 // queue is a bounded job queue: a fixed worker pool draining a fixed-size
 // backlog. Submission is non-blocking — a full backlog is an error, not a
 // stall — and shutdown drains what was already accepted.
 type queue struct {
-	run     func(*job)
-	backlog chan *job
-	wg      sync.WaitGroup
+	run      func(*job)
+	onFinish func(*job)
+	backlog  chan *job
+	wg       sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -100,8 +111,9 @@ type queue struct {
 }
 
 // newQueue starts workers goroutines draining a backlog of the given
-// capacity; run executes one job.
-func newQueue(workers, backlog int, run func(*job)) *queue {
+// capacity; run executes one job, onFinish (optional) observes each
+// terminal transition — the server's journal hook.
+func newQueue(workers, backlog int, run func(*job), onFinish func(*job)) *queue {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -109,9 +121,10 @@ func newQueue(workers, backlog int, run func(*job)) *queue {
 		backlog = 64
 	}
 	q := &queue{
-		run:     run,
-		backlog: make(chan *job, backlog),
-		jobs:    make(map[string]*job),
+		run:      run,
+		onFinish: onFinish,
+		backlog:  make(chan *job, backlog),
+		jobs:     make(map[string]*job),
 	}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -138,6 +151,10 @@ func (q *queue) worker() {
 // gap is where the server resolves instant warm hits without burning a
 // worker slot.
 func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*job, error) {
+	return q.add(req, spec, key, "", time.Now().Unix())
+}
+
+func (q *queue) add(req SubmitRequest, spec bench.Job, key, id string, createdUnix int64) (*job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		req:      req,
@@ -145,6 +162,7 @@ func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*job, error)
 		cancel:   cancel,
 		progress: newLineBuffer(),
 		done:     make(chan struct{}),
+		onFinish: q.onFinish,
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -152,14 +170,63 @@ func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*job, error)
 		cancel()
 		return nil, ErrShuttingDown
 	}
-	q.nextID++
-	id := fmt.Sprintf("j%06d", q.nextID)
+	if id == "" {
+		q.nextID++
+		id = fmt.Sprintf("j%06d", q.nextID)
+	}
 	j.status = JobStatus{
 		ID: id, Key: key, State: StateQueued, Job: spec,
-		CreatedUnix: time.Now().Unix(),
+		CreatedUnix: createdUnix,
 	}
 	q.jobs[id] = j
 	q.order = append(q.order, id)
+	return j, nil
+}
+
+// setSeq advances the ID counter past n, so IDs issued after a journal
+// replay never collide with IDs issued before the crash.
+func (q *queue) setSeq(n int) {
+	q.mu.Lock()
+	if n > q.nextID {
+		q.nextID = n
+	}
+	q.mu.Unlock()
+}
+
+// Restore re-registers a journal-replayed pending job under its original
+// ID. The caller Enqueues it; its status is marked replayed so operators
+// can tell resumed work from fresh submissions.
+func (q *queue) Restore(rj ReplayJob, spec bench.Job, key string) (*job, error) {
+	j, err := q.add(rj.Req, spec, key, rj.ID, rj.CreatedUnix)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.status.Replayed = true
+	j.mu.Unlock()
+	return j, nil
+}
+
+// Park registers a journal-replayed quarantined job directly in its
+// terminal state: visible to Get/List and the quarantine API, never handed
+// to a worker. finish() is deliberately bypassed — the quarantine verdict
+// is already in the (just-compacted) journal, and re-notifying onFinish
+// would duplicate it.
+func (q *queue) Park(rj ReplayJob, spec bench.Job, key string) (*job, error) {
+	j, err := q.add(rj.Req, spec, key, rj.ID, rj.CreatedUnix)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.status.State = StateQuarantined
+	j.status.Error = rj.Error
+	j.status.Attempts = rj.Attempts
+	j.status.Replayed = true
+	j.status.FinishedUnix = rj.CreatedUnix
+	j.mu.Unlock()
+	j.progress.Close()
+	j.cancel()
+	close(j.done)
 	return j, nil
 }
 
@@ -192,6 +259,13 @@ func (q *queue) remove(j *job) {
 		}
 	}
 	j.cancel()
+}
+
+// Accepting reports whether the queue still takes submissions.
+func (q *queue) Accepting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed
 }
 
 // Get returns the job with the given ID.

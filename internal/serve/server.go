@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/serve/store"
 	"sgxbounds/internal/telemetry"
 )
@@ -24,19 +27,49 @@ type Config struct {
 	Backlog  int // queued-job capacity (default 64)
 	Parallel int // default engine workers per job (0 = GOMAXPROCS)
 	Log      *log.Logger
+
+	// Journal, when non-empty, is the path of the durable job journal:
+	// every accepted job is fsync'd there before the client sees a 201,
+	// and on boot the journal is replayed — queued or interrupted jobs
+	// resume, quarantined jobs stay parked. Empty disables durability
+	// (in-process tests, throwaway daemons).
+	Journal string
+	// Faults, when non-nil, is the armed fault injector; the server wires
+	// it into its store and fires "engine.cell" / "crash.*" sites itself.
+	Faults *faultline.Injector
+	// MaxAttempts bounds executions per job before quarantine (default 3).
+	MaxAttempts int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// attempts (defaults 250ms and 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// DefaultDeadline bounds each attempt of jobs that do not carry their
+	// own deadline_ms (0 = unbounded).
+	DefaultDeadline time.Duration
 }
 
-// Server is the sgxd daemon core: job queue, result store, and HTTP API.
+// Server is the sgxd daemon core: job queue, result store, durable
+// journal, and HTTP API.
 type Server struct {
-	store    *store.Store
-	queue    *queue
-	parallel int
-	log      *log.Logger
-	metrics  *telemetry.Registry
-	mux      *http.ServeMux
+	store       *store.Store
+	queue       *queue
+	journal     *Journal
+	faults      *faultline.Injector
+	parallel    int
+	maxAttempts int
+	retryBase   time.Duration
+	retryCap    time.Duration
+	deadline    time.Duration
+	log         *log.Logger
+	metrics     *telemetry.Registry
+	mux         *http.ServeMux
+	ready       atomic.Bool
 }
 
 // New builds a server; call Handler for its API and Shutdown to drain.
+// When cfg.Journal is set, New replays it before accepting traffic: jobs
+// that were pending when the previous process died are re-enqueued under
+// their original IDs, quarantined jobs are restored parked.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("serve: Config.Store is required")
@@ -47,23 +80,128 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = log.New(io.Discard, "", 0)
 	}
-	s := &Server{
-		store:    cfg.Store,
-		parallel: cfg.Parallel,
-		log:      cfg.Log,
-		metrics:  telemetry.NewRegistry(),
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
 	}
-	s.queue = newQueue(cfg.Workers, cfg.Backlog, s.runJob)
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 250 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 5 * time.Second
+	}
+
+	var jn *Journal
+	var replay Replay
+	if cfg.Journal != "" {
+		var err error
+		jn, replay, err = OpenJournal(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Server{
+		store:       cfg.Store,
+		journal:     jn,
+		faults:      cfg.Faults,
+		parallel:    cfg.Parallel,
+		maxAttempts: cfg.MaxAttempts,
+		retryBase:   cfg.RetryBase,
+		retryCap:    cfg.RetryCap,
+		deadline:    cfg.DefaultDeadline,
+		log:         cfg.Log,
+		metrics:     telemetry.NewRegistry(),
+	}
+	s.store.SetFaults(cfg.Faults)
+	// Register the robustness counters at zero so /metrics shows the full
+	// vocabulary from boot, not only after the first fault.
+	for _, name := range []string{
+		"jobs.retried", "jobs.quarantined", "jobs.requeued",
+		"journal.replayed", "store.put_retries",
+	} {
+		s.metrics.Counter(name)
+	}
+
+	backlog := cfg.Backlog
+	if backlog <= 0 {
+		backlog = 64
+	}
+	// Replayed jobs must all fit the backlog regardless of its configured
+	// size — rejecting a journaled job on boot would lose accepted work.
+	s.queue = newQueue(cfg.Workers, backlog+len(replay.Jobs), s.runJob, s.jobFinished)
+	s.queue.setSeq(replay.MaxSeq)
 	s.mux = http.NewServeMux()
 	s.routes()
+
+	for _, rj := range replay.Jobs {
+		if err := s.restore(rj); err != nil {
+			s.log.Printf("journal: replay %s: %v", rj.ID, err)
+		}
+	}
+	s.ready.Store(true)
 	return s, nil
+}
+
+// restore re-registers one journal-replayed job.
+func (s *Server) restore(rj ReplayJob) error {
+	bj := rj.Req.Job()
+	if err := bj.Validate(); err != nil {
+		// A job that validated before the crash but not now (simulator
+		// surface changed across the restart): settle it in the journal so
+		// it is not resurrected forever.
+		s.journal.Append(journalRecord{
+			T: "finished", ID: rj.ID, State: StateFailed,
+			Error: err.Error(), Unix: time.Now().Unix(),
+		})
+		return err
+	}
+	spec, key := bj.Canonical(), bj.Digest()
+	if rj.Quarantined {
+		_, err := s.queue.Park(rj, spec, key)
+		return err
+	}
+	j, err := s.queue.Restore(rj, spec, key)
+	if err != nil {
+		return err
+	}
+	s.metrics.Counter("journal.replayed").Inc()
+	if rj.Interrupted {
+		j.progress.Append(fmt.Sprintf("resumed after restart (interrupted on attempt %d)", rj.Attempts))
+	} else {
+		j.progress.Append("resumed after restart (was queued)")
+	}
+	return s.queue.Enqueue(j)
 }
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the queue; see queue.Shutdown for the semantics.
-func (s *Server) Shutdown(ctx context.Context) error { return s.queue.Shutdown(ctx) }
+// Shutdown drains the queue (see queue.Shutdown), then closes the journal.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.queue.Shutdown(ctx)
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// jobFinished is the queue's onFinish hook: it makes every terminal
+// transition durable. A "finished" record marks the job settled, so a
+// restart will not re-run it; a quarantine verdict carries the fault
+// context so the parked job survives restarts intact.
+func (s *Server) jobFinished(j *job) {
+	st := j.Status()
+	rec := journalRecord{
+		T: "finished", ID: st.ID, State: st.State,
+		Attempts: st.Attempts, Unix: time.Now().Unix(),
+	}
+	if st.State == StateFailed || st.State == StateQuarantined {
+		rec.Error = st.Error
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.log.Printf("journal: %v", err)
+	}
+}
 
 // Submit validates and enqueues a job (the Go-level form of POST
 // /api/v1/jobs, shared by the in-process tests and cmd tooling). A job
@@ -80,6 +218,15 @@ func (s *Server) Submit(req SubmitRequest) (*job, error) {
 		return nil, err
 	}
 	s.metrics.Counter("jobs.submitted").Inc()
+	// Make the acceptance durable before anything the client can observe:
+	// once this record is on disk, a crash at any later point re-runs the
+	// job instead of losing it.
+	st := rec.Status()
+	if err := s.journal.Append(journalRecord{
+		T: "submitted", ID: st.ID, Key: st.Key, Req: &rec.req, Unix: st.CreatedUnix,
+	}); err != nil {
+		s.log.Printf("journal: %v", err)
+	}
 	if !req.Force {
 		if bundle, meta, ok := s.fetch(rec.Status().Key); ok {
 			s.metrics.Counter("store.hits").Inc()
@@ -92,13 +239,23 @@ func (s *Server) Submit(req SubmitRequest) (*job, error) {
 		}
 	}
 	if err := s.queue.Enqueue(rec); err != nil {
+		// The job was journaled but never ran; settle it so replay does
+		// not resurrect a submission the client saw rejected.
+		s.journal.Append(journalRecord{
+			T: "finished", ID: st.ID, State: StateFailed,
+			Error: err.Error(), Unix: time.Now().Unix(),
+		})
 		return nil, err
 	}
 	return rec, nil
 }
 
-// runJob executes one job on a worker: replay from the store when possible,
-// otherwise compute on a private cancellable engine and persist the result.
+// runJob executes one job on a worker: replay from the store when
+// possible, otherwise compute on a private cancellable engine and persist
+// the result. Each attempt runs under the job's deadline; attempts that
+// time out, panic, or hit injected faults are retried with exponential
+// backoff, and a job that exhausts its attempts is quarantined with its
+// fault context rather than silently failed.
 func (s *Server) runJob(j *job) {
 	j.setRunning()
 	key := j.Status().Key
@@ -118,9 +275,69 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.Counter("store.misses").Inc()
 
+	for attempt := 1; ; attempt++ {
+		done, transient, err := s.runAttempt(j, attempt)
+		if done {
+			return
+		}
+		if j.ctx.Err() != nil {
+			// The client cancelled between attempts.
+			s.metrics.Counter("jobs.canceled").Inc()
+			j.finish(StateCanceled, nil)
+			return
+		}
+		if !transient {
+			s.metrics.Counter("jobs.failed").Inc()
+			s.log.Printf("job %s failed: %v", j.Status().ID, err)
+			j.finish(StateFailed, func(st *JobStatus) { st.Error = err.Error() })
+			return
+		}
+		if attempt >= s.maxAttempts {
+			s.metrics.Counter("jobs.quarantined").Inc()
+			s.log.Printf("job %s quarantined after %d attempts: %v", j.Status().ID, attempt, err)
+			j.progress.Append(fmt.Sprintf("quarantined after %d attempts: %v", attempt, err))
+			j.finish(StateQuarantined, func(st *JobStatus) { st.Error = err.Error() })
+			return
+		}
+		d := s.backoff(j.Status().ID, attempt)
+		s.metrics.Counter("jobs.retried").Inc()
+		j.progress.Append(fmt.Sprintf("attempt %d failed (%v); retrying in %s", attempt, err, d.Round(time.Millisecond)))
+		select {
+		case <-time.After(d):
+		case <-j.ctx.Done():
+		}
+	}
+}
+
+// runAttempt executes one attempt of a job. done means the job reached a
+// terminal state (success or user cancellation) and the attempt loop must
+// stop; otherwise err describes the failure and transient says whether it
+// is worth retrying (timeouts, panics, injected faults) or final (a
+// malformed experiment fails the same way every time).
+func (s *Server) runAttempt(j *job, attempt int) (done, transient bool, err error) {
+	st := j.Status()
+	j.setAttempt(attempt)
+	// A durable "started" record: if the process dies mid-attempt, replay
+	// knows the job was interrupted (not merely queued) and re-runs it.
+	if jerr := s.journal.Append(journalRecord{T: "started", ID: st.ID, Unix: time.Now().Unix()}); jerr != nil {
+		s.log.Printf("journal: %v", jerr)
+	}
+	s.faults.Crash("job.started")
+
+	// Per-attempt deadline: the engine aborts at its next hierarchy probe
+	// once the context dies, so a wedged or poisoned cell cannot hold a
+	// worker slot past the deadline.
+	ctx := j.ctx
+	cancel := context.CancelFunc(func() {})
+	if d := s.jobDeadline(j); d > 0 {
+		ctx, cancel = context.WithTimeout(j.ctx, d)
+	}
+	defer cancel()
+
 	eng := bench.NewEngine(s.jobParallel(j))
-	eng.BindContext(j.ctx)
+	eng.BindContext(ctx)
 	eng.Progress = j.progress
+	eng.CellHook = s.cellHook
 	eng.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true, Events: j.req.Trace})
 
 	var out bytes.Buffer
@@ -131,13 +348,16 @@ func (s *Server) runJob(j *job) {
 		return nopCloser{buf}, nil
 	}
 	start := time.Now()
-	err := runSafely(eng, j.Status().Job, &out, sink)
+	err, panicked := runSafely(eng, st.Job, &out, sink)
 	elapsed := time.Since(start).Milliseconds()
 	hits, runs := eng.CacheStats()
 	profile := telemetry.Dump(eng.Telemetry.Profiles())
 
+	userCanceled := j.ctx.Err() != nil
+	timedOut := eng.Canceled() && !userCanceled
+
 	switch {
-	case eng.Canceled():
+	case userCanceled:
 		// A cancelled engine unwinds with partial tables and zeroed cells;
 		// everything it printed is discarded with the job.
 		s.metrics.Counter("jobs.canceled").Inc()
@@ -146,35 +366,70 @@ func (s *Server) runJob(j *job) {
 			st.Cells = CellStats{Hits: hits, Runs: runs}
 			j.profile = profile
 		})
+		return true, false, nil
+	case timedOut && err == nil:
+		// A deadline-aborted engine returns partial tables with no error;
+		// synthesize the failure the attempt loop classifies on.
+		return false, true, fmt.Errorf("attempt %d exceeded deadline %s", attempt, s.jobDeadline(j))
 	case err != nil:
-		s.metrics.Counter("jobs.failed").Inc()
-		s.log.Printf("job %s failed: %v", j.Status().ID, err)
-		j.finish(StateFailed, func(st *JobStatus) {
-			st.Error = err.Error()
-			st.ElapsedMS = elapsed
-			st.Cells = CellStats{Hits: hits, Runs: runs}
-			j.profile = profile
-		})
-	default:
-		bundle := &ResultBundle{Output: out.String()}
-		if len(csvs) > 0 {
-			bundle.CSV = make(map[string]string, len(csvs))
-			for name, buf := range csvs {
-				bundle.CSV[name] = buf.String()
-			}
-		}
-		s.persist(key, j.Status().Job, bundle, elapsed)
-		s.metrics.Counter("jobs.completed").Inc()
-		s.metrics.Counter("cells.run").Add(uint64(runs))
-		s.metrics.Counter("cells.cached").Add(uint64(hits))
-		s.metrics.Histogram("job.elapsed_ms").Observe(uint64(elapsed))
-		j.finish(StateDone, func(st *JobStatus) {
-			st.ElapsedMS = elapsed
-			st.Cells = CellStats{Hits: hits, Runs: runs}
-			j.bundle = bundle
-			j.profile = profile
-		})
+		transient := timedOut || panicked || faultline.IsFault(err)
+		return false, transient, err
 	}
+
+	bundle := &ResultBundle{Output: out.String()}
+	if len(csvs) > 0 {
+		bundle.CSV = make(map[string]string, len(csvs))
+		for name, buf := range csvs {
+			bundle.CSV[name] = buf.String()
+		}
+	}
+	s.faults.Crash("job.before-persist")
+	s.persist(st.Key, st.Job, bundle, elapsed)
+	s.faults.Crash("job.before-finish")
+	s.metrics.Counter("jobs.completed").Inc()
+	s.metrics.Counter("cells.run").Add(uint64(runs))
+	s.metrics.Counter("cells.cached").Add(uint64(hits))
+	s.metrics.Histogram("job.elapsed_ms").Observe(uint64(elapsed))
+	j.finish(StateDone, func(st *JobStatus) {
+		st.ElapsedMS = elapsed
+		st.Cells = CellStats{Hits: hits, Runs: runs}
+		j.bundle = bundle
+		j.profile = profile
+	})
+	return true, false, nil
+}
+
+// cellHook is the engine's fault seam: an "engine.cell" rule can delay a
+// cell, error it (surfaced as a panic so it unwinds like a workload
+// fault), or crash the process at cell granularity.
+func (s *Server) cellHook(label string) {
+	if err := s.faults.Fire("engine.cell", label); err != nil {
+		panic(err)
+	}
+}
+
+func (s *Server) jobDeadline(j *job) time.Duration {
+	if j.req.DeadlineMS > 0 {
+		return time.Duration(j.req.DeadlineMS) * time.Millisecond
+	}
+	return s.deadline
+}
+
+// backoff computes the pause before the next attempt: exponential in the
+// attempt number, capped, with deterministic equal jitter (hashed from the
+// job ID and attempt, so tests replay identical schedules).
+func (s *Server) backoff(id string, attempt int) time.Duration {
+	d := s.retryBase << uint(attempt-1)
+	if d > s.retryCap || d <= 0 {
+		d = s.retryCap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	return half + time.Duration(h.Sum64()%uint64(half))
 }
 
 func (s *Server) jobParallel(j *job) int {
@@ -185,15 +440,22 @@ func (s *Server) jobParallel(j *job) int {
 }
 
 // runSafely executes the job, converting a panic out of the bench layer
-// (bad workload wiring, simulator invariant failures) into a job error
-// instead of killing the worker.
-func runSafely(eng *bench.Engine, spec bench.Job, w io.Writer, csv bench.CSVSink) (err error) {
+// (bad workload wiring, simulator invariant failures, injected poison
+// cells) into a job error instead of killing the worker. Panic errors are
+// wrapped, not flattened, so faultline.IsFault still recognises injected
+// faults through the recovery.
+func runSafely(eng *bench.Engine, spec bench.Job, w io.Writer, csv bench.CSVSink) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("experiment panicked: %v", r)
+			panicked = true
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("experiment panicked: %w", e)
+			} else {
+				err = fmt.Errorf("experiment panicked: %v", r)
+			}
 		}
 	}()
-	return bench.RunJob(eng, spec, w, csv)
+	return bench.RunJob(eng, spec, w, csv), false
 }
 
 // fetch loads and decodes a stored bundle; a decode failure is treated as
@@ -224,11 +486,20 @@ func (s *Server) persist(key string, spec bench.Job, bundle *ResultBundle, elaps
 		ElapsedMS:   elapsedMS,
 		Job:         jobJSON,
 	}
-	if err := s.store.Put(key, body, meta); err != nil {
-		// A failed persist degrades the warm path but not this job: the
-		// result is still served from memory.
-		s.log.Printf("store: put %s: %v", key, err)
+	// Store writes can carry injected (or real, transient) I/O faults;
+	// retry a few times before degrading, so a flaky disk costs the warm
+	// path as rarely as possible. A failed persist still does not fail
+	// this job: the result is served from memory.
+	var perr error
+	for try := 0; try < 3; try++ {
+		if try > 0 {
+			s.metrics.Counter("store.put_retries").Inc()
+		}
+		if perr = s.store.Put(key, body, meta); perr == nil {
+			return
+		}
 	}
+	s.log.Printf("store: put %s: %v", key, perr)
 }
 
 type nopCloser struct{ io.Writer }
@@ -238,9 +509,15 @@ func (nopCloser) Close() error { return nil }
 // ---- HTTP layer ----
 
 func (s *Server) routes() {
+	// Liveness: the process is up and serving HTTP. Never consults state —
+	// a wedged queue must not make the liveness probe restart-loop us
+	// while /readyz correctly reports not-ready.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /api/v1/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("POST /api/v1/quarantine/{id}/requeue", s.handleRequeue)
 	s.mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ListExperiments())
 	})
@@ -421,4 +698,100 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE sgxd_store_entries gauge\nsgxd_store_entries %d\n", stats.Entries)
 		fmt.Fprintf(w, "# TYPE sgxd_store_body_bytes gauge\nsgxd_store_body_bytes %d\n", stats.BodyBytes)
 	}
+	fmt.Fprintf(w, "# TYPE sgxd_quarantined_jobs gauge\nsgxd_quarantined_jobs %d\n", len(s.quarantined()))
+	fmt.Fprintf(w, "# TYPE sgxd_faults_injected_total counter\nsgxd_faults_injected_total %d\n", s.faults.Total())
+}
+
+// quarantined returns the parked jobs awaiting operator action (released
+// ones drop off the list: their RequeuedAs points at the fresh job).
+func (s *Server) quarantined() []*job {
+	var out []*job
+	for _, j := range s.queue.List() {
+		st := j.Status()
+		if st.State == StateQuarantined && st.RequeuedAs == "" {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	jobs := s.quarantined()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+// handleRequeue releases a quarantined job by resubmitting its request as
+// a fresh job — the parked record stays as the audit trail, annotated with
+// the replacement's ID. A "requeued" journal record settles the old job so
+// a restart does not restore it alongside its replacement.
+func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if st.State != StateQuarantined {
+		writeError(w, http.StatusConflict, "job %s is %s, not quarantined", st.ID, st.State)
+		return
+	}
+	if st.RequeuedAs != "" {
+		writeError(w, http.StatusConflict, "job %s already requeued as %s", st.ID, st.RequeuedAs)
+		return
+	}
+	nj, err := s.Submit(j.req)
+	switch {
+	case errors.Is(err, ErrBacklogFull), errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	newID := nj.Status().ID
+	j.mu.Lock()
+	j.status.RequeuedAs = newID
+	j.mu.Unlock()
+	if jerr := s.journal.Append(journalRecord{
+		T: "requeued", ID: st.ID, New: newID, Unix: time.Now().Unix(),
+	}); jerr != nil {
+		s.log.Printf("journal: %v", jerr)
+	}
+	s.metrics.Counter("jobs.requeued").Inc()
+	writeJSON(w, http.StatusOK, map[string]JobStatus{
+		"quarantined": j.Status(),
+		"requeued":    nj.Status(),
+	})
+}
+
+// handleReady is the readiness probe: journal replay finished, the store
+// accepts writes, and the queue accepts submissions. CI and orchestration
+// gate traffic on this instead of sleeping.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready bool   `json:"ready"`
+		Store string `json:"store,omitempty"`
+		Queue string `json:"queue,omitempty"`
+	}
+	rd := readiness{Ready: true}
+	if !s.ready.Load() {
+		rd.Ready = false
+		rd.Queue = "replaying journal"
+	}
+	if err := s.store.Writable(); err != nil {
+		rd.Ready = false
+		rd.Store = err.Error()
+	}
+	if !s.queue.Accepting() {
+		rd.Ready = false
+		rd.Queue = "shutting down"
+	}
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
 }

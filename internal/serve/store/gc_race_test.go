@@ -1,0 +1,171 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sgxbounds/internal/faultline"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGCReadRace hammers GC against warm reads under -race: while sweepers
+// loop and writers keep planting fresh stale-version entries for them to
+// reap, every read of a current-version entry must hit. Before the per-key
+// stripe locks, GC could delete a body between a reader's meta check and
+// its body open, turning a valid warm read into a miss (and taking the
+// good entry with it).
+func TestGCReadRace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const current = "sim/7"
+	const liveKeys = 24
+	for i := 0; i < liveKeys; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("body-%d", i)), Meta{Version: current}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var misses atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := testKey((i + r) % liveKeys)
+				if _, _, ok := s.Get(key, current); !ok {
+					misses.Add(1)
+				}
+			}
+		}(r)
+	}
+	// Writers keep the GC busy with genuinely stale entries, including ones
+	// whose keys share stripes with the live set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put(testKey(1000+i%50), []byte("stale"), Meta{Version: "sim/0"})
+		}
+	}()
+	const sweeps = 40
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < sweeps; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.GC(current); err != nil {
+				t.Errorf("gc: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Bound the run: the GC goroutines' sweeps pace the test.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < sweeps; i++ {
+		if _, err := s.GC(current); err != nil {
+			t.Fatalf("gc: %v", err)
+		}
+	}
+	close(stop)
+	<-done
+
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d warm reads missed during concurrent GC", n)
+	}
+	// Every live entry survived the sweeps.
+	for i := 0; i < liveKeys; i++ {
+		if _, _, ok := s.Get(testKey(i), current); !ok {
+			t.Fatalf("live entry %d lost to GC", i)
+		}
+	}
+}
+
+// TestStoreFaultInjection: injected write faults surface as Put errors,
+// injected corruption is caught by read verification, and injected read
+// errors are transient misses that leave the entry intact.
+func TestStoreFaultInjection(t *testing.T) {
+	key := testKey(0)
+	body := []byte("result tables")
+
+	t.Run("write error", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		s.SetFaults(faultline.New(faultline.Spec{Rules: []faultline.Rule{
+			{Op: "store.write.body", Kind: faultline.KindError, Times: 1},
+		}}))
+		err := s.Put(key, body, Meta{Version: "v"})
+		if !faultline.IsFault(err) {
+			t.Fatalf("Put = %v, want injected fault", err)
+		}
+		// The fault was bounded to one fire: the retry lands.
+		if err := s.Put(key, body, Meta{Version: "v"}); err != nil {
+			t.Fatalf("retry Put: %v", err)
+		}
+		if _, _, ok := s.Get(key, "v"); !ok {
+			t.Fatal("retried entry unreadable")
+		}
+	})
+
+	t.Run("write bitflip caught on read", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		s.SetFaults(faultline.New(faultline.Spec{Rules: []faultline.Rule{
+			{Op: "store.write.body", Kind: faultline.KindBitflip, Times: 1},
+		}}))
+		if err := s.Put(key, body, Meta{Version: "v"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s.Get(key, "v"); ok {
+			t.Fatal("checksum verification served corrupted bytes")
+		}
+		// The corrupt entry was deleted; a clean rewrite serves again.
+		if err := s.Put(key, body, Meta{Version: "v"}); err != nil {
+			t.Fatal(err)
+		}
+		if got, _, ok := s.Get(key, "v"); !ok || string(got) != string(body) {
+			t.Fatalf("re-persisted entry = %q, %v", got, ok)
+		}
+	})
+
+	t.Run("read error is transient", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		if err := s.Put(key, body, Meta{Version: "v"}); err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaults(faultline.New(faultline.Spec{Rules: []faultline.Rule{
+			{Op: "store.read.body", Kind: faultline.KindError, Times: 1},
+		}}))
+		if _, _, ok := s.Get(key, "v"); ok {
+			t.Fatal("faulted read reported a hit")
+		}
+		if got, _, ok := s.Get(key, "v"); !ok || string(got) != string(body) {
+			t.Fatal("transient read fault destroyed the entry")
+		}
+	})
+}

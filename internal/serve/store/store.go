@@ -16,6 +16,20 @@
 // caller's; a corrupt, truncated, or version-stale entry reports a plain
 // miss (and is deleted) so the caller recomputes instead of serving bad
 // bytes.
+//
+// Every mutation and every verified read holds the entry's per-key stripe
+// lock, so a concurrent GC (or Delete, or racing Put) can never remove a
+// body between a reader's meta check and its body open: a reader observes
+// each entry either wholly before or wholly after any other operation on
+// the same key.
+//
+// A store can carry a faultline injector (SetFaults) that perturbs its I/O
+// at the named sites "store.read.meta", "store.read.body",
+// "store.write.meta", "store.write.body" (error / bitflip / short-write
+// rules) and at the crash point "store.between-writes" — the instant after
+// the body rename and before the meta commit, the torn-write window.
+// Injected read errors report a plain miss without deleting the entry
+// (they model transient I/O, not corruption).
 package store
 
 import (
@@ -30,6 +44,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"sgxbounds/internal/faultline"
 )
 
 // Meta is the metadata record stored alongside each body.
@@ -54,12 +70,35 @@ type Meta struct {
 	Job json.RawMessage `json:"job,omitempty"`
 }
 
+// stripeCount sizes the per-key lock table. Keys hash onto stripes by
+// their leading hex byte, so two operations contend only when their keys
+// share a stripe — GC against warm reads proceeds in parallel across the
+// rest of the space.
+const stripeCount = 64
+
 // Store is a content-addressed result cache rooted at a directory. Methods
 // are safe for concurrent use within one process; cross-process writers are
 // safe against each other through the atomic rename protocol.
 type Store struct {
-	root string
-	mu   sync.Mutex // serialises same-key writers in this process
+	root   string
+	faults *faultline.Injector
+	locks  [stripeCount]sync.Mutex // per-key stripes; see package comment
+}
+
+// SetFaults arms a fault injector on the store's I/O paths (nil disarms).
+// Call before the store is shared across goroutines.
+func (s *Store) SetFaults(inj *faultline.Injector) { s.faults = inj }
+
+// lock returns the stripe lock owning key (caller has validated the key).
+func (s *Store) lock(key string) *sync.Mutex {
+	return &s.locks[(hexVal(key[0])<<4|hexVal(key[1]))%stripeCount]
+}
+
+func hexVal(c byte) int {
+	if c >= 'a' {
+		return int(c-'a') + 10
+	}
+	return int(c - '0')
 }
 
 // Open returns a store rooted at dir, creating it if needed.
@@ -72,6 +111,20 @@ func Open(dir string) (*Store, error) {
 
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
+
+// Writable probes that the store can still take writes (disk present,
+// permissions intact, not out of space) by creating and removing a temp
+// file under the root. Backs the daemon's readiness check.
+func (s *Store) Writable() error {
+	f, err := os.CreateTemp(s.root, ".tmp-probe-*")
+	if err != nil {
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
 
 func validKey(key string) error {
 	if len(key) < 4 {
@@ -109,8 +162,9 @@ func (s *Store) Put(key string, body []byte, meta Meta) error {
 	}
 	mj = append(mj, '\n')
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.lock(key)
+	mu.Lock()
+	defer mu.Unlock()
 	dir := s.dir(key)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -118,10 +172,17 @@ func (s *Store) Put(key string, body []byte, meta Meta) error {
 	// Body first, then meta: the meta rename is the commit point. A
 	// reader that races a Put either misses (no meta yet) or sees the
 	// complete new pair.
-	if err := writeAtomic(dir, s.body(key), body); err != nil {
+	if err := s.faults.Fire("store.write.body", key); err != nil {
+		return fmt.Errorf("store: write %s: %w", s.body(key), err)
+	}
+	if err := writeAtomic(dir, s.body(key), s.faults.Mutate("store.write.body", key, body)); err != nil {
 		return err
 	}
-	if err := writeAtomic(dir, s.meta(key), mj); err != nil {
+	s.faults.Crash("store.between-writes")
+	if err := s.faults.Fire("store.write.meta", key); err != nil {
+		return fmt.Errorf("store: write %s: %w", s.meta(key), err)
+	}
+	if err := writeAtomic(dir, s.meta(key), s.faults.Mutate("store.write.meta", key, mj)); err != nil {
 		return err
 	}
 	return nil
@@ -155,33 +216,51 @@ func writeAtomic(dir, dst string, data []byte) error {
 // Get returns the body and metadata stored under key, or ok=false on a
 // miss. A miss includes any entry that fails verification — meta unreadable,
 // key or version mismatch, body checksum or size wrong — and such entries
-// are deleted so they cannot shadow a recompute.
+// are deleted so they cannot shadow a recompute. The whole check-then-read
+// sequence runs under the key's stripe lock, so a concurrent GC or Delete
+// cannot yank the body out from under a reader that already verified the
+// meta record.
 func (s *Store) Get(key, version string) (body []byte, meta Meta, ok bool) {
 	if validKey(key) != nil {
 		return nil, Meta{}, false
+	}
+	mu := s.lock(key)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := s.faults.Fire("store.read.meta", key); err != nil {
+		return nil, Meta{}, false // transient read fault: miss, keep the entry
 	}
 	mj, err := os.ReadFile(s.meta(key))
 	if err != nil {
 		return nil, Meta{}, false
 	}
+	mj = s.faults.Mutate("store.read.meta", key, mj)
 	if err := json.Unmarshal(mj, &meta); err != nil {
-		s.Delete(key)
+		s.deleteLocked(key)
 		return nil, Meta{}, false
 	}
 	if meta.Key != key || meta.Version != version {
 		// Stale generation (or misfiled entry): recompute. Deleting keeps
 		// the store from accumulating dead entries across sim bumps.
-		s.Delete(key)
+		s.deleteLocked(key)
+		return nil, Meta{}, false
+	}
+	if err := s.faults.Fire("store.read.body", key); err != nil {
 		return nil, Meta{}, false
 	}
 	body, err = os.ReadFile(s.body(key))
-	if err != nil || int64(len(body)) != meta.Size {
-		s.Delete(key)
+	if err != nil {
+		s.deleteLocked(key)
+		return nil, Meta{}, false
+	}
+	body = s.faults.Mutate("store.read.body", key, body)
+	if int64(len(body)) != meta.Size {
+		s.deleteLocked(key)
 		return nil, Meta{}, false
 	}
 	sum := sha256.Sum256(body)
 	if hex.EncodeToString(sum[:]) != meta.BodySHA256 {
-		s.Delete(key)
+		s.deleteLocked(key)
 		return nil, Meta{}, false
 	}
 	return body, meta, true
@@ -208,6 +287,15 @@ func (s *Store) Delete(key string) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	mu := s.lock(key)
+	mu.Lock()
+	defer mu.Unlock()
+	return s.deleteLocked(key)
+}
+
+// deleteLocked removes both files of an entry; the caller holds the key's
+// stripe lock.
+func (s *Store) deleteLocked(key string) error {
 	err1 := os.Remove(s.meta(key))
 	err2 := os.Remove(s.body(key))
 	if err1 != nil && !errors.Is(err1, fs.ErrNotExist) {
@@ -259,9 +347,10 @@ func (s *Store) Stats() (Stats, error) {
 
 // GC removes entries whose version differs from keep, plus any stranded
 // temp or orphaned body files, and returns the number of entries removed.
+// Each entry is examined and reaped under its stripe lock, so GC can never
+// delete a body between a concurrent reader's meta check and body open —
+// and the sweep proceeds key by key, never blocking the whole store.
 func (s *Store) GC(keep string) (removed int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var firstErr error
 	werr := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -273,18 +362,32 @@ func (s *Store) GC(keep string) (removed int, err error) {
 			os.Remove(path)
 		case strings.HasSuffix(name, ".json"):
 			key := strings.TrimSuffix(name, ".json")
+			if validKey(key) != nil {
+				return nil
+			}
+			mu := s.lock(key)
+			mu.Lock()
 			m, ok := s.Stat(key)
 			if !ok || m.Version != keep || m.Key != key {
-				if derr := s.Delete(key); derr != nil && firstErr == nil {
+				if derr := s.deleteLocked(key); derr != nil && firstErr == nil {
 					firstErr = derr
 				}
 				removed++
 			}
+			mu.Unlock()
 		case strings.HasSuffix(name, ".body"):
 			key := strings.TrimSuffix(name, ".body")
+			if validKey(key) != nil {
+				return nil
+			}
+			mu := s.lock(key)
+			mu.Lock()
+			// Re-check under the lock: a Put may have committed the meta
+			// record since the walk saw the bare body.
 			if _, err := os.Stat(s.meta(key)); errors.Is(err, fs.ErrNotExist) {
 				os.Remove(path) // orphan from an interrupted Put
 			}
+			mu.Unlock()
 		}
 		return nil
 	})
