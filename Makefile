@@ -33,6 +33,13 @@ test-race-full:
 chaos:
 	SGXD_CHAOS=1 $(GO) test -race -timeout 20m ./internal/faultline/ ./internal/serve/ ./internal/serve/store/
 
+# Deep protocol-checking tier: the same explorer `go test` runs at ~12k
+# interleavings, with CI's DFS budget plus the seeded random walk. Same
+# gate the CI protocheck job runs.
+protocheck:
+	$(GO) test -timeout 30m ./internal/protocheck/ -protocheck.budget 60000
+	$(GO) test -timeout 30m ./internal/protocheck/ -run TestWalkTier -protocheck.walk 20000 -protocheck.seed 7
+
 # Benchmark sweep across every package (benchmarks only, no unit tests).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...

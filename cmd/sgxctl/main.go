@@ -51,7 +51,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &client{base: strings.TrimRight(*addr, "/"), out: os.Stdout, errOut: os.Stderr}
 	var err error
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "submit":
@@ -120,7 +120,14 @@ func defaultAddr() string {
 	return "http://127.0.0.1:7483"
 }
 
-type client struct{ base string }
+// client carries the daemon address plus the command's two output streams:
+// machine-readable results (job IDs, tables) go to out, human commentary to
+// errOut. Injectable so the golden tests can capture both.
+type client struct {
+	base   string
+	out    io.Writer
+	errOut io.Writer
+}
 
 // api performs one JSON round trip; a non-2xx response decodes the server's
 // {"error": ...} envelope into an error.
@@ -205,8 +212,8 @@ func (c *client) submit(args []string) error {
 		return err
 	}
 	// Bare ID on stdout so scripts can capture it; detail on stderr.
-	fmt.Fprintf(os.Stderr, "job %s %s (key %s...)\n", st.ID, st.State, st.Key[:12])
-	fmt.Println(st.ID)
+	fmt.Fprintf(c.errOut, "job %s %s (key %s...)\n", st.ID, st.State, st.Key[:12])
+	fmt.Fprintln(c.out, st.ID)
 	return nil
 }
 
@@ -217,7 +224,7 @@ func splitList(s string) []string {
 	return strings.Split(s, ",")
 }
 
-func printStatus(st serve.JobStatus) {
+func (c *client) printStatus(st serve.JobStatus) {
 	line := fmt.Sprintf("%s\t%s\t%s", st.ID, st.State, st.Job.Experiment)
 	if st.FromStore {
 		line += "\t(from store)"
@@ -228,7 +235,7 @@ func printStatus(st serve.JobStatus) {
 	if st.Error != "" {
 		line += "\t" + st.Error
 	}
-	fmt.Println(line)
+	fmt.Fprintln(c.out, line)
 }
 
 func (c *client) status(args []string) error {
@@ -238,7 +245,7 @@ func (c *client) status(args []string) error {
 			return err
 		}
 		for _, st := range all {
-			printStatus(st)
+			c.printStatus(st)
 		}
 		return nil
 	}
@@ -246,7 +253,7 @@ func (c *client) status(args []string) error {
 	if err := c.api(http.MethodGet, "/api/v1/jobs/"+args[0], nil, &st); err != nil {
 		return err
 	}
-	printStatus(st)
+	c.printStatus(st)
 	return nil
 }
 
@@ -260,7 +267,7 @@ func (c *client) wait(args []string) error {
 			return err
 		}
 		if st.State.Terminal() {
-			printStatus(st)
+			c.printStatus(st)
 			if st.State != serve.StateDone {
 				os.Exit(1)
 			}
@@ -280,7 +287,7 @@ func (c *client) fetchTo(path, out string) error {
 	if resp.StatusCode >= 300 {
 		return apiError(resp)
 	}
-	w := io.Writer(os.Stdout)
+	w := c.out
 	if out != "" && out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -333,7 +340,7 @@ func (c *client) cancel(args []string) error {
 	if err := c.api(http.MethodDelete, "/api/v1/jobs/"+args[0], nil, &st); err != nil {
 		return err
 	}
-	printStatus(st)
+	c.printStatus(st)
 	return nil
 }
 
@@ -347,11 +354,11 @@ func (c *client) quarantine(args []string) error {
 		return err
 	}
 	if len(jobs) == 0 {
-		fmt.Println("quarantine empty")
+		fmt.Fprintln(c.out, "quarantine empty")
 		return nil
 	}
 	for _, st := range jobs {
-		fmt.Printf("%s\t%s\tattempts=%d\t%s\n", st.ID, st.Job.Experiment, st.Attempts, st.Error)
+		fmt.Fprintf(c.out, "%s\t%s\tattempts=%d\t%s\n", st.ID, st.Job.Experiment, st.Attempts, st.Error)
 	}
 	return nil
 }
@@ -369,9 +376,9 @@ func (c *client) requeue(args []string) error {
 	if err := c.api(http.MethodPost, "/api/v1/quarantine/"+args[0]+"/requeue", nil, &out); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "job %s released as %s (%s)\n",
+	fmt.Fprintf(c.errOut, "job %s released as %s (%s)\n",
 		out.Quarantined.ID, out.Requeued.ID, out.Requeued.State)
-	fmt.Println(out.Requeued.ID)
+	fmt.Fprintln(c.out, out.Requeued.ID)
 	return nil
 }
 
@@ -395,7 +402,7 @@ func (c *client) experiments() error {
 		if len(params) > 0 {
 			suffix = " [" + strings.Join(params, ",") + "]"
 		}
-		fmt.Printf("%-8s %s%s\n", info.Name, info.Desc, suffix)
+		fmt.Fprintf(c.out, "%-8s %s%s\n", info.Name, info.Desc, suffix)
 	}
 	return nil
 }
@@ -411,7 +418,7 @@ func (c *client) gc() error {
 	if err := c.api(http.MethodPost, "/api/v1/gc", nil, &out); err != nil {
 		return err
 	}
-	fmt.Printf("removed %d stale entries; %d kept (%d bytes)\n",
+	fmt.Fprintf(c.out, "removed %d stale entries; %d kept (%d bytes)\n",
 		out.Removed, out.Stats.Entries, out.Stats.BodyBytes)
 	return nil
 }
@@ -425,7 +432,7 @@ func (c *client) ping() error {
 	if resp.StatusCode != http.StatusOK {
 		return apiError(resp)
 	}
-	fmt.Println("ok")
+	fmt.Fprintln(c.out, "ok")
 	return nil
 }
 
@@ -440,6 +447,6 @@ func (c *client) ready() error {
 	if err := c.api(http.MethodGet, "/readyz", nil, &rd); err != nil {
 		return err
 	}
-	fmt.Println("ready")
+	fmt.Fprintln(c.out, "ready")
 	return nil
 }

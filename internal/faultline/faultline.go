@@ -176,6 +176,12 @@ func matchOp(pattern, op string) bool {
 	return pattern == op
 }
 
+// Hash64 is the package's stateless decision hash (splitmix64), exported
+// for callers that need the same seeded, replayable randomness faultline
+// uses — protocheck derives its random-walk schedule choices from
+// Hash64(seed, step) so a walk replays exactly from its seed alone.
+func Hash64(seed, n uint64) uint64 { return splitmix64(seed ^ n) }
+
 // splitmix64 is the decision hash: cheap, well-mixed, and stateless, so a
 // fire decision depends only on (seed, rule index, hit ordinal).
 func splitmix64(x uint64) uint64 {

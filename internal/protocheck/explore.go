@@ -1,0 +1,191 @@
+package protocheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sgxbounds/internal/faultline"
+)
+
+// scratchDir picks the fastest home for world directories: exploration is
+// pure syscall churn (creates, renames, reads — never fsync), so a tmpfs
+// buys several times the throughput of a disk-backed temp dir. The worlds
+// are tiny (a few KB each) and removed per execution.
+func scratchDir(pattern string) string {
+	for _, base := range []string{"/dev/shm", ""} {
+		if dir, err := os.MkdirTemp(base, pattern); err == nil {
+			return dir
+		}
+	}
+	panic("protocheck: no writable temp directory")
+}
+
+// Explore enumerates interleavings of p depth-first until the decision
+// space or the budget is exhausted, returning the first violation found
+// (minimized) or a clean Result.
+func Explore(p Program, opts Options) Result {
+	opts = opts.withDefaults()
+	registerExperiments()
+	parent := scratchDir("protocheck-*")
+	defer os.RemoveAll(parent)
+
+	seen := make(map[uint64]struct{})
+	var path []Decision
+	res := Result{Program: p.Name}
+	walkSeed := opts.WalkSeed
+
+	for res.Executions < opts.Budget {
+		s := newSched(path, opts, seen)
+		s.walkSeed = walkSeed
+		v := runExecution(p, s, opts, parent, res.Executions)
+		res.Executions++
+		res.Crashes += s.crashesUsed
+		res.Pruned += s.pruned
+		if opts.Log != nil && res.Executions%1000 == 0 {
+			opts.Log(fmt.Sprintf("%s: %d executions, %d crashes, %d pruned",
+				p.Name, res.Executions, res.Crashes, res.Pruned))
+		}
+		if v != nil {
+			v.Tape = s.tape
+			v.Trace = s.trace
+			res.Violation = minimize(p, opts, parent, v)
+			return res
+		}
+		if opts.Walk {
+			// Each walk execution derives a fresh decision stream from the
+			// previous seed — replayable from WalkSeed plus the execution
+			// ordinal alone.
+			walkSeed = faultline.Hash64(walkSeed, 0x70726f746f)
+			continue
+		}
+		// Backtrack: increment the deepest decision with an untried
+		// alternative, drop everything after it.
+		tape := s.tape
+		i := len(tape) - 1
+		for i >= 0 && tape[i].Chosen+1 >= tape[i].Alts {
+			i--
+		}
+		if i < 0 {
+			res.Exhausted = true
+			break
+		}
+		path = append(path[:0:0], tape[:i+1]...)
+		path[i].Chosen++
+	}
+	return res
+}
+
+// runExecution runs p once under s, in its own subdirectory of parent,
+// and returns the violation (without tape/trace attached) or nil.
+func runExecution(p Program, s *sched, opts Options, parent string, n int) *Violation {
+	dir := filepath.Join(parent, fmt.Sprintf("x%08d", n))
+	defer os.RemoveAll(dir)
+
+	w, err := newWorld(dir, s, opts.BreakCommitOrder)
+	if err != nil {
+		panic(fmt.Sprintf("protocheck: world boot: %v", err))
+	}
+	o := newOracle(p.Name)
+	s.armed = true
+	defer func() { s.armed = false }()
+
+	// Each actor's cursor into its script.
+	progress := make([]int, len(p.Actors))
+	for {
+		var enabled []int
+		var names []string
+		for i, a := range p.Actors {
+			if progress[i] < len(a.Ops) {
+				enabled = append(enabled, i)
+				names = append(names, a.Name)
+			}
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		pick := s.Schedule(w.stateHash(progress, s.crashesUsed), names)
+		ai := enabled[pick]
+		op := p.Actors[ai].Ops[progress[ai]]
+		progress[ai]++
+		s.tracef("%s: %s %s", p.Actors[ai].Name, op.Kind, op.Req.Experiment)
+
+		crashed := w.step(func() { w.exec(op, o) })
+		switch {
+		case crashed:
+			w.recoverCrash(o)
+			if o.violation == nil {
+				o.afterRestart(w)
+			}
+		case w.restarted:
+			w.restarted = false
+			o.afterRestart(w)
+		default:
+			o.observe(w)
+		}
+		if o.violation != nil {
+			w.srv.Abort()
+			return o.violation
+		}
+	}
+
+	// Settle everything still queued, then check the end-state invariants.
+	w.drain(o)
+	if o.violation == nil {
+		o.allTerminal(w)
+	}
+	w.srv.Abort()
+	if o.violation == nil {
+		o.checkStoreIntegrity(w.storeRoot())
+		o.checkReplayIdempotence(w.journal)
+	}
+	return o.violation
+}
+
+// Replay re-runs p under a recorded decision tape and returns the
+// violation it reproduces (nil if the tape runs clean — e.g. after the
+// underlying bug is fixed). Pruning is disabled: a replay follows its tape
+// and nothing else.
+func Replay(p Program, opts Options, tape []Decision) *Violation {
+	opts = opts.withDefaults()
+	registerExperiments()
+	parent := scratchDir("protocheck-replay-*")
+	defer os.RemoveAll(parent)
+	return replayTape(p, opts, parent, tape)
+}
+
+func replayTape(p Program, opts Options, parent string, tape []Decision) *Violation {
+	s := newSched(tape, opts, make(map[uint64]struct{}))
+	s.walk = false // a tape overrides walk mode: the prefix is the stream
+	v := runExecution(p, s, opts, parent, len(tape))
+	if v != nil {
+		v.Tape = s.tape
+		v.Trace = s.trace
+	}
+	return v
+}
+
+// minimize greedily resets non-default decisions to their defaults,
+// keeping each reset only if some violation still reproduces, until a
+// pass changes nothing. The result is locally minimal: every remaining
+// non-default decision is load-bearing.
+func minimize(p Program, opts Options, parent string, v *Violation) *Violation {
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for i := len(v.Tape) - 1; i >= 0; i-- {
+			if v.Tape[i].Chosen == 0 {
+				continue
+			}
+			cand := append(v.Tape[:0:0], v.Tape...)
+			cand[i].Chosen = 0
+			if rv := replayTape(p, opts, parent, cand); rv != nil {
+				v = rv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return v
+}

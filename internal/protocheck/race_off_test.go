@@ -1,0 +1,5 @@
+//go:build !race
+
+package protocheck
+
+const raceDetectorEnabled = false

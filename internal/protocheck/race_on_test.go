@@ -1,0 +1,8 @@
+//go:build race
+
+package protocheck
+
+// raceDetectorEnabled reports that the Go race detector is active; the
+// explorer's default budget scales down so the race tier stays fast (its
+// job is catching data races in the hooks, not re-exploring the space).
+const raceDetectorEnabled = true

@@ -1,0 +1,107 @@
+package protocheck
+
+import (
+	"fmt"
+
+	"sgxbounds/internal/faultline"
+	"sgxbounds/internal/protohook"
+)
+
+// sched is the deterministic scheduler for one execution. It implements
+// protohook.Hooks, so every yield point in the serve packages routes
+// through Decide; the driver routes its actor choices through it too, so
+// the whole execution is one decision tape.
+type sched struct {
+	prefix []Decision // decisions forced by the explorer
+	tape   []Decision // decisions actually taken (prefix + extensions)
+	trace  []string   // human-readable step log
+
+	walk     bool
+	walkSeed uint64
+
+	maxCrashes  int
+	maxDecision int
+	crashesUsed int
+	armed       bool // crash decisions enabled (off during initial boot)
+
+	seen   map[uint64]struct{} // cross-execution state cache (sched pruning)
+	pruned int
+}
+
+func newSched(prefix []Decision, opts Options, seen map[uint64]struct{}) *sched {
+	return &sched{
+		prefix:      prefix,
+		walk:        opts.Walk,
+		walkSeed:    opts.WalkSeed,
+		maxCrashes:  opts.MaxCrashes,
+		maxDecision: opts.MaxDecisions,
+		seen:        seen,
+	}
+}
+
+// decide takes the next decision: from the prefix while it lasts, then the
+// default (or the seeded walk's pick). alts is the real alternative count;
+// prunedAlts is what the tape records as explorable (1 clamps the branch).
+func (s *sched) decide(kind DecisionKind, site, detail string, alts, prunedAlts int) int {
+	if alts < 1 {
+		panic(fmt.Sprintf("protocheck: decision %s %s with %d alternatives", kind, site, alts))
+	}
+	if len(s.tape) >= s.maxDecision {
+		panic(fmt.Sprintf("protocheck: execution exceeded %d decisions (livelock in the model?)", s.maxDecision))
+	}
+	chosen := 0
+	switch {
+	case len(s.tape) < len(s.prefix):
+		// Replaying the explorer's prefix. A minimized or hand-edited tape
+		// can disagree with the live alternative count; clamping keeps the
+		// replay well-defined (it is then simply a different execution).
+		chosen = s.prefix[len(s.tape)].Chosen % alts
+		prunedAlts = s.prefix[len(s.tape)].Alts
+	case s.walk:
+		chosen = int(faultline.Hash64(s.walkSeed, uint64(len(s.tape))) % uint64(alts))
+	}
+	s.tape = append(s.tape, Decision{Kind: kind, Site: site, Detail: detail, Chosen: chosen, Alts: prunedAlts})
+	return chosen
+}
+
+// Schedule picks which of n enabled actors steps next. stateHash is the
+// driver's digest of the protocol state; a state reached before by an
+// already-enumerated prefix explores only its default successor.
+func (s *sched) Schedule(stateHash uint64, names []string) int {
+	if len(names) == 1 {
+		return 0
+	}
+	alts := len(names)
+	pruned := alts
+	if len(s.tape) >= len(s.prefix) && !s.walk {
+		if _, ok := s.seen[stateHash]; ok {
+			pruned = 1
+			s.pruned++
+		} else {
+			s.seen[stateHash] = struct{}{}
+		}
+	}
+	c := s.decide(KindSched, "", "", alts, pruned)
+	s.tracef("schedule %s (of %v)", names[c], names)
+	return c
+}
+
+// Yield implements protohook.Hooks: each yield is a potential crash site.
+func (s *sched) Yield(site, detail string) {
+	if !s.armed || s.crashesUsed >= s.maxCrashes {
+		return
+	}
+	if s.decide(KindCrash, site, detail, 2, 2) == 1 {
+		s.crashesUsed++
+		s.tracef("CRASH at %s %s", site, detail)
+		panic(&protohook.Crash{Site: site})
+	}
+}
+
+// NoSync implements protohook.Hooks: simulated crashes strike at yields,
+// never between a write and the page cache, so fsync buys nothing here.
+func (s *sched) NoSync() bool { return true }
+
+func (s *sched) tracef(format string, args ...any) {
+	s.trace = append(s.trace, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,64 @@
+// Package protohook is the protocol-checking seam shared by the serving
+// stack (queue, store, journal) and the protocheck explorer: a nil-safe
+// hook interface announcing protocol-relevant *yield points* — the
+// instants between which the on-disk and in-memory protocol state is
+// allowed to be inconsistent.
+//
+// The pattern is the same as telemetry's nil-safe handles and faultline's
+// nil injector: production code carries the hook calls unconditionally,
+// and a nil Hooks costs exactly one predictable branch per site, so sgxd's
+// hot paths are untouched when checking is disabled. When protocheck arms
+// a Hooks implementation, every yield point becomes a place where the
+// explorer can (a) stamp the virtual clock and record the site into the
+// execution trace, and (b) simulate process death by panicking with a
+// Crash value — the in-process analogue of faultline's exit-137 crash
+// points, recoverable so one test binary can explore tens of thousands of
+// crash/restart interleavings.
+//
+// Hooks implementations may also disable fsync (NoSync): protocheck
+// simulates crashes at yield points, not power loss, so the page cache is
+// always "durable enough" and skipping the sync keeps bounded-exhaustive
+// exploration fast. Production servers never set hooks and always sync.
+package protohook
+
+// Hooks observes protocol yield points. Implementations must be safe for
+// use from the single goroutine driving the world (protocheck runs its
+// worlds sequentially; the production value is nil).
+type Hooks interface {
+	// Yield announces one yield point. site is a stable dotted name
+	// ("store.put.staged", "journal.append.finished", "queue.enqueue");
+	// detail is the instance (a store key, a job ID). Yield may panic with
+	// a *Crash to simulate the process dying at this exact point.
+	Yield(site, detail string)
+	// NoSync reports whether fsyncs may be skipped (crash simulation does
+	// not model power loss). Production (nil hooks) always syncs.
+	NoSync() bool
+}
+
+// Yield invokes h.Yield nil-safely: the disabled path is one branch.
+func Yield(h Hooks, site, detail string) {
+	if h != nil {
+		h.Yield(site, detail)
+	}
+}
+
+// NoSync reports h.NoSync nil-safely; nil hooks always sync.
+func NoSync(h Hooks) bool {
+	return h != nil && h.NoSync()
+}
+
+// Crash is the panic value a Hooks implementation throws from Yield to
+// simulate process death mid-protocol. Recovery layers that convert
+// panics into errors (the serve layer's runSafely, for one) must rethrow
+// it — a simulated dead process cannot report a job failure.
+type Crash struct {
+	Site string // the yield point where the process "died"
+}
+
+func (c *Crash) String() string { return "protohook: simulated crash at " + c.Site }
+
+// IsCrash reports whether a recovered panic value is a simulated crash.
+func IsCrash(r any) bool {
+	_, ok := r.(*Crash)
+	return ok
+}

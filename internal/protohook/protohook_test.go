@@ -1,0 +1,46 @@
+package protohook
+
+import "testing"
+
+type recorder struct {
+	sites  []string
+	nosync bool
+}
+
+func (r *recorder) Yield(site, detail string) { r.sites = append(r.sites, site+"/"+detail) }
+func (r *recorder) NoSync() bool              { return r.nosync }
+
+// TestNilSafety: every helper is inert on a nil Hooks — the production
+// configuration.
+func TestNilSafety(t *testing.T) {
+	Yield(nil, "store.put.staged", "abcd") // must not panic
+	if NoSync(nil) {
+		t.Error("nil hooks must sync")
+	}
+}
+
+func TestYieldDispatch(t *testing.T) {
+	r := &recorder{nosync: true}
+	Yield(r, "queue.enqueue", "j000001")
+	Yield(r, "journal.append.submitted", "j000001")
+	if len(r.sites) != 2 || r.sites[0] != "queue.enqueue/j000001" {
+		t.Fatalf("sites = %v", r.sites)
+	}
+	if !NoSync(r) {
+		t.Error("NoSync not forwarded")
+	}
+}
+
+func TestIsCrash(t *testing.T) {
+	if !IsCrash(&Crash{Site: "x"}) {
+		t.Error("*Crash not recognised")
+	}
+	for _, v := range []any{nil, "crash", Crash{}, 42} {
+		if IsCrash(v) {
+			t.Errorf("IsCrash(%v) = true", v)
+		}
+	}
+	if got := (&Crash{Site: "store.put.staged"}).String(); got != "protohook: simulated crash at store.put.staged" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -56,6 +56,12 @@ func (r SubmitRequest) Job() bench.Job {
 	}
 }
 
+// StoreKey returns the request's content address — the one place a
+// SubmitRequest turns into a store key. Submission, journal compaction,
+// boot replay, and protocheck's result oracle all go through it, so the
+// key computation cannot drift between the layers that must agree on it.
+func (r SubmitRequest) StoreKey() string { return r.Job().Digest() }
+
 // JobState is the lifecycle of a submitted job.
 type JobState string
 

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"sgxbounds/internal/protohook"
 )
 
 // The job journal is sgxd's crash-durability layer: an append-only JSONL
@@ -24,6 +26,7 @@ import (
 //	{"t":"started","id":"j000001","unix":...}          // one per attempt
 //	{"t":"finished","id":"j000001","state":"done",...} // done|failed|canceled|quarantined
 //	{"t":"requeued","id":"j000001","new":"j000005"}    // quarantine release
+//	{"t":"seq","id":"j000042"}                         // compaction watermark
 //
 // A job with a submitted record and no finished record is pending: it is
 // re-enqueued on replay (a crash between "started" and "finished" re-runs
@@ -63,26 +66,35 @@ type Replay struct {
 
 // Journal is the append side: one exclusive writer per daemon.
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	hooks protohook.Hooks
 }
 
 // OpenJournal replays the journal at path (creating it if absent), compacts
 // it to the surviving state, and returns the open journal plus the replay.
 func OpenJournal(path string) (*Journal, Replay, error) {
+	return OpenJournalHooked(path, nil)
+}
+
+// OpenJournalHooked is OpenJournal with protocheck yield points armed on
+// the replay/compact/append protocol (nil hooks = OpenJournal). The hooks
+// are live from the compaction rename onward, so crash-during-recovery
+// interleavings are explorable too.
+func OpenJournalHooked(path string, hooks protohook.Hooks) (*Journal, Replay, error) {
 	replay, err := readJournal(path)
 	if err != nil {
 		return nil, Replay{}, err
 	}
-	if err := compactJournal(path, replay); err != nil {
+	if err := compactJournal(path, replay, hooks); err != nil {
 		return nil, Replay{}, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, Replay{}, fmt.Errorf("journal: open %s: %w", path, err)
 	}
-	return &Journal{path: path, f: f}, replay, nil
+	return &Journal{path: path, f: f, hooks: hooks}, replay, nil
 }
 
 func readJournal(path string) (Replay, error) {
@@ -170,7 +182,7 @@ func readJournal(path string) (Replay, error) {
 // a submitted record per live job, plus the quarantine verdicts. Staged
 // next to the journal and renamed into place, so a crash mid-compaction
 // leaves the previous journal intact.
-func compactJournal(path string, replay Replay) error {
+func compactJournal(path string, replay Replay, hooks protohook.Hooks) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -181,13 +193,28 @@ func compactJournal(path string, replay Replay) error {
 	name := tmp.Name()
 	enc := json.NewEncoder(tmp)
 	werr := func() error {
-		for _, j := range replay.Jobs {
-			req := j.Req
-			rec := journalRecord{T: "submitted", ID: j.ID, Req: &req, Unix: j.CreatedUnix, Key: req.Job().Digest()}
+		// Persist the ID watermark: settled jobs drop out of the compacted
+		// file, but the sequence they consumed must not be reissued — a
+		// double restart would otherwise hand a settled job's ID to a fresh
+		// submission (found by protocheck's never-lost oracle). A "seq"
+		// record is ignored by replay except for its ID's sequence number.
+		if replay.MaxSeq > 0 {
+			rec := journalRecord{T: "seq", ID: fmt.Sprintf("j%06d", replay.MaxSeq)}
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}
-			if j.Interrupted && !j.Quarantined {
+		}
+		for _, j := range replay.Jobs {
+			req := j.Req
+			rec := journalRecord{T: "submitted", ID: j.ID, Req: &req, Unix: j.CreatedUnix, Key: req.StoreKey()}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			// One started record preserves Interrupted across the rewrite —
+			// for quarantined jobs too, so a replay of the compacted file
+			// reconstructs the same ReplayJob the compaction saw (protocheck
+			// asserts this round-trip is a fixpoint).
+			if j.Interrupted {
 				if err := enc.Encode(journalRecord{T: "started", ID: j.ID}); err != nil {
 					return err
 				}
@@ -200,6 +227,9 @@ func compactJournal(path string, replay Replay) error {
 				}
 			}
 		}
+		if protohook.NoSync(hooks) {
+			return nil
+		}
 		return tmp.Sync()
 	}()
 	cerr := tmp.Close()
@@ -207,6 +237,7 @@ func compactJournal(path string, replay Replay) error {
 		werr = cerr
 	}
 	if werr == nil {
+		protohook.Yield(hooks, "journal.compact", path)
 		werr = os.Rename(name, path)
 	}
 	if werr != nil {
@@ -229,12 +260,18 @@ func (jn *Journal) Append(rec journalRecord) error {
 	raw = append(raw, '\n')
 	jn.mu.Lock()
 	defer jn.mu.Unlock()
+	// The window before the record is durable: a crash here loses the
+	// transition, and replay must reconstruct a safe state without it.
+	protohook.Yield(jn.hooks, "journal.append."+rec.T, rec.ID)
 	if _, err := jn.f.Write(raw); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	if err := jn.f.Sync(); err != nil {
-		return fmt.Errorf("journal: sync: %w", err)
+	if !protohook.NoSync(jn.hooks) {
+		if err := jn.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
 	}
+	protohook.Yield(jn.hooks, "journal.appended."+rec.T, rec.ID)
 	return nil
 }
 

@@ -145,12 +145,48 @@ func TestJournalCompaction(t *testing.T) {
 	// Keys are recomputed at compaction time from the request, pinning the
 	// entry to the current simulator version.
 	raw, _ := os.ReadFile(path)
-	var rec journalRecord
-	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)[0]), &rec); err != nil {
-		t.Fatal(err)
+	var submitted *journalRecord
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.T == "submitted" {
+			submitted = &rec
+			break
+		}
 	}
-	if rec.Key != (SubmitRequest{Experiment: "table4"}).Job().Digest() {
-		t.Errorf("compacted key = %q, want current digest", rec.Key)
+	if submitted == nil {
+		t.Fatal("compacted journal has no submitted record")
+	}
+	if submitted.Key != (SubmitRequest{Experiment: "table4"}).Job().Digest() {
+		t.Errorf("compacted key = %q, want current digest", submitted.Key)
+	}
+}
+
+// TestJournalSeqWatermark: compaction drops settled jobs but must not let
+// their sequence numbers be reissued — the "seq" record carries the
+// watermark across any number of compactions.
+func TestJournalSeqWatermark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, _ := openJournalT(t, path)
+	jn.Append(journalRecord{T: "submitted", ID: "j000007", Req: &SubmitRequest{Experiment: "fig2"}})
+	jn.Append(journalRecord{T: "finished", ID: "j000007", State: StateDone})
+	jn.Close()
+
+	// First reopen: the settled job is compacted away, the watermark stays.
+	jn2, replay := openJournalT(t, path)
+	if replay.MaxSeq != 7 {
+		t.Fatalf("MaxSeq after first compaction = %d, want 7", replay.MaxSeq)
+	}
+	jn2.Close()
+
+	// Second reopen replays only the compacted file; without the seq record
+	// the watermark would have regressed to 0 and j000001..j000007 could be
+	// reissued to fresh submissions.
+	_, replay = openJournalT(t, path)
+	if replay.MaxSeq != 7 {
+		t.Errorf("MaxSeq after second compaction = %d, want 7", replay.MaxSeq)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/protohook"
 	"sgxbounds/internal/telemetry"
 )
 
@@ -25,8 +26,9 @@ type job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	progress *lineBuffer
-	done     chan struct{} // closed when the job reaches a terminal state
-	onFinish func(*job)    // journal hook; runs once, after the terminal transition
+	done     chan struct{}   // closed when the job reaches a terminal state
+	onFinish func(*job)      // journal hook; runs once, after the terminal transition
+	hooks    protohook.Hooks // protocheck yield seam (nil in production)
 
 	mu      sync.Mutex
 	status  JobStatus
@@ -75,6 +77,9 @@ func (j *job) setAttempt(n int) {
 // under the job lock to fill in state-specific fields (including the
 // private bundle/profile, which is why it closes over j).
 func (j *job) finish(state JobState, mutate func(*JobStatus)) {
+	// The last pre-transition instant: a crash here means the client never
+	// observes the terminal state and replay must re-run or re-park.
+	protohook.Yield(j.hooks, "job.finish", string(state))
 	j.mu.Lock()
 	if j.status.State.Terminal() {
 		j.mu.Unlock()
@@ -100,6 +105,7 @@ func (j *job) finish(state JobState, mutate func(*JobStatus)) {
 type queue struct {
 	run      func(*job)
 	onFinish func(*job)
+	hooks    protohook.Hooks
 	backlog  chan *job
 	wg       sync.WaitGroup
 
@@ -112,9 +118,11 @@ type queue struct {
 
 // newQueue starts workers goroutines draining a backlog of the given
 // capacity; run executes one job, onFinish (optional) observes each
-// terminal transition — the server's journal hook.
-func newQueue(workers, backlog int, run func(*job), onFinish func(*job)) *queue {
-	if workers <= 0 {
+// terminal transition — the server's journal hook. workers == 0 is manual
+// mode: no goroutines are spawned and jobs execute only through RunNext,
+// on the caller's goroutine — the deterministic drive protocheck needs.
+func newQueue(workers, backlog int, run func(*job), onFinish func(*job), hooks protohook.Hooks) *queue {
+	if workers < 0 {
 		workers = 1
 	}
 	if backlog <= 0 {
@@ -123,6 +131,7 @@ func newQueue(workers, backlog int, run func(*job), onFinish func(*job)) *queue 
 	q := &queue{
 		run:      run,
 		onFinish: onFinish,
+		hooks:    hooks,
 		backlog:  make(chan *job, backlog),
 		jobs:     make(map[string]*job),
 	}
@@ -136,12 +145,36 @@ func newQueue(workers, backlog int, run func(*job), onFinish func(*job)) *queue 
 func (q *queue) worker() {
 	defer q.wg.Done()
 	for j := range q.backlog {
-		if j.ctx.Err() != nil {
-			// Cancelled while queued: never started, nothing to discard.
-			j.finish(StateCanceled, nil)
-			continue
+		q.runOne(j)
+	}
+}
+
+// runOne is the worker-loop body, shared with RunNext so manual mode and
+// the goroutine pool execute jobs identically.
+func (q *queue) runOne(j *job) {
+	protohook.Yield(q.hooks, "queue.pickup", j.Status().ID)
+	if j.ctx.Err() != nil {
+		// Cancelled while queued: never started, nothing to discard.
+		j.finish(StateCanceled, nil)
+		return
+	}
+	q.run(j)
+}
+
+// RunNext executes one backlog entry synchronously on the caller's
+// goroutine, returning false when the backlog is empty. It is the manual
+// (workers == 0) drive; mixing it with a live worker pool is safe but
+// pointless.
+func (q *queue) RunNext() bool {
+	select {
+	case j, ok := <-q.backlog:
+		if !ok {
+			return false
 		}
-		q.run(j)
+		q.runOne(j)
+		return true
+	default:
+		return false
 	}
 }
 
@@ -163,6 +196,7 @@ func (q *queue) add(req SubmitRequest, spec bench.Job, key, id string, createdUn
 		progress: newLineBuffer(),
 		done:     make(chan struct{}),
 		onFinish: q.onFinish,
+		hooks:    q.hooks,
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -239,6 +273,7 @@ func (q *queue) Enqueue(j *job) error {
 		q.remove(j)
 		return ErrShuttingDown
 	}
+	protohook.Yield(q.hooks, "queue.enqueue", j.Status().ID)
 	select {
 	case q.backlog <- j: // buffered send under mu; never blocks
 		return nil

@@ -16,6 +16,7 @@ import (
 
 	"sgxbounds/internal/bench"
 	"sgxbounds/internal/faultline"
+	"sgxbounds/internal/protohook"
 	"sgxbounds/internal/serve/store"
 	"sgxbounds/internal/telemetry"
 )
@@ -46,6 +47,22 @@ type Config struct {
 	// DefaultDeadline bounds each attempt of jobs that do not carry their
 	// own deadline_ms (0 = unbounded).
 	DefaultDeadline time.Duration
+
+	// Hooks, when non-nil, arms protocheck's yield points through the
+	// queue, store and journal (see internal/protohook). Production
+	// daemons leave it nil: every site is then one predictable branch.
+	Hooks protohook.Hooks
+	// Compute, when non-nil, replaces the bench engine as the job
+	// executor — protocheck and deterministic tests supply a stub so
+	// protocol exploration never pays for real simulation. Its result is
+	// persisted and served exactly like an engine result; errors are
+	// classified by the same transient rules (injected faults and panics
+	// retry, other errors fail the job). Production daemons leave it nil.
+	Compute func(ctx context.Context, spec bench.Job) (*ResultBundle, error)
+	// Manual disables the worker pool: jobs execute only when the owner
+	// calls RunNext, on the caller's goroutine. This is the deterministic
+	// drive protocheck schedules; production daemons leave it false.
+	Manual bool
 }
 
 // Server is the sgxd daemon core: job queue, result store, durable
@@ -55,6 +72,8 @@ type Server struct {
 	queue       *queue
 	journal     *Journal
 	faults      *faultline.Injector
+	hooks       protohook.Hooks
+	compute     func(ctx context.Context, spec bench.Job) (*ResultBundle, error)
 	parallel    int
 	maxAttempts int
 	retryBase   time.Duration
@@ -74,7 +93,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("serve: Config.Store is required")
 	}
-	if cfg.Workers <= 0 {
+	if cfg.Manual {
+		cfg.Workers = 0 // no pool; RunNext is the only executor
+	} else if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
 	if cfg.Log == nil {
@@ -94,16 +115,27 @@ func New(cfg Config) (*Server, error) {
 	var replay Replay
 	if cfg.Journal != "" {
 		var err error
-		jn, replay, err = OpenJournal(cfg.Journal)
+		jn, replay, err = OpenJournalHooked(cfg.Journal, cfg.Hooks)
 		if err != nil {
 			return nil, err
 		}
 	}
+	// A simulated crash (protocheck yield panic) during replay must not
+	// leak the journal's file descriptor: the world that "died" here is
+	// abandoned, but the process running the explorer lives on.
+	defer func() {
+		if r := recover(); r != nil {
+			jn.Close()
+			panic(r)
+		}
+	}()
 
 	s := &Server{
 		store:       cfg.Store,
 		journal:     jn,
 		faults:      cfg.Faults,
+		hooks:       cfg.Hooks,
+		compute:     cfg.Compute,
 		parallel:    cfg.Parallel,
 		maxAttempts: cfg.MaxAttempts,
 		retryBase:   cfg.RetryBase,
@@ -113,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		metrics:     telemetry.NewRegistry(),
 	}
 	s.store.SetFaults(cfg.Faults)
+	s.store.SetHooks(cfg.Hooks)
 	// Register the robustness counters at zero so /metrics shows the full
 	// vocabulary from boot, not only after the first fault.
 	for _, name := range []string{
@@ -128,7 +161,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	// Replayed jobs must all fit the backlog regardless of its configured
 	// size — rejecting a journaled job on boot would lose accepted work.
-	s.queue = newQueue(cfg.Workers, backlog+len(replay.Jobs), s.runJob, s.jobFinished)
+	s.queue = newQueue(cfg.Workers, backlog+len(replay.Jobs), s.runJob, s.jobFinished, cfg.Hooks)
 	s.queue.setSeq(replay.MaxSeq)
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -155,7 +188,7 @@ func (s *Server) restore(rj ReplayJob) error {
 		})
 		return err
 	}
-	spec, key := bj.Canonical(), bj.Digest()
+	spec, key := bj.Canonical(), rj.Req.StoreKey()
 	if rj.Quarantined {
 		_, err := s.queue.Park(rj, spec, key)
 		return err
@@ -213,7 +246,7 @@ func (s *Server) Submit(req SubmitRequest) (*job, error) {
 		return nil, err
 	}
 	spec := j.Canonical()
-	rec, err := s.queue.Add(req, spec, j.Digest())
+	rec, err := s.queue.Add(req, spec, req.StoreKey())
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +282,110 @@ func (s *Server) Submit(req SubmitRequest) (*job, error) {
 	}
 	return rec, nil
 }
+
+// RunNext executes one queued job synchronously on the caller's goroutine,
+// returning false when nothing is queued. This is the drive for Manual
+// servers (protocheck's deterministic scheduler); with a live worker pool
+// it is safe but redundant.
+func (s *Server) RunNext() bool { return s.queue.RunNext() }
+
+// Status returns the wire status of one job.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.Status(), true
+}
+
+// List returns every job's status in submission order.
+func (s *Server) List() []JobStatus {
+	jobs := s.queue.List()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	return statuses
+}
+
+// Result returns a job's result bundle, if it finished with one.
+func (s *Server) Result(id string) (*ResultBundle, bool) {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return j.Bundle()
+}
+
+// Cancel requests cancellation of a job; false means no such job. Like
+// DELETE /api/v1/jobs/{id}, cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Quarantine returns the parked jobs awaiting operator action, in
+// submission order (released jobs drop off: their RequeuedAs points at the
+// replacement).
+func (s *Server) Quarantine() []JobStatus {
+	jobs := s.quarantined()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	return statuses
+}
+
+// Requeue sentinels: the HTTP layer maps them onto status codes, and
+// protocheck's oracle distinguishes "exactly-once settled" violations from
+// legitimate rejections by them.
+var (
+	ErrNoSuchJob       = errors.New("no such job")
+	ErrNotQuarantined  = errors.New("not quarantined")
+	ErrAlreadyRequeued = errors.New("already requeued")
+)
+
+// Requeue releases a quarantined job by resubmitting its request as a
+// fresh job — the parked record stays as the audit trail, annotated with
+// the replacement's ID. A "requeued" journal record settles the old job so
+// a restart does not restore it alongside its replacement.
+func (s *Server) Requeue(id string) (old, fresh JobStatus, err error) {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		return JobStatus{}, JobStatus{}, fmt.Errorf("%w %q", ErrNoSuchJob, id)
+	}
+	st := j.Status()
+	if st.State != StateQuarantined {
+		return st, JobStatus{}, fmt.Errorf("job %s is %s, %w", st.ID, st.State, ErrNotQuarantined)
+	}
+	if st.RequeuedAs != "" {
+		return st, JobStatus{}, fmt.Errorf("job %s %w as %s", st.ID, ErrAlreadyRequeued, st.RequeuedAs)
+	}
+	nj, err := s.Submit(j.req)
+	if err != nil {
+		return st, JobStatus{}, err
+	}
+	newID := nj.Status().ID
+	j.mu.Lock()
+	j.status.RequeuedAs = newID
+	j.mu.Unlock()
+	if jerr := s.journal.Append(journalRecord{
+		T: "requeued", ID: st.ID, New: newID, Unix: time.Now().Unix(),
+	}); jerr != nil {
+		s.log.Printf("journal: %v", jerr)
+	}
+	s.metrics.Counter("jobs.requeued").Inc()
+	return j.Status(), nj.Status(), nil
+}
+
+// Abort closes the journal without draining the queue — the in-process
+// equivalent of the machine losing power. Only protocheck's crash
+// simulation calls it; everything else shuts down via Shutdown.
+func (s *Server) Abort() error { return s.journal.Close() }
 
 // runJob executes one job on a worker: replay from the store when
 // possible, otherwise compute on a private cancellable engine and persist
@@ -309,6 +446,19 @@ func (s *Server) runJob(j *job) {
 	}
 }
 
+// attemptResult is what one execution of a job's work produced, whichever
+// executor (the bench engine or a Config.Compute stub) ran it. The
+// classification tail of runAttempt consumes it uniformly.
+type attemptResult struct {
+	bundle     *ResultBundle
+	profile    *telemetry.RunProfile
+	hits, runs int
+	elapsed    int64
+	err        error
+	panicked   bool
+	aborted    bool // the executor stopped because its context died
+}
+
 // runAttempt executes one attempt of a job. done means the job reached a
 // terminal state (success or user cancellation) and the attempt loop must
 // stop; otherwise err describes the failure and transient says whether it
@@ -334,6 +484,56 @@ func (s *Server) runAttempt(j *job, attempt int) (done, transient bool, err erro
 	}
 	defer cancel()
 
+	var res attemptResult
+	if s.compute != nil {
+		res = s.executeCompute(ctx, st.Job)
+	} else {
+		res = s.executeEngine(ctx, j, st.Job)
+	}
+
+	userCanceled := j.ctx.Err() != nil
+	timedOut := res.aborted && !userCanceled
+
+	switch {
+	case userCanceled:
+		// A cancelled engine unwinds with partial tables and zeroed cells;
+		// everything it printed is discarded with the job.
+		s.metrics.Counter("jobs.canceled").Inc()
+		j.finish(StateCanceled, func(st *JobStatus) {
+			st.ElapsedMS = res.elapsed
+			st.Cells = CellStats{Hits: res.hits, Runs: res.runs}
+			j.profile = res.profile
+		})
+		return true, false, nil
+	case timedOut && res.err == nil:
+		// A deadline-aborted engine returns partial tables with no error;
+		// synthesize the failure the attempt loop classifies on.
+		return false, true, fmt.Errorf("attempt %d exceeded deadline %s", attempt, s.jobDeadline(j))
+	case res.err != nil:
+		transient := timedOut || res.panicked || faultline.IsFault(res.err)
+		return false, transient, res.err
+	}
+
+	s.faults.Crash("job.before-persist")
+	protohook.Yield(s.hooks, "server.persist", st.ID)
+	s.persist(st.Key, st.Job, res.bundle, res.elapsed)
+	s.faults.Crash("job.before-finish")
+	s.metrics.Counter("jobs.completed").Inc()
+	s.metrics.Counter("cells.run").Add(uint64(res.runs))
+	s.metrics.Counter("cells.cached").Add(uint64(res.hits))
+	s.metrics.Histogram("job.elapsed_ms").Observe(uint64(res.elapsed))
+	j.finish(StateDone, func(st *JobStatus) {
+		st.ElapsedMS = res.elapsed
+		st.Cells = CellStats{Hits: res.hits, Runs: res.runs}
+		j.bundle = res.bundle
+		j.profile = res.profile
+	})
+	return true, false, nil
+}
+
+// executeEngine runs one attempt on a private cancellable bench engine —
+// the production executor.
+func (s *Server) executeEngine(ctx context.Context, j *job, spec bench.Job) attemptResult {
 	eng := bench.NewEngine(s.jobParallel(j))
 	eng.BindContext(ctx)
 	eng.Progress = j.progress
@@ -348,55 +548,56 @@ func (s *Server) runAttempt(j *job, attempt int) (done, transient bool, err erro
 		return nopCloser{buf}, nil
 	}
 	start := time.Now()
-	err, panicked := runSafely(eng, st.Job, &out, sink)
-	elapsed := time.Since(start).Milliseconds()
-	hits, runs := eng.CacheStats()
-	profile := telemetry.Dump(eng.Telemetry.Profiles())
-
-	userCanceled := j.ctx.Err() != nil
-	timedOut := eng.Canceled() && !userCanceled
-
-	switch {
-	case userCanceled:
-		// A cancelled engine unwinds with partial tables and zeroed cells;
-		// everything it printed is discarded with the job.
-		s.metrics.Counter("jobs.canceled").Inc()
-		j.finish(StateCanceled, func(st *JobStatus) {
-			st.ElapsedMS = elapsed
-			st.Cells = CellStats{Hits: hits, Runs: runs}
-			j.profile = profile
-		})
-		return true, false, nil
-	case timedOut && err == nil:
-		// A deadline-aborted engine returns partial tables with no error;
-		// synthesize the failure the attempt loop classifies on.
-		return false, true, fmt.Errorf("attempt %d exceeded deadline %s", attempt, s.jobDeadline(j))
-	case err != nil:
-		transient := timedOut || panicked || faultline.IsFault(err)
-		return false, transient, err
+	err, panicked := runSafely(eng, spec, &out, sink)
+	res := attemptResult{
+		err:      err,
+		panicked: panicked,
+		elapsed:  time.Since(start).Milliseconds(),
+		profile:  telemetry.Dump(eng.Telemetry.Profiles()),
+		aborted:  eng.Canceled(),
 	}
-
-	bundle := &ResultBundle{Output: out.String()}
-	if len(csvs) > 0 {
-		bundle.CSV = make(map[string]string, len(csvs))
-		for name, buf := range csvs {
-			bundle.CSV[name] = buf.String()
+	res.hits, res.runs = eng.CacheStats()
+	if err == nil {
+		res.bundle = &ResultBundle{Output: out.String()}
+		if len(csvs) > 0 {
+			res.bundle.CSV = make(map[string]string, len(csvs))
+			for name, buf := range csvs {
+				res.bundle.CSV[name] = buf.String()
+			}
 		}
 	}
-	s.faults.Crash("job.before-persist")
-	s.persist(st.Key, st.Job, bundle, elapsed)
-	s.faults.Crash("job.before-finish")
-	s.metrics.Counter("jobs.completed").Inc()
-	s.metrics.Counter("cells.run").Add(uint64(runs))
-	s.metrics.Counter("cells.cached").Add(uint64(hits))
-	s.metrics.Histogram("job.elapsed_ms").Observe(uint64(elapsed))
-	j.finish(StateDone, func(st *JobStatus) {
-		st.ElapsedMS = elapsed
-		st.Cells = CellStats{Hits: hits, Runs: runs}
-		j.bundle = bundle
-		j.profile = profile
-	})
-	return true, false, nil
+	return res
+}
+
+// executeCompute runs one attempt through the Config.Compute override,
+// with the same panic containment and cancellation classification as the
+// engine path. Simulated protocheck crashes are rethrown, never converted
+// into job failures — a dead process reports nothing.
+func (s *Server) executeCompute(ctx context.Context, spec bench.Job) attemptResult {
+	start := time.Now()
+	var res attemptResult
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if protohook.IsCrash(r) {
+					panic(r)
+				}
+				res.panicked = true
+				if e, ok := r.(error); ok {
+					res.err = fmt.Errorf("experiment panicked: %w", e)
+				} else {
+					res.err = fmt.Errorf("experiment panicked: %v", r)
+				}
+			}
+		}()
+		res.bundle, res.err = s.compute(ctx, spec)
+	}()
+	res.elapsed = time.Since(start).Milliseconds()
+	res.aborted = ctx.Err() != nil
+	if res.err == nil && res.bundle == nil && !res.aborted {
+		res.err = errors.New("compute returned no result")
+	}
+	return res
 }
 
 // cellHook is the engine's fault seam: an "engine.cell" rule can delay a
@@ -447,6 +648,11 @@ func (s *Server) jobParallel(j *job) int {
 func runSafely(eng *bench.Engine, spec bench.Job, w io.Writer, csv bench.CSVSink) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			if protohook.IsCrash(r) {
+				// A simulated protocheck crash is the process dying, not the
+				// experiment failing; let it unwind to the explorer.
+				panic(r)
+			}
 			panicked = true
 			if e, ok := r.(error); ok {
 				err = fmt.Errorf("experiment panicked: %w", e)
@@ -564,12 +770,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.queue.List()
-	statuses := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		statuses[i] = j.Status()
-	}
-	writeJSON(w, http.StatusOK, statuses)
+	writeJSON(w, http.StatusOK, s.List())
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
@@ -716,55 +917,28 @@ func (s *Server) quarantined() []*job {
 }
 
 func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
-	jobs := s.quarantined()
-	statuses := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		statuses[i] = j.Status()
-	}
-	writeJSON(w, http.StatusOK, statuses)
+	writeJSON(w, http.StatusOK, s.Quarantine())
 }
 
-// handleRequeue releases a quarantined job by resubmitting its request as
-// a fresh job — the parked record stays as the audit trail, annotated with
-// the replacement's ID. A "requeued" journal record settles the old job so
-// a restart does not restore it alongside its replacement.
+// handleRequeue is the HTTP face of Requeue, mapping its sentinels onto
+// status codes.
 func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobFor(w, r)
-	if !ok {
-		return
-	}
-	st := j.Status()
-	if st.State != StateQuarantined {
-		writeError(w, http.StatusConflict, "job %s is %s, not quarantined", st.ID, st.State)
-		return
-	}
-	if st.RequeuedAs != "" {
-		writeError(w, http.StatusConflict, "job %s already requeued as %s", st.ID, st.RequeuedAs)
-		return
-	}
-	nj, err := s.Submit(j.req)
+	old, fresh, err := s.Requeue(r.PathValue("id"))
 	switch {
+	case errors.Is(err, ErrNoSuchJob):
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	case errors.Is(err, ErrNotQuarantined), errors.Is(err, ErrAlreadyRequeued):
+		writeError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, ErrBacklogFull), errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	default:
+		writeJSON(w, http.StatusOK, map[string]JobStatus{
+			"quarantined": old,
+			"requeued":    fresh,
+		})
 	}
-	newID := nj.Status().ID
-	j.mu.Lock()
-	j.status.RequeuedAs = newID
-	j.mu.Unlock()
-	if jerr := s.journal.Append(journalRecord{
-		T: "requeued", ID: st.ID, New: newID, Unix: time.Now().Unix(),
-	}); jerr != nil {
-		s.log.Printf("journal: %v", jerr)
-	}
-	s.metrics.Counter("jobs.requeued").Inc()
-	writeJSON(w, http.StatusOK, map[string]JobStatus{
-		"quarantined": j.Status(),
-		"requeued":    nj.Status(),
-	})
 }
 
 // handleReady is the readiness probe: journal replay finished, the store

@@ -1,0 +1,181 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/serve/store"
+)
+
+// randomSpec draws a job over the real experiment registry: a random
+// experiment plus random values for every parameter, whether or not the
+// experiment consumes it — canonicalization is supposed to drop the ones
+// it doesn't.
+func randomSpec(rng *rand.Rand) (bench.Job, bench.Experiment) {
+	exp := bench.Experiments[rng.Intn(len(bench.Experiments))]
+	j := bench.Job{
+		Experiment: exp.Name,
+		Threads:    rng.Intn(17),      // 0 = default
+		Requests:   rng.Intn(4) * 500, // 0 = default
+	}
+	if exp.UsesGrid {
+		for _, wl := range []string{"histogram", "kmeans", "dedup", "swaptions"} {
+			if rng.Intn(2) == 1 {
+				j.Workloads = append(j.Workloads, wl)
+			}
+		}
+		for _, pol := range bench.PolicyNames {
+			if rng.Intn(2) == 1 {
+				j.Policies = append(j.Policies, pol)
+			}
+		}
+		j.Size = []string{"", "XS", "S", "M", "L", "XL"}[rng.Intn(6)]
+	}
+	return j, exp
+}
+
+// TestStoreKeyStability is the content-addressing property test: across a
+// few hundred random specs, the digest is a pure function of the canonical
+// spec (canonicalization is a digest fixpoint, ignored parameters don't
+// perturb it, defaults elided and spelled out agree), distinct canonical
+// specs never collide, and a Put/Get round-trip returns the body and the
+// recorded spec byte-identical.
+func TestStoreKeyStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xb0a7))
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{} // digest -> canonical spec JSON
+	for i := 0; i < 300; i++ {
+		spec, exp := randomSpec(rng)
+		key := spec.Digest()
+
+		if got := spec.Canonical().Digest(); got != key {
+			t.Fatalf("spec %+v: digest %s, but canonical form digests to %s", spec, key, got)
+		}
+		noise := spec
+		if !exp.UsesThreads {
+			noise.Threads = 1 + rng.Intn(64)
+		}
+		if !exp.UsesRequests {
+			noise.Requests = 1 + rng.Intn(9999)
+		}
+		if got := noise.Digest(); got != key {
+			t.Fatalf("spec %+v: ignored parameters changed the digest (%s -> %s)", spec, key, got)
+		}
+		if exp.UsesThreads && spec.Threads == 0 {
+			explicit := spec
+			explicit.Threads = bench.DefaultThreads
+			if got := explicit.Digest(); got != key {
+				t.Fatalf("spec %+v: explicit default threads changed the digest", spec)
+			}
+		}
+
+		canon, err := json.Marshal(spec.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[key]; ok && prev != string(canon) {
+			t.Fatalf("digest collision: %s names both %s and %s", key, prev, canon)
+		}
+		seen[key] = string(canon)
+
+		body := make([]byte, 1+rng.Intn(96))
+		rng.Read(body)
+		meta := store.Meta{Version: bench.SimVersion, CreatedUnix: 1, Job: canon}
+		if err := st.Put(key, body, meta); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		got, m, ok := st.Get(key, bench.SimVersion)
+		if !ok {
+			t.Fatalf("spec %+v: just-put entry missed", spec)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("spec %+v: body not byte-identical after round-trip", spec)
+		}
+		// The meta record is stored indented, so the embedded spec comes
+		// back reformatted; compact it before comparing.
+		var compacted bytes.Buffer
+		if err := json.Compact(&compacted, m.Job); err != nil {
+			t.Fatalf("spec %+v: recorded spec unparsable: %v", spec, err)
+		}
+		if compacted.String() != string(canon) {
+			t.Fatalf("spec %+v: recorded spec changed across round-trip: %s vs %s", spec, compacted.String(), canon)
+		}
+	}
+}
+
+// TestStoreFlippedByteMisses corrupts a committed body one bit at a time —
+// every bit of every byte — and requires each corruption to read as a
+// plain miss with the entry self-healed away, never as served bytes that
+// differ from what was put.
+func TestStoreFlippedByteMisses(t *testing.T) {
+	root := t.TempDir()
+	st, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.Job{Experiment: "fig2"}
+	key := spec.Digest()
+	body := make([]byte, 48)
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	meta := store.Meta{Version: bench.SimVersion, CreatedUnix: 1}
+	bodyPath := filepath.Join(root, key[:2], key+".body")
+
+	for pos := range body {
+		for bit := 0; bit < 8; bit++ {
+			// Re-put each round: a detected miss deletes the entry.
+			if err := st.Put(key, body, meta); err != nil {
+				t.Fatal(err)
+			}
+			corrupt := append([]byte(nil), body...)
+			corrupt[pos] ^= 1 << bit
+			if err := os.WriteFile(bodyPath, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := st.Get(key, bench.SimVersion); ok {
+				t.Fatalf("flipped bit %d of byte %d: Get served the corrupt body", bit, pos)
+			}
+			if _, ok := st.Stat(key); ok {
+				t.Fatalf("flipped bit %d of byte %d: corrupt entry not deleted", bit, pos)
+			}
+		}
+	}
+
+	// Truncation and extension change the size, not just the checksum.
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"truncated", body[:len(body)-1]},
+		{"extended", append(append([]byte(nil), body...), 0)},
+		{"empty", nil},
+	} {
+		if err := st.Put(key, body, meta); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(bodyPath, tc.body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := st.Get(key, bench.SimVersion); ok {
+			t.Fatalf("%s body: Get served it", tc.name)
+		}
+	}
+
+	// Sanity: the uncorrupted entry does hit (the misses above were the
+	// corruption's doing, not a broken harness).
+	if err := st.Put(key, body, meta); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := st.Get(key, bench.SimVersion); !ok || !bytes.Equal(got, body) {
+		t.Fatal("pristine entry did not round-trip")
+	}
+}

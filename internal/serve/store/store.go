@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"sgxbounds/internal/faultline"
+	"sgxbounds/internal/protohook"
 )
 
 // Meta is the metadata record stored alongside each body.
@@ -82,12 +83,31 @@ const stripeCount = 64
 type Store struct {
 	root   string
 	faults *faultline.Injector
+	hooks  protohook.Hooks
 	locks  [stripeCount]sync.Mutex // per-key stripes; see package comment
+
+	// metaFirst reverses Put's body-then-meta commit protocol. It exists
+	// only to seed a known protocol regression for protocheck's
+	// counterexample tests (see BreakCommitOrderForTest); it must never be
+	// set outside a test.
+	metaFirst bool
 }
 
 // SetFaults arms a fault injector on the store's I/O paths (nil disarms).
 // Call before the store is shared across goroutines.
 func (s *Store) SetFaults(inj *faultline.Injector) { s.faults = inj }
+
+// SetHooks arms protocheck yield points on the store's commit protocol
+// (nil disarms — the production state, one branch per site). Call before
+// the store is shared across goroutines.
+func (s *Store) SetHooks(h protohook.Hooks) { s.hooks = h }
+
+// BreakCommitOrderForTest makes Put commit the meta record before the
+// body — the classic torn-write bug the body-first protocol exists to
+// prevent. It deliberately seeds that regression so protocheck can prove
+// its explorer catches it (a crash in the staged window then leaves a
+// committed meta with no body). Never call outside a test.
+func (s *Store) BreakCommitOrderForTest(on bool) { s.metaFirst = on }
 
 // lock returns the stripe lock owning key (caller has validated the key).
 func (s *Store) lock(key string) *sync.Mutex {
@@ -171,31 +191,51 @@ func (s *Store) Put(key string, body []byte, meta Meta) error {
 	}
 	// Body first, then meta: the meta rename is the commit point. A
 	// reader that races a Put either misses (no meta yet) or sees the
-	// complete new pair.
-	if err := s.faults.Fire("store.write.body", key); err != nil {
-		return fmt.Errorf("store: write %s: %w", s.body(key), err)
+	// complete new pair. (metaFirst reverses this to seed a protocheck
+	// regression; see BreakCommitOrderForTest.)
+	writeBody := func() error {
+		if err := s.faults.Fire("store.write.body", key); err != nil {
+			return fmt.Errorf("store: write %s: %w", s.body(key), err)
+		}
+		return s.writeAtomic(dir, s.body(key), s.faults.Mutate("store.write.body", key, body))
 	}
-	if err := writeAtomic(dir, s.body(key), s.faults.Mutate("store.write.body", key, body)); err != nil {
+	writeMeta := func() error {
+		if err := s.faults.Fire("store.write.meta", key); err != nil {
+			return fmt.Errorf("store: write %s: %w", s.meta(key), err)
+		}
+		return s.writeAtomic(dir, s.meta(key), s.faults.Mutate("store.write.meta", key, mj))
+	}
+	first, second := writeBody, writeMeta
+	if s.metaFirst {
+		first, second = writeMeta, writeBody
+	}
+	protohook.Yield(s.hooks, "store.put.begin", key)
+	if err := first(); err != nil {
 		return err
 	}
+	// The torn-write window: one half of the entry is on disk, the commit
+	// rename has not happened. Crashing here must leave at worst an
+	// orphaned body.
 	s.faults.Crash("store.between-writes")
-	if err := s.faults.Fire("store.write.meta", key); err != nil {
-		return fmt.Errorf("store: write %s: %w", s.meta(key), err)
-	}
-	if err := writeAtomic(dir, s.meta(key), s.faults.Mutate("store.write.meta", key, mj)); err != nil {
+	protohook.Yield(s.hooks, "store.put.staged", key)
+	if err := second(); err != nil {
 		return err
 	}
+	protohook.Yield(s.hooks, "store.put.done", key)
 	return nil
 }
 
-func writeAtomic(dir, dst string, data []byte) error {
+func (s *Store) writeAtomic(dir, dst string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	name := tmp.Name()
 	_, werr := tmp.Write(data)
-	serr := tmp.Sync()
+	var serr error
+	if !protohook.NoSync(s.hooks) {
+		serr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = serr
@@ -227,6 +267,7 @@ func (s *Store) Get(key, version string) (body []byte, meta Meta, ok bool) {
 	mu := s.lock(key)
 	mu.Lock()
 	defer mu.Unlock()
+	protohook.Yield(s.hooks, "store.get", key)
 	if err := s.faults.Fire("store.read.meta", key); err != nil {
 		return nil, Meta{}, false // transient read fault: miss, keep the entry
 	}
@@ -290,6 +331,7 @@ func (s *Store) Delete(key string) error {
 	mu := s.lock(key)
 	mu.Lock()
 	defer mu.Unlock()
+	protohook.Yield(s.hooks, "store.delete", key)
 	return s.deleteLocked(key)
 }
 
@@ -367,6 +409,7 @@ func (s *Store) GC(keep string) (removed int, err error) {
 			}
 			mu := s.lock(key)
 			mu.Lock()
+			protohook.Yield(s.hooks, "store.gc", key)
 			m, ok := s.Stat(key)
 			if !ok || m.Version != keep || m.Key != key {
 				if derr := s.deleteLocked(key); derr != nil && firstErr == nil {
