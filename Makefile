@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full chaos bench bench-json golden drift experiments
+.PHONY: ci vet build test race test-race-full chaos bench bench-json golden drift experiments load
 
 ci: vet build test race
 
@@ -48,6 +48,22 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -serve fig1 > BENCH_serve.json
 	@echo wrote BENCH_serve.json
+
+# Open-loop load run against a freshly booted sgxd on a cold store:
+# records submit-latency percentiles, the coalescing ratio, and the 429
+# rate into BENCH_load.json, and asserts the admission layer actually
+# coalesced (ratio > 1) with zero 5xx. Same gate the CI load-smoke job
+# runs. The store must be cold — warm results finish instantly and leave
+# no window for identical submits to coalesce.
+load:
+	$(GO) build -o /tmp/sgxd-load ./cmd/sgxd
+	$(GO) build -o /tmp/sgxload ./cmd/sgxload
+	rm -rf /tmp/sgxd-load-store
+	/tmp/sgxd-load -addr 127.0.0.1:7484 -store /tmp/sgxd-load-store/store -jobs 2 & \
+	  pid=$$!; \
+	  /tmp/sgxload -addr http://127.0.0.1:7484 -rps 40 -duration 8s -mix 0.8 \
+	    -out BENCH_load.json -assert-coalescing -assert-no-5xx; rc=$$?; \
+	  kill -TERM $$pid; wait $$pid; exit $$rc
 
 # Refresh the formatter golden files after an intended output change.
 golden:

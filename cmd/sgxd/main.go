@@ -9,6 +9,7 @@
 //
 //	sgxd [-addr 127.0.0.1:7483] [-store DIR] [-jobs 1] [-backlog 64] [-parallel 0]
 //	     [-journal FILE] [-faults SPEC.json] [-max-attempts 3] [-deadline 0]
+//	     [-cache-bytes N] [-tenant-rps R] [-tenant-burst B] [-tenant-inflight Q]
 //
 // API (see internal/serve):
 //
@@ -34,9 +35,10 @@
 // internal/faultline) for chaos testing the daemon under flaky I/O, poison
 // cells, and crash points.
 //
-// SIGINT/SIGTERM begin a graceful shutdown: queued jobs are cancelled,
-// in-flight jobs drain (bounded by -drain-timeout), then the listener
-// closes.
+// SIGINT/SIGTERM begin a graceful shutdown: admission closes immediately
+// (new submits get 503, /readyz flips in lockstep), queued jobs are
+// cancelled, in-flight jobs drain (bounded by -drain-timeout), then the
+// listener closes.
 package main
 
 import (
@@ -68,6 +70,11 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection spec file (JSON; see internal/faultline)")
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per job before quarantine")
 	deadline := flag.Duration("deadline", 0, "default per-attempt job deadline (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes (0 disables the LRU tier)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst allowance (with -tenant-rps)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant concurrent job quota (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "pause advertised with 429 rejections")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sgxd: ", log.LstdFlags)
@@ -92,15 +99,20 @@ func main() {
 		logger.Printf("fault injection armed from %s", *faults)
 	}
 	srv, err := serve.New(serve.Config{
-		Store:           st,
-		Workers:         *jobs,
-		Backlog:         *backlog,
-		Parallel:        *parallel,
-		Log:             logger,
-		Journal:         journalPath,
-		Faults:          inj,
-		MaxAttempts:     *maxAttempts,
-		DefaultDeadline: *deadline,
+		Store:             st,
+		Workers:           *jobs,
+		Backlog:           *backlog,
+		Parallel:          *parallel,
+		Log:               logger,
+		Journal:           journalPath,
+		Faults:            inj,
+		MaxAttempts:       *maxAttempts,
+		DefaultDeadline:   *deadline,
+		CacheBytes:        *cacheBytes,
+		TenantRPS:         *tenantRPS,
+		TenantBurst:       *tenantBurst,
+		TenantMaxInFlight: *tenantInflight,
+		RetryAfter:        *retryAfter,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -123,6 +135,10 @@ func main() {
 	case err := <-errc:
 		logger.Fatal(err)
 	case sig := <-sigc:
+		// Close admission before anything else: from this instant new
+		// submits get 503 and /readyz reports not-ready, so load balancers
+		// stop routing here while in-flight jobs finish.
+		srv.BeginDrain()
 		logger.Printf("%s: draining in-flight jobs", sig)
 	}
 

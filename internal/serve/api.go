@@ -1,125 +1,73 @@
-// Package serve implements sgxd, the experiment service: an HTTP JSON API
-// that accepts experiment jobs, runs them on a bounded queue layered over
-// the bench engine, and serves results from a persistent content-addressed
-// store.
+// Package serve implements sgxd, the experiment service, as a thin HTTP
+// transport over three explicit layers:
+//
+//   - internal/serve/frontdoor — admission: validation, per-tenant rate
+//     limits and in-flight quotas, single-flight coalescing on the job's
+//     content address, and backpressure (429 + Retry-After when the
+//     backlog saturates, 503 the instant drain begins).
+//   - internal/serve/sched — the scheduler: bounded queue, durable
+//     journal, retries, deadlines, quarantine. No net/http anywhere.
+//   - internal/serve/resultier — the result tier: a bounded in-memory
+//     LRU read-through/write-through over the content-addressed disk
+//     store, so warm hits never touch disk.
 //
 // The serving invariant is byte-identity: a figure fetched through sgxd is
 // the same bytes as the same figure printed by `sgxbench -experiment ...`,
-// whether it was just computed or replayed from the store. Jobs are
-// identified by bench.Job.Digest — canonical spec plus simulator version —
-// so equivalent requests share one store entry and a simulator change can
-// never serve stale tables.
+// whether it was just computed, replayed from the LRU, or replayed from
+// disk. Jobs are identified by bench.Job.Digest — canonical spec plus
+// simulator version — so equivalent requests share one store entry and a
+// simulator change can never serve stale tables.
+//
+// The scheduler vocabulary (SubmitRequest, JobStatus, ResultBundle, the
+// state and error sentinels) lives in sched and is re-exported here under
+// its historical names, so API clients (cmd/sgxctl, cmd/benchjson,
+// protocheck, the serve tests) are untouched by the layering.
 package serve
 
 import (
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/protohook"
+	"sgxbounds/internal/serve/sched"
 )
 
-// SubmitRequest is the body of POST /api/v1/jobs: an experiment name plus
-// cell-grid parameters. The first six fields form the job's identity
-// (bench.Job); the rest shape how this run executes without affecting what
-// it produces.
-type SubmitRequest struct {
-	Experiment string   `json:"experiment"`
-	Threads    int      `json:"threads,omitempty"`
-	Requests   int      `json:"requests,omitempty"`
-	Workloads  []string `json:"workloads,omitempty"`
-	Policies   []string `json:"policies,omitempty"`
-	Size       string   `json:"size,omitempty"`
-
-	// Parallel overrides the engine worker count for this job (0 = server
-	// default). Deliberately not part of the job's identity: engine results
-	// are byte-identical for every worker count.
-	Parallel int `json:"parallel,omitempty"`
-	// DeadlineMS bounds each attempt of this job in wall-clock
-	// milliseconds (0 = the server's default deadline). An attempt that
-	// overruns is aborted at its next memory-hierarchy probe and retried;
-	// a job that times out repeatedly is quarantined. Like Parallel, not
-	// part of the job's identity.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// Trace additionally records structured events in the job's telemetry
-	// profile (heavier; metrics are always collected).
-	Trace bool `json:"trace,omitempty"`
-	// Force recomputes even when the store already holds the result.
-	Force bool `json:"force,omitempty"`
-}
-
-// Job extracts the identity portion of the request.
-func (r SubmitRequest) Job() bench.Job {
-	return bench.Job{
-		Experiment: r.Experiment,
-		Threads:    r.Threads,
-		Requests:   r.Requests,
-		Workloads:  r.Workloads,
-		Policies:   r.Policies,
-		Size:       r.Size,
-	}
-}
-
-// StoreKey returns the request's content address — the one place a
-// SubmitRequest turns into a store key. Submission, journal compaction,
-// boot replay, and protocheck's result oracle all go through it, so the
-// key computation cannot drift between the layers that must agree on it.
-func (r SubmitRequest) StoreKey() string { return r.Job().Digest() }
-
-// JobState is the lifecycle of a submitted job.
-type JobState string
+// Scheduler-layer vocabulary, re-exported.
+type (
+	SubmitRequest = sched.SubmitRequest
+	JobState      = sched.JobState
+	JobStatus     = sched.JobStatus
+	CellStats     = sched.CellStats
+	ResultBundle  = sched.ResultBundle
+	Journal       = sched.Journal
+	Replay        = sched.Replay
+	ReplayJob     = sched.ReplayJob
+)
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
-	// StateQuarantined parks a poison job: one that panicked or timed out
-	// on every allowed attempt. Parked jobs are never retried implicitly;
-	// they persist across restarts (via the journal) with their fault
-	// context, and are released explicitly through the quarantine API
-	// (`sgxctl requeue`), which resubmits the request as a fresh job.
-	StateQuarantined JobState = "quarantined"
+	StateQueued      = sched.StateQueued
+	StateRunning     = sched.StateRunning
+	StateDone        = sched.StateDone
+	StateFailed      = sched.StateFailed
+	StateCanceled    = sched.StateCanceled
+	StateQuarantined = sched.StateQuarantined
 )
 
-// Terminal reports whether the state is final (quarantined is final for
-// the job record; release happens by resubmission, not resurrection).
-func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
-}
+// Error sentinels, re-exported as the same values so existing equality
+// checks (`err != serve.ErrShuttingDown`) keep holding.
+var (
+	ErrBacklogFull     = sched.ErrBacklogFull
+	ErrShuttingDown    = sched.ErrShuttingDown
+	ErrNoSuchJob       = sched.ErrNoSuchJob
+	ErrNotQuarantined  = sched.ErrNotQuarantined
+	ErrAlreadyRequeued = sched.ErrAlreadyRequeued
+)
 
-// CellStats echoes the engine's cache statistics for one job: how many
-// cells were served from the in-engine memo and how many actually
-// simulated. A job replayed from the persistent store ran zero cells.
-type CellStats struct {
-	Hits int `json:"hits"`
-	Runs int `json:"runs"`
-}
+// OpenJournal opens (creating if needed) the journal at path and replays
+// it. See sched.OpenJournal.
+func OpenJournal(path string) (*Journal, Replay, error) { return sched.OpenJournal(path) }
 
-// JobStatus is the wire form of one job's state.
-type JobStatus struct {
-	ID         string    `json:"id"`
-	Key        string    `json:"key"` // store digest (content address)
-	State      JobState  `json:"state"`
-	Job        bench.Job `json:"job"` // canonical form
-	FromStore  bool      `json:"from_store,omitempty"`
-	Error      string    `json:"error,omitempty"`
-	ElapsedMS  int64     `json:"elapsed_ms,omitempty"`
-	Cells      CellStats `json:"cells"`
-	// Attempts counts execution attempts (>1 means retries happened); the
-	// fault context of a quarantined job is this plus Error.
-	Attempts int `json:"attempts,omitempty"`
-	// RequeuedAs names the fresh job a quarantined job was released as.
-	RequeuedAs   string `json:"requeued_as,omitempty"`
-	Replayed     bool   `json:"replayed,omitempty"` // resumed from the journal at boot
-	CreatedUnix  int64  `json:"created_unix"`
-	StartedUnix  int64  `json:"started_unix,omitempty"`
-	FinishedUnix int64  `json:"finished_unix,omitempty"`
-}
-
-// ResultBundle is the store body format: the experiment's table text
-// verbatim, plus any CSV exports keyed by grid name. Output is the
-// byte-identity carrier — it is exactly what sgxbench would have printed.
-type ResultBundle struct {
-	Output string            `json:"output"`
-	CSV    map[string]string `json:"csv,omitempty"`
+// OpenJournalHooked is OpenJournal with protocheck's yield hooks armed.
+func OpenJournalHooked(path string, hooks protohook.Hooks) (*Journal, Replay, error) {
+	return sched.OpenJournalHooked(path, hooks)
 }
 
 // ExperimentInfo describes one runnable experiment for GET /api/v1/experiments.

@@ -248,4 +248,3 @@ func TestCrashPointInTornWriteWindow(t *testing.T) {
 		t.Error("post-crash result differs from direct sgxbench output")
 	}
 }
-

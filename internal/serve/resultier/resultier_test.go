@@ -1,0 +1,206 @@
+package resultier
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxbounds/internal/serve/store"
+	"sgxbounds/internal/telemetry"
+)
+
+const version = "test-v1"
+
+func key(n int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", n)))
+	return hex.EncodeToString(sum[:])
+}
+
+func newTier(t *testing.T, maxBytes int64) (*Tier, *store.Store, *telemetry.Registry) {
+	t.Helper()
+	disk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	return New(disk, maxBytes, reg), disk, reg
+}
+
+func put(t *testing.T, tier *Tier, k string, body []byte) {
+	t.Helper()
+	if err := tier.Put(k, body, store.Meta{Version: version}); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+// corruptBody flips bytes of the on-disk body file so the store's
+// checksum verification rejects it.
+func corruptBody(t *testing.T, disk *store.Store, k string) {
+	t.Helper()
+	path := filepath.Join(disk.Root(), k[:2], k+".body")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read body for corruption: %v", err)
+	}
+	for i := range data {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A warm hit must be served from memory alone: destroy the disk copy and
+// the tier still returns the right bytes without a miss.
+func TestHitServesWithoutDiskRead(t *testing.T) {
+	tier, disk, reg := newTier(t, 1<<20)
+	k, body := key(1), []byte("fig1 table bytes")
+	put(t, tier, k, body)
+
+	// Remove the entry behind the tier's back. If Get touched disk it
+	// would now miss (or heal-delete); a memory hit cannot notice.
+	if err := os.RemoveAll(filepath.Join(disk.Root(), k[:2])); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := tier.Get(k, version)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("warm get = %q, ok=%v; want memory hit with original bytes", got, ok)
+	}
+	if h := reg.Counter("cache.hits").Value(); h != 1 {
+		t.Fatalf("cache.hits = %d, want 1", h)
+	}
+	if m := reg.Counter("cache.misses").Value(); m != 0 {
+		t.Fatalf("cache.misses = %d, want 0", m)
+	}
+}
+
+// Evicted entries must fall back to disk transparently, and the eviction
+// counter must account for them.
+func TestEvictionFallsBackToDisk(t *testing.T) {
+	// Budget fits two of the three 100-byte bodies.
+	tier, _, reg := newTier(t, 250)
+	bodies := make(map[string][]byte)
+	for i := 1; i <= 3; i++ {
+		k := key(i)
+		bodies[k] = bytes.Repeat([]byte{byte('a' + i)}, 100)
+		put(t, tier, k, bodies[k])
+	}
+	if ev := reg.Counter("cache.evictions").Value(); ev != 1 {
+		t.Fatalf("cache.evictions = %d, want 1 (LRU tail pushed out)", ev)
+	}
+	if n, bytesHeld := tier.Stats(); n != 2 || bytesHeld != 200 {
+		t.Fatalf("tier holds %d entries / %d bytes, want 2 / 200", n, bytesHeld)
+	}
+	// key(1) was the LRU tail: its Get must read through to disk (a
+	// miss), return the original bytes, and re-admit the entry.
+	missesBefore := reg.Counter("cache.misses").Value()
+	got, _, ok := tier.Get(key(1), version)
+	if !ok || !bytes.Equal(got, bodies[key(1)]) {
+		t.Fatalf("evicted get failed: ok=%v", ok)
+	}
+	if m := reg.Counter("cache.misses").Value(); m != missesBefore+1 {
+		t.Fatalf("cache.misses = %d, want %d (disk read-through)", m, missesBefore+1)
+	}
+	if got, _, ok := tier.Get(key(1), version); !ok || !bytes.Equal(got, bodies[key(1)]) {
+		t.Fatal("re-admitted entry did not hit")
+	}
+}
+
+// A corrupt disk entry under a warm LRU: memory keeps serving the good
+// bytes, and once the entry ages out, the store's verification deletes
+// the corrupt pair so a recompute-and-Put heals the disk copy.
+func TestCorruptDiskUnderWarmLRUSelfHeals(t *testing.T) {
+	tier, disk, _ := newTier(t, 1<<20)
+	k, body := key(1), []byte("table4 result body")
+	put(t, tier, k, body)
+	corruptBody(t, disk, k)
+
+	// Warm path: the corruption is invisible.
+	if got, _, ok := tier.Get(k, version); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("warm get over corrupt disk = %q, ok=%v", got, ok)
+	}
+
+	// Cold path (entry evicted / process restarted): the store detects
+	// the checksum mismatch, deletes the pair, and reports a miss — the
+	// scheduler recomputes.
+	tier.Flush()
+	if _, _, ok := tier.Get(k, version); ok {
+		t.Fatal("corrupt disk entry served after flush")
+	}
+	if _, err := os.Stat(filepath.Join(disk.Root(), k[:2], k+".body")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt body not deleted by verification (err=%v)", err)
+	}
+
+	// The recompute's write-through heals disk and memory together.
+	put(t, tier, k, body)
+	tier.Flush()
+	if got, _, ok := tier.Get(k, version); !ok || !bytes.Equal(got, body) {
+		t.Fatal("healed entry not readable from disk")
+	}
+}
+
+// A version mismatch in memory must not hit: stale simulator generations
+// are the store's staleness domain.
+func TestVersionMismatchMissesInMemory(t *testing.T) {
+	tier, _, _ := newTier(t, 1<<20)
+	k := key(1)
+	put(t, tier, k, []byte("old generation"))
+	if _, _, ok := tier.Get(k, "other-version"); ok {
+		t.Fatal("stale-version entry served from memory")
+	}
+	if n, _ := tier.Stats(); n != 0 {
+		t.Fatalf("stale entry still cached (%d entries)", n)
+	}
+}
+
+// maxBytes <= 0 disables the memory tier entirely (the serve default, so
+// corruption-recovery tests exercise real disk reads).
+func TestZeroBudgetPassesThrough(t *testing.T) {
+	tier, disk, reg := newTier(t, 0)
+	k, body := key(1), []byte("uncached")
+	put(t, tier, k, body)
+	if n, _ := tier.Stats(); n != 0 {
+		t.Fatal("disabled tier cached an entry")
+	}
+	if got, _, ok := tier.Get(k, version); !ok || !bytes.Equal(got, body) {
+		t.Fatal("pass-through get failed")
+	}
+	if h := reg.Counter("cache.hits").Value(); h != 0 {
+		t.Fatalf("disabled tier recorded %d hits", h)
+	}
+	// Sanity: the bytes really came from disk.
+	if _, _, ok := disk.Get(k, version); !ok {
+		t.Fatal("disk does not hold the entry")
+	}
+}
+
+// An entry larger than the whole budget is served but never admitted.
+func TestOversizeEntryNotCached(t *testing.T) {
+	tier, _, _ := newTier(t, 10)
+	k := key(1)
+	put(t, tier, k, bytes.Repeat([]byte{'x'}, 100))
+	if n, _ := tier.Stats(); n != 0 {
+		t.Fatal("oversize entry admitted")
+	}
+	if _, _, ok := tier.Get(k, version); !ok {
+		t.Fatal("oversize entry unreadable from disk")
+	}
+}
+
+// Delete must clear both layers so a deleted result cannot be re-served
+// from RAM.
+func TestDeleteEvictsMemory(t *testing.T) {
+	tier, _, _ := newTier(t, 1<<20)
+	k := key(1)
+	put(t, tier, k, []byte("doomed"))
+	if err := tier.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tier.Get(k, version); ok {
+		t.Fatal("deleted entry still served")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -282,17 +283,18 @@ func TestJournalReplayResumesJobs(t *testing.T) {
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "journal.jsonl")
 
-	// Write the crashed daemon's journal by hand: j7 was accepted and
-	// interrupted mid-attempt, j8 was quarantined.
-	pre, _, err := OpenJournal(journal)
-	if err != nil {
+	// Write the crashed daemon's journal by hand, in the documented JSONL
+	// record grammar (see internal/serve/sched/journal.go): j7 was accepted
+	// and interrupted mid-attempt, j8 was quarantined.
+	records := strings.Join([]string{
+		`{"t":"submitted","id":"j000007","req":{"experiment":"table4"},"unix":50}`,
+		`{"t":"started","id":"j000007"}`,
+		`{"t":"submitted","id":"j000008","req":{"experiment":"fig2"},"unix":51}`,
+		`{"t":"finished","id":"j000008","state":"quarantined","error":"poison cell","attempts":3}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(journal, []byte(records), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	pre.Append(journalRecord{T: "submitted", ID: "j000007", Req: &SubmitRequest{Experiment: "table4"}, Unix: 50})
-	pre.Append(journalRecord{T: "started", ID: "j000007"})
-	pre.Append(journalRecord{T: "submitted", ID: "j000008", Req: &SubmitRequest{Experiment: "fig2"}, Unix: 51})
-	pre.Append(journalRecord{T: "finished", ID: "j000008", State: StateQuarantined, Error: "poison cell", Attempts: 3})
-	pre.Close()
 
 	st, err := store.Open(filepath.Join(dir, "store"))
 	if err != nil {

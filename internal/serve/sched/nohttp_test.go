@@ -1,0 +1,23 @@
+package sched
+
+import (
+	"go/build"
+	"strings"
+	"testing"
+)
+
+// TestNoNetHTTPDependency pins the layering contract in the package doc:
+// the scheduler is transport-agnostic, so net/http must never creep into
+// its import graph (directly or through a helper). The HTTP front door
+// belongs in internal/serve; a cluster transport would be a sibling.
+func TestNoNetHTTPDependency(t *testing.T) {
+	pkg, err := build.ImportDir(".", 0)
+	if err != nil {
+		t.Fatalf("import .: %v", err)
+	}
+	for _, imp := range pkg.Imports {
+		if imp == "net/http" || strings.HasPrefix(imp, "net/http/") {
+			t.Fatalf("package sched imports %s; the scheduler layer must stay transport-agnostic", imp)
+		}
+	}
+}

@@ -1,16 +1,16 @@
-package serve
+package sched
 
 import (
 	"strings"
 	"sync"
 )
 
-// lineBuffer accumulates a job's progress lines (the engine's throttled
+// ProgressBuffer accumulates a job's progress lines (the engine's throttled
 // progress reports) and replays them to any number of concurrent
 // subscribers: a subscriber first drains the backlog, then blocks on the
 // change channel for live lines. The engine writes through the io.Writer
 // face; HTTP handlers read through Snapshot.
-type lineBuffer struct {
+type ProgressBuffer struct {
 	mu      sync.Mutex
 	lines   []string
 	partial strings.Builder
@@ -18,12 +18,12 @@ type lineBuffer struct {
 	changed chan struct{} // closed and replaced on every append/Close
 }
 
-func newLineBuffer() *lineBuffer {
-	return &lineBuffer{changed: make(chan struct{})}
+func newProgressBuffer() *ProgressBuffer {
+	return &ProgressBuffer{changed: make(chan struct{})}
 }
 
 // Write implements io.Writer, splitting the stream into lines.
-func (b *lineBuffer) Write(p []byte) (int, error) {
+func (b *ProgressBuffer) Write(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.done {
@@ -46,7 +46,7 @@ func (b *lineBuffer) Write(p []byte) (int, error) {
 }
 
 // Append adds one complete line.
-func (b *lineBuffer) Append(line string) {
+func (b *ProgressBuffer) Append(line string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.done {
@@ -58,7 +58,7 @@ func (b *lineBuffer) Append(line string) {
 
 // Close marks the stream complete (flushing any partial trailing line) and
 // wakes all subscribers for the last time.
-func (b *lineBuffer) Close() {
+func (b *ProgressBuffer) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.done {
@@ -72,7 +72,7 @@ func (b *lineBuffer) Close() {
 	b.notifyLocked()
 }
 
-func (b *lineBuffer) notifyLocked() {
+func (b *ProgressBuffer) notifyLocked() {
 	close(b.changed)
 	b.changed = make(chan struct{})
 }
@@ -80,7 +80,7 @@ func (b *lineBuffer) notifyLocked() {
 // Snapshot returns the lines at index >= from, whether the stream has
 // ended, and a channel that closes on the next change. The subscriber loop
 // is: drain, emit, and if !done, wait on changed (or the client context).
-func (b *lineBuffer) Snapshot(from int) (lines []string, done bool, changed <-chan struct{}) {
+func (b *ProgressBuffer) Snapshot(from int) (lines []string, done bool, changed <-chan struct{}) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if from < 0 {

@@ -1,4 +1,4 @@
-package serve
+package sched
 
 import (
 	"context"
@@ -14,20 +14,20 @@ import (
 
 // ErrBacklogFull is returned by Enqueue when the queue's backlog is at
 // capacity; the API maps it to 503 so clients retry rather than pile up.
-var ErrBacklogFull = errors.New("serve: job backlog full")
+var ErrBacklogFull = errors.New("sched: job backlog full")
 
 // ErrShuttingDown is returned by Add/Enqueue once shutdown has begun.
-var ErrShuttingDown = errors.New("serve: shutting down")
+var ErrShuttingDown = errors.New("sched: shutting down")
 
-// job is the server-side record of one submitted job: its wire status plus
-// the run-side channels (cancellation, progress, telemetry profile).
-type job struct {
+// Job is the scheduler-side record of one submitted job: its wire status
+// plus the run-side channels (cancellation, progress, telemetry profile).
+type Job struct {
 	req      SubmitRequest
 	ctx      context.Context
 	cancel   context.CancelFunc
-	progress *lineBuffer
+	progress *ProgressBuffer
 	done     chan struct{}   // closed when the job reaches a terminal state
-	onFinish func(*job)      // journal hook; runs once, after the terminal transition
+	onFinish func(*Job)      // journal hook; runs once, after the terminal transition
 	hooks    protohook.Hooks // protocheck yield seam (nil in production)
 
 	mu      sync.Mutex
@@ -37,37 +37,49 @@ type job struct {
 }
 
 // Status returns a copy of the job's current wire status.
-func (j *job) Status() JobStatus {
+func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status
 }
 
 // Bundle returns the result bundle once the job is done.
-func (j *job) Bundle() (*ResultBundle, bool) {
+func (j *Job) Bundle() (*ResultBundle, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.bundle, j.bundle != nil
 }
 
 // Profile returns the job's telemetry dump, if it computed anything.
-func (j *job) Profile() (*telemetry.RunProfile, bool) {
+func (j *Job) Profile() (*telemetry.RunProfile, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.profile, j.profile != nil
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
-func (j *job) Done() <-chan struct{} { return j.done }
+func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *job) setRunning() {
+// Cancel requests cancellation of the job. Cancelling a terminal job is a
+// no-op: its context is already released.
+func (j *Job) Cancel() { j.cancel() }
+
+// Progress returns the job's progress line buffer, which the transport
+// streams to clients.
+func (j *Job) Progress() *ProgressBuffer { return j.progress }
+
+// Request returns the submission that created the job (the coalescing and
+// requeue layers resubmit it verbatim).
+func (j *Job) Request() SubmitRequest { return j.req }
+
+func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.status.State = StateRunning
 	j.status.StartedUnix = time.Now().Unix()
 	j.mu.Unlock()
 }
 
-func (j *job) setAttempt(n int) {
+func (j *Job) setAttempt(n int) {
 	j.mu.Lock()
 	j.status.Attempts = n
 	j.mu.Unlock()
@@ -76,7 +88,7 @@ func (j *job) setAttempt(n int) {
 // finish moves the job to a terminal state and wakes waiters. mutate runs
 // under the job lock to fill in state-specific fields (including the
 // private bundle/profile, which is why it closes over j).
-func (j *job) finish(state JobState, mutate func(*JobStatus)) {
+func (j *Job) finish(state JobState, mutate func(*JobStatus)) {
 	// The last pre-transition instant: a crash here means the client never
 	// observes the terminal state and replay must re-run or re-park.
 	protohook.Yield(j.hooks, "job.finish", string(state))
@@ -103,14 +115,14 @@ func (j *job) finish(state JobState, mutate func(*JobStatus)) {
 // backlog. Submission is non-blocking — a full backlog is an error, not a
 // stall — and shutdown drains what was already accepted.
 type queue struct {
-	run      func(*job)
-	onFinish func(*job)
+	run      func(*Job)
+	onFinish func(*Job)
 	hooks    protohook.Hooks
-	backlog  chan *job
+	backlog  chan *Job
 	wg       sync.WaitGroup
 
 	mu     sync.Mutex
-	jobs   map[string]*job
+	jobs   map[string]*Job
 	order  []string
 	nextID int
 	closed bool
@@ -121,7 +133,7 @@ type queue struct {
 // terminal transition — the server's journal hook. workers == 0 is manual
 // mode: no goroutines are spawned and jobs execute only through RunNext,
 // on the caller's goroutine — the deterministic drive protocheck needs.
-func newQueue(workers, backlog int, run func(*job), onFinish func(*job), hooks protohook.Hooks) *queue {
+func newQueue(workers, backlog int, run func(*Job), onFinish func(*Job), hooks protohook.Hooks) *queue {
 	if workers < 0 {
 		workers = 1
 	}
@@ -132,8 +144,8 @@ func newQueue(workers, backlog int, run func(*job), onFinish func(*job), hooks p
 		run:      run,
 		onFinish: onFinish,
 		hooks:    hooks,
-		backlog:  make(chan *job, backlog),
-		jobs:     make(map[string]*job),
+		backlog:  make(chan *Job, backlog),
+		jobs:     make(map[string]*Job),
 	}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -151,7 +163,7 @@ func (q *queue) worker() {
 
 // runOne is the worker-loop body, shared with RunNext so manual mode and
 // the goroutine pool execute jobs identically.
-func (q *queue) runOne(j *job) {
+func (q *queue) runOne(j *Job) {
 	protohook.Yield(q.hooks, "queue.pickup", j.Status().ID)
 	if j.ctx.Err() != nil {
 		// Cancelled while queued: never started, nothing to discard.
@@ -183,17 +195,17 @@ func (q *queue) RunNext() bool {
 // immediately but runs only once Enqueue hands it to the worker pool — the
 // gap is where the server resolves instant warm hits without burning a
 // worker slot.
-func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*job, error) {
+func (q *queue) Add(req SubmitRequest, spec bench.Job, key string) (*Job, error) {
 	return q.add(req, spec, key, "", time.Now().Unix())
 }
 
-func (q *queue) add(req SubmitRequest, spec bench.Job, key, id string, createdUnix int64) (*job, error) {
+func (q *queue) add(req SubmitRequest, spec bench.Job, key, id string, createdUnix int64) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{
+	j := &Job{
 		req:      req,
 		ctx:      ctx,
 		cancel:   cancel,
-		progress: newLineBuffer(),
+		progress: newProgressBuffer(),
 		done:     make(chan struct{}),
 		onFinish: q.onFinish,
 		hooks:    q.hooks,
@@ -230,7 +242,7 @@ func (q *queue) setSeq(n int) {
 // Restore re-registers a journal-replayed pending job under its original
 // ID. The caller Enqueues it; its status is marked replayed so operators
 // can tell resumed work from fresh submissions.
-func (q *queue) Restore(rj ReplayJob, spec bench.Job, key string) (*job, error) {
+func (q *queue) Restore(rj ReplayJob, spec bench.Job, key string) (*Job, error) {
 	j, err := q.add(rj.Req, spec, key, rj.ID, rj.CreatedUnix)
 	if err != nil {
 		return nil, err
@@ -246,7 +258,7 @@ func (q *queue) Restore(rj ReplayJob, spec bench.Job, key string) (*job, error) 
 // to a worker. finish() is deliberately bypassed — the quarantine verdict
 // is already in the (just-compacted) journal, and re-notifying onFinish
 // would duplicate it.
-func (q *queue) Park(rj ReplayJob, spec bench.Job, key string) (*job, error) {
+func (q *queue) Park(rj ReplayJob, spec bench.Job, key string) (*Job, error) {
 	j, err := q.add(rj.Req, spec, key, rj.ID, rj.CreatedUnix)
 	if err != nil {
 		return nil, err
@@ -266,7 +278,7 @@ func (q *queue) Park(rj ReplayJob, spec bench.Job, key string) (*job, error) {
 
 // Enqueue hands an Added job to the worker pool. On a full backlog the job
 // is removed again so a rejected submission leaves no trace.
-func (q *queue) Enqueue(j *job) error {
+func (q *queue) Enqueue(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -284,7 +296,7 @@ func (q *queue) Enqueue(j *job) error {
 }
 
 // remove deletes a job record (caller holds q.mu).
-func (q *queue) remove(j *job) {
+func (q *queue) remove(j *Job) {
 	id := j.Status().ID
 	delete(q.jobs, id)
 	for i, o := range q.order {
@@ -304,7 +316,7 @@ func (q *queue) Accepting() bool {
 }
 
 // Get returns the job with the given ID.
-func (q *queue) Get(id string) (*job, bool) {
+func (q *queue) Get(id string) (*Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
@@ -312,10 +324,10 @@ func (q *queue) Get(id string) (*job, bool) {
 }
 
 // List returns every job in submission order.
-func (q *queue) List() []*job {
+func (q *queue) List() []*Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]*job, len(q.order))
+	out := make([]*Job, len(q.order))
 	for i, id := range q.order {
 		out[i] = q.jobs[id]
 	}

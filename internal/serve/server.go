@@ -1,25 +1,39 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"sgxbounds/internal/bench"
 	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/protohook"
+	"sgxbounds/internal/serve/frontdoor"
+	"sgxbounds/internal/serve/resultier"
+	"sgxbounds/internal/serve/sched"
 	"sgxbounds/internal/serve/store"
 	"sgxbounds/internal/telemetry"
 )
+
+// TenantHeader names the request header that identifies the submitting
+// tenant for quota and rate-limit accounting. Absent means DefaultTenant.
+const TenantHeader = "X-Sgxd-Tenant"
+
+// CoalescedHeader is set to "true" on a submit response that attached to
+// an identical in-flight computation instead of starting its own.
+const CoalescedHeader = "X-Sgxd-Coalesced"
+
+// DefaultTenant is the accounting bucket for requests with no tenant
+// header.
+const DefaultTenant = "default"
 
 // Config parameterises a Server.
 type Config struct {
@@ -36,7 +50,7 @@ type Config struct {
 	// (in-process tests, throwaway daemons).
 	Journal string
 	// Faults, when non-nil, is the armed fault injector; the server wires
-	// it into its store and fires "engine.cell" / "crash.*" sites itself.
+	// it into its store and scheduler ("engine.cell" / "crash.*" sites).
 	Faults *faultline.Injector
 	// MaxAttempts bounds executions per job before quarantine (default 3).
 	MaxAttempts int
@@ -47,6 +61,20 @@ type Config struct {
 	// DefaultDeadline bounds each attempt of jobs that do not carry their
 	// own deadline_ms (0 = unbounded).
 	DefaultDeadline time.Duration
+
+	// CacheBytes is the in-memory LRU result tier's budget
+	// (internal/serve/resultier). 0 disables the tier: every result read
+	// hits disk, which is what the corruption-recovery tests (and any
+	// deployment that distrusts RAM more than IO) want.
+	CacheBytes int64
+	// TenantRPS / TenantBurst / TenantMaxInFlight parameterise the
+	// admission layer's per-tenant token bucket and in-flight quota
+	// (internal/serve/frontdoor); zero values disable each control.
+	TenantRPS         float64
+	TenantBurst       int
+	TenantMaxInFlight int
+	// RetryAfter is the pause advertised with 429 responses (default 1s).
+	RetryAfter time.Duration
 
 	// Hooks, when non-nil, arms protocheck's yield points through the
 	// queue, store and journal (see internal/protohook). Production
@@ -65,652 +93,165 @@ type Config struct {
 	Manual bool
 }
 
-// Server is the sgxd daemon core: job queue, result store, durable
-// journal, and HTTP API.
+// Server is the sgxd daemon: a thin HTTP transport wiring the admission
+// layer (frontdoor), the scheduler (sched), and the result tier
+// (resultier + store) together. All protocol logic lives in those layers;
+// the server maps requests in and statuses/rejections out.
 type Server struct {
-	store       *store.Store
-	queue       *queue
-	journal     *Journal
-	faults      *faultline.Injector
-	hooks       protohook.Hooks
-	compute     func(ctx context.Context, spec bench.Job) (*ResultBundle, error)
-	parallel    int
-	maxAttempts int
-	retryBase   time.Duration
-	retryCap    time.Duration
-	deadline    time.Duration
-	log         *log.Logger
-	metrics     *telemetry.Registry
-	mux         *http.ServeMux
-	ready       atomic.Bool
+	store    *store.Store    // raw disk tier
+	cache    *resultier.Tier // nil when CacheBytes == 0
+	sched    *sched.Scheduler
+	door     *frontdoor.Door
+	faults   *faultline.Injector
+	log      *log.Logger
+	metrics  *telemetry.Registry
+	mux      *http.ServeMux
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // New builds a server; call Handler for its API and Shutdown to drain.
-// When cfg.Journal is set, New replays it before accepting traffic: jobs
-// that were pending when the previous process died are re-enqueued under
-// their original IDs, quarantined jobs are restored parked.
+// When cfg.Journal is set, the scheduler replays it before accepting
+// traffic: jobs that were pending when the previous process died are
+// re-enqueued under their original IDs, quarantined jobs are restored
+// parked.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("serve: Config.Store is required")
 	}
-	if cfg.Manual {
-		cfg.Workers = 0 // no pool; RunNext is the only executor
-	} else if cfg.Workers <= 0 {
-		cfg.Workers = 1
-	}
 	if cfg.Log == nil {
 		cfg.Log = log.New(io.Discard, "", 0)
 	}
-	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = 3
-	}
-	if cfg.RetryBase <= 0 {
-		cfg.RetryBase = 250 * time.Millisecond
-	}
-	if cfg.RetryCap <= 0 {
-		cfg.RetryCap = 5 * time.Second
+	metrics := telemetry.NewRegistry()
+	cfg.Store.SetFaults(cfg.Faults)
+	cfg.Store.SetHooks(cfg.Hooks)
+
+	// Result tier: the scheduler reads and writes through the LRU when one
+	// is configured, the raw store otherwise. The cache counters are
+	// registered either way so /metrics always exposes the vocabulary.
+	var results sched.ResultStore = cfg.Store
+	var cache *resultier.Tier
+	if cfg.CacheBytes > 0 {
+		cache = resultier.New(cfg.Store, cfg.CacheBytes, metrics)
+		results = cache
+	} else {
+		for _, name := range []string{"cache.hits", "cache.misses", "cache.evictions", "cache.inserts"} {
+			metrics.Counter(name)
+		}
 	}
 
-	var jn *Journal
-	var replay Replay
-	if cfg.Journal != "" {
-		var err error
-		jn, replay, err = OpenJournalHooked(cfg.Journal, cfg.Hooks)
-		if err != nil {
-			return nil, err
-		}
+	sc, err := sched.New(sched.Config{
+		Store:           results,
+		Workers:         cfg.Workers,
+		Backlog:         cfg.Backlog,
+		Parallel:        cfg.Parallel,
+		Log:             cfg.Log,
+		Metrics:         metrics,
+		Journal:         cfg.Journal,
+		Faults:          cfg.Faults,
+		MaxAttempts:     cfg.MaxAttempts,
+		RetryBase:       cfg.RetryBase,
+		RetryCap:        cfg.RetryCap,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Hooks:           cfg.Hooks,
+		Compute:         cfg.Compute,
+		Manual:          cfg.Manual,
+	})
+	if err != nil {
+		return nil, err
 	}
-	// A simulated crash (protocheck yield panic) during replay must not
-	// leak the journal's file descriptor: the world that "died" here is
-	// abandoned, but the process running the explorer lives on.
-	defer func() {
-		if r := recover(); r != nil {
-			jn.Close()
-			panic(r)
-		}
-	}()
 
 	s := &Server{
-		store:       cfg.Store,
-		journal:     jn,
-		faults:      cfg.Faults,
-		hooks:       cfg.Hooks,
-		compute:     cfg.Compute,
-		parallel:    cfg.Parallel,
-		maxAttempts: cfg.MaxAttempts,
-		retryBase:   cfg.RetryBase,
-		retryCap:    cfg.RetryCap,
-		deadline:    cfg.DefaultDeadline,
-		log:         cfg.Log,
-		metrics:     telemetry.NewRegistry(),
+		store:   cfg.Store,
+		cache:   cache,
+		sched:   sc,
+		faults:  cfg.Faults,
+		log:     cfg.Log,
+		metrics: metrics,
 	}
-	s.store.SetFaults(cfg.Faults)
-	s.store.SetHooks(cfg.Hooks)
-	// Register the robustness counters at zero so /metrics shows the full
-	// vocabulary from boot, not only after the first fault.
-	for _, name := range []string{
-		"jobs.retried", "jobs.quarantined", "jobs.requeued",
-		"journal.replayed", "store.put_retries",
-	} {
-		s.metrics.Counter(name)
-	}
-
-	backlog := cfg.Backlog
-	if backlog <= 0 {
-		backlog = 64
-	}
-	// Replayed jobs must all fit the backlog regardless of its configured
-	// size — rejecting a journaled job on boot would lose accepted work.
-	s.queue = newQueue(cfg.Workers, backlog+len(replay.Jobs), s.runJob, s.jobFinished, cfg.Hooks)
-	s.queue.setSeq(replay.MaxSeq)
+	s.door = frontdoor.New(frontdoor.Config{
+		Backend:           sc,
+		TenantRPS:         cfg.TenantRPS,
+		TenantBurst:       cfg.TenantBurst,
+		TenantMaxInFlight: cfg.TenantMaxInFlight,
+		RetryAfter:        cfg.RetryAfter,
+		Metrics:           metrics,
+	})
 	s.mux = http.NewServeMux()
 	s.routes()
-
-	for _, rj := range replay.Jobs {
-		if err := s.restore(rj); err != nil {
-			s.log.Printf("journal: replay %s: %v", rj.ID, err)
-		}
-	}
 	s.ready.Store(true)
 	return s, nil
-}
-
-// restore re-registers one journal-replayed job.
-func (s *Server) restore(rj ReplayJob) error {
-	bj := rj.Req.Job()
-	if err := bj.Validate(); err != nil {
-		// A job that validated before the crash but not now (simulator
-		// surface changed across the restart): settle it in the journal so
-		// it is not resurrected forever.
-		s.journal.Append(journalRecord{
-			T: "finished", ID: rj.ID, State: StateFailed,
-			Error: err.Error(), Unix: time.Now().Unix(),
-		})
-		return err
-	}
-	spec, key := bj.Canonical(), rj.Req.StoreKey()
-	if rj.Quarantined {
-		_, err := s.queue.Park(rj, spec, key)
-		return err
-	}
-	j, err := s.queue.Restore(rj, spec, key)
-	if err != nil {
-		return err
-	}
-	s.metrics.Counter("journal.replayed").Inc()
-	if rj.Interrupted {
-		j.progress.Append(fmt.Sprintf("resumed after restart (interrupted on attempt %d)", rj.Attempts))
-	} else {
-		j.progress.Append("resumed after restart (was queued)")
-	}
-	return s.queue.Enqueue(j)
 }
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the queue (see queue.Shutdown), then closes the journal.
+// BeginDrain closes the front door: every subsequent submission is
+// rejected with 503 and /readyz reports not-ready, from this instant —
+// not merely once the listener closes. The daemon calls it on SIGTERM
+// before draining in-flight work.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.door.BeginDrain()
+}
+
+// Shutdown closes admission (see BeginDrain), drains the scheduler, then
+// closes the journal.
 func (s *Server) Shutdown(ctx context.Context) error {
-	err := s.queue.Shutdown(ctx)
-	if cerr := s.journal.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	s.BeginDrain()
+	return s.sched.Shutdown(ctx)
 }
 
-// jobFinished is the queue's onFinish hook: it makes every terminal
-// transition durable. A "finished" record marks the job settled, so a
-// restart will not re-run it; a quarantine verdict carries the fault
-// context so the parked job survives restarts intact.
-func (s *Server) jobFinished(j *job) {
-	st := j.Status()
-	rec := journalRecord{
-		T: "finished", ID: st.ID, State: st.State,
-		Attempts: st.Attempts, Unix: time.Now().Unix(),
+// Admit routes one submission through the admission layer: validation,
+// tenant rate limits and quotas, backpressure, and single-flight
+// coalescing (coalesced=true means the returned job is shared with an
+// identical in-flight submission). This is the path POST /api/v1/jobs
+// takes; Submit bypasses admission entirely.
+func (s *Server) Admit(tenant string, req SubmitRequest) (j *sched.Job, coalesced bool, err error) {
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
-	if st.State == StateFailed || st.State == StateQuarantined {
-		rec.Error = st.Error
-	}
-	if err := s.journal.Append(rec); err != nil {
-		s.log.Printf("journal: %v", err)
-	}
+	return s.door.Admit(tenant, req)
 }
 
-// Submit validates and enqueues a job (the Go-level form of POST
-// /api/v1/jobs, shared by the in-process tests and cmd tooling). A job
-// whose result is already in the store completes immediately, without
-// waiting behind whatever the worker pool is computing.
-func (s *Server) Submit(req SubmitRequest) (*job, error) {
-	j := req.Job()
-	if err := j.Validate(); err != nil {
-		return nil, err
-	}
-	spec := j.Canonical()
-	rec, err := s.queue.Add(req, spec, req.StoreKey())
-	if err != nil {
-		return nil, err
-	}
-	s.metrics.Counter("jobs.submitted").Inc()
-	// Make the acceptance durable before anything the client can observe:
-	// once this record is on disk, a crash at any later point re-runs the
-	// job instead of losing it.
-	st := rec.Status()
-	if err := s.journal.Append(journalRecord{
-		T: "submitted", ID: st.ID, Key: st.Key, Req: &rec.req, Unix: st.CreatedUnix,
-	}); err != nil {
-		s.log.Printf("journal: %v", err)
-	}
-	if !req.Force {
-		if bundle, meta, ok := s.fetch(rec.Status().Key); ok {
-			s.metrics.Counter("store.hits").Inc()
-			rec.progress.Append(fmt.Sprintf("served from store (saved ~%dms of compute)", meta.ElapsedMS))
-			rec.finish(StateDone, func(st *JobStatus) {
-				st.FromStore = true
-				rec.bundle = bundle
-			})
-			return rec, nil
-		}
-	}
-	if err := s.queue.Enqueue(rec); err != nil {
-		// The job was journaled but never ran; settle it so replay does
-		// not resurrect a submission the client saw rejected.
-		s.journal.Append(journalRecord{
-			T: "finished", ID: st.ID, State: StateFailed,
-			Error: err.Error(), Unix: time.Now().Unix(),
-		})
-		return nil, err
-	}
-	return rec, nil
-}
+// Submit validates and enqueues a job directly on the scheduler — no
+// coalescing, no quotas. In-process tests, cmd tooling, and protocheck
+// (whose duplicate-submit program needs two identical submissions to stay
+// two jobs) use it; HTTP traffic goes through Admit.
+func (s *Server) Submit(req SubmitRequest) (*sched.Job, error) { return s.sched.Submit(req) }
 
 // RunNext executes one queued job synchronously on the caller's goroutine,
 // returning false when nothing is queued. This is the drive for Manual
 // servers (protocheck's deterministic scheduler); with a live worker pool
 // it is safe but redundant.
-func (s *Server) RunNext() bool { return s.queue.RunNext() }
+func (s *Server) RunNext() bool { return s.sched.RunNext() }
 
 // Status returns the wire status of one job.
-func (s *Server) Status(id string) (JobStatus, bool) {
-	j, ok := s.queue.Get(id)
-	if !ok {
-		return JobStatus{}, false
-	}
-	return j.Status(), true
-}
+func (s *Server) Status(id string) (JobStatus, bool) { return s.sched.Status(id) }
 
 // List returns every job's status in submission order.
-func (s *Server) List() []JobStatus {
-	jobs := s.queue.List()
-	statuses := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		statuses[i] = j.Status()
-	}
-	return statuses
-}
+func (s *Server) List() []JobStatus { return s.sched.List() }
 
 // Result returns a job's result bundle, if it finished with one.
-func (s *Server) Result(id string) (*ResultBundle, bool) {
-	j, ok := s.queue.Get(id)
-	if !ok {
-		return nil, false
-	}
-	return j.Bundle()
-}
+func (s *Server) Result(id string) (*ResultBundle, bool) { return s.sched.Result(id) }
 
 // Cancel requests cancellation of a job; false means no such job. Like
 // DELETE /api/v1/jobs/{id}, cancelling a terminal job is a no-op.
-func (s *Server) Cancel(id string) bool {
-	j, ok := s.queue.Get(id)
-	if !ok {
-		return false
-	}
-	j.cancel()
-	return true
-}
+func (s *Server) Cancel(id string) bool { return s.sched.Cancel(id) }
 
 // Quarantine returns the parked jobs awaiting operator action, in
 // submission order (released jobs drop off: their RequeuedAs points at the
 // replacement).
-func (s *Server) Quarantine() []JobStatus {
-	jobs := s.quarantined()
-	statuses := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		statuses[i] = j.Status()
-	}
-	return statuses
-}
-
-// Requeue sentinels: the HTTP layer maps them onto status codes, and
-// protocheck's oracle distinguishes "exactly-once settled" violations from
-// legitimate rejections by them.
-var (
-	ErrNoSuchJob       = errors.New("no such job")
-	ErrNotQuarantined  = errors.New("not quarantined")
-	ErrAlreadyRequeued = errors.New("already requeued")
-)
+func (s *Server) Quarantine() []JobStatus { return s.sched.Quarantine() }
 
 // Requeue releases a quarantined job by resubmitting its request as a
-// fresh job — the parked record stays as the audit trail, annotated with
-// the replacement's ID. A "requeued" journal record settles the old job so
-// a restart does not restore it alongside its replacement.
-func (s *Server) Requeue(id string) (old, fresh JobStatus, err error) {
-	j, ok := s.queue.Get(id)
-	if !ok {
-		return JobStatus{}, JobStatus{}, fmt.Errorf("%w %q", ErrNoSuchJob, id)
-	}
-	st := j.Status()
-	if st.State != StateQuarantined {
-		return st, JobStatus{}, fmt.Errorf("job %s is %s, %w", st.ID, st.State, ErrNotQuarantined)
-	}
-	if st.RequeuedAs != "" {
-		return st, JobStatus{}, fmt.Errorf("job %s %w as %s", st.ID, ErrAlreadyRequeued, st.RequeuedAs)
-	}
-	nj, err := s.Submit(j.req)
-	if err != nil {
-		return st, JobStatus{}, err
-	}
-	newID := nj.Status().ID
-	j.mu.Lock()
-	j.status.RequeuedAs = newID
-	j.mu.Unlock()
-	if jerr := s.journal.Append(journalRecord{
-		T: "requeued", ID: st.ID, New: newID, Unix: time.Now().Unix(),
-	}); jerr != nil {
-		s.log.Printf("journal: %v", jerr)
-	}
-	s.metrics.Counter("jobs.requeued").Inc()
-	return j.Status(), nj.Status(), nil
-}
+// fresh job; see sched.Scheduler.Requeue.
+func (s *Server) Requeue(id string) (old, fresh JobStatus, err error) { return s.sched.Requeue(id) }
 
 // Abort closes the journal without draining the queue — the in-process
 // equivalent of the machine losing power. Only protocheck's crash
 // simulation calls it; everything else shuts down via Shutdown.
-func (s *Server) Abort() error { return s.journal.Close() }
-
-// runJob executes one job on a worker: replay from the store when
-// possible, otherwise compute on a private cancellable engine and persist
-// the result. Each attempt runs under the job's deadline; attempts that
-// time out, panic, or hit injected faults are retried with exponential
-// backoff, and a job that exhausts its attempts is quarantined with its
-// fault context rather than silently failed.
-func (s *Server) runJob(j *job) {
-	j.setRunning()
-	key := j.Status().Key
-
-	// Warm path: the submission-time check may have raced another job
-	// computing the same key, so recheck here where it's cheapest.
-	if !j.req.Force {
-		if bundle, meta, ok := s.fetch(key); ok {
-			s.metrics.Counter("store.hits").Inc()
-			j.progress.Append(fmt.Sprintf("served from store (saved ~%dms of compute)", meta.ElapsedMS))
-			j.finish(StateDone, func(st *JobStatus) {
-				st.FromStore = true
-				j.bundle = bundle
-			})
-			return
-		}
-	}
-	s.metrics.Counter("store.misses").Inc()
-
-	for attempt := 1; ; attempt++ {
-		done, transient, err := s.runAttempt(j, attempt)
-		if done {
-			return
-		}
-		if j.ctx.Err() != nil {
-			// The client cancelled between attempts.
-			s.metrics.Counter("jobs.canceled").Inc()
-			j.finish(StateCanceled, nil)
-			return
-		}
-		if !transient {
-			s.metrics.Counter("jobs.failed").Inc()
-			s.log.Printf("job %s failed: %v", j.Status().ID, err)
-			j.finish(StateFailed, func(st *JobStatus) { st.Error = err.Error() })
-			return
-		}
-		if attempt >= s.maxAttempts {
-			s.metrics.Counter("jobs.quarantined").Inc()
-			s.log.Printf("job %s quarantined after %d attempts: %v", j.Status().ID, attempt, err)
-			j.progress.Append(fmt.Sprintf("quarantined after %d attempts: %v", attempt, err))
-			j.finish(StateQuarantined, func(st *JobStatus) { st.Error = err.Error() })
-			return
-		}
-		d := s.backoff(j.Status().ID, attempt)
-		s.metrics.Counter("jobs.retried").Inc()
-		j.progress.Append(fmt.Sprintf("attempt %d failed (%v); retrying in %s", attempt, err, d.Round(time.Millisecond)))
-		select {
-		case <-time.After(d):
-		case <-j.ctx.Done():
-		}
-	}
-}
-
-// attemptResult is what one execution of a job's work produced, whichever
-// executor (the bench engine or a Config.Compute stub) ran it. The
-// classification tail of runAttempt consumes it uniformly.
-type attemptResult struct {
-	bundle     *ResultBundle
-	profile    *telemetry.RunProfile
-	hits, runs int
-	elapsed    int64
-	err        error
-	panicked   bool
-	aborted    bool // the executor stopped because its context died
-}
-
-// runAttempt executes one attempt of a job. done means the job reached a
-// terminal state (success or user cancellation) and the attempt loop must
-// stop; otherwise err describes the failure and transient says whether it
-// is worth retrying (timeouts, panics, injected faults) or final (a
-// malformed experiment fails the same way every time).
-func (s *Server) runAttempt(j *job, attempt int) (done, transient bool, err error) {
-	st := j.Status()
-	j.setAttempt(attempt)
-	// A durable "started" record: if the process dies mid-attempt, replay
-	// knows the job was interrupted (not merely queued) and re-runs it.
-	if jerr := s.journal.Append(journalRecord{T: "started", ID: st.ID, Unix: time.Now().Unix()}); jerr != nil {
-		s.log.Printf("journal: %v", jerr)
-	}
-	s.faults.Crash("job.started")
-
-	// Per-attempt deadline: the engine aborts at its next hierarchy probe
-	// once the context dies, so a wedged or poisoned cell cannot hold a
-	// worker slot past the deadline.
-	ctx := j.ctx
-	cancel := context.CancelFunc(func() {})
-	if d := s.jobDeadline(j); d > 0 {
-		ctx, cancel = context.WithTimeout(j.ctx, d)
-	}
-	defer cancel()
-
-	var res attemptResult
-	if s.compute != nil {
-		res = s.executeCompute(ctx, st.Job)
-	} else {
-		res = s.executeEngine(ctx, j, st.Job)
-	}
-
-	userCanceled := j.ctx.Err() != nil
-	timedOut := res.aborted && !userCanceled
-
-	switch {
-	case userCanceled:
-		// A cancelled engine unwinds with partial tables and zeroed cells;
-		// everything it printed is discarded with the job.
-		s.metrics.Counter("jobs.canceled").Inc()
-		j.finish(StateCanceled, func(st *JobStatus) {
-			st.ElapsedMS = res.elapsed
-			st.Cells = CellStats{Hits: res.hits, Runs: res.runs}
-			j.profile = res.profile
-		})
-		return true, false, nil
-	case timedOut && res.err == nil:
-		// A deadline-aborted engine returns partial tables with no error;
-		// synthesize the failure the attempt loop classifies on.
-		return false, true, fmt.Errorf("attempt %d exceeded deadline %s", attempt, s.jobDeadline(j))
-	case res.err != nil:
-		transient := timedOut || res.panicked || faultline.IsFault(res.err)
-		return false, transient, res.err
-	}
-
-	s.faults.Crash("job.before-persist")
-	protohook.Yield(s.hooks, "server.persist", st.ID)
-	s.persist(st.Key, st.Job, res.bundle, res.elapsed)
-	s.faults.Crash("job.before-finish")
-	s.metrics.Counter("jobs.completed").Inc()
-	s.metrics.Counter("cells.run").Add(uint64(res.runs))
-	s.metrics.Counter("cells.cached").Add(uint64(res.hits))
-	s.metrics.Histogram("job.elapsed_ms").Observe(uint64(res.elapsed))
-	j.finish(StateDone, func(st *JobStatus) {
-		st.ElapsedMS = res.elapsed
-		st.Cells = CellStats{Hits: res.hits, Runs: res.runs}
-		j.bundle = res.bundle
-		j.profile = res.profile
-	})
-	return true, false, nil
-}
-
-// executeEngine runs one attempt on a private cancellable bench engine —
-// the production executor.
-func (s *Server) executeEngine(ctx context.Context, j *job, spec bench.Job) attemptResult {
-	eng := bench.NewEngine(s.jobParallel(j))
-	eng.BindContext(ctx)
-	eng.Progress = j.progress
-	eng.CellHook = s.cellHook
-	eng.Telemetry = telemetry.NewCollector(telemetry.Options{Metrics: true, Events: j.req.Trace})
-
-	var out bytes.Buffer
-	csvs := map[string]*bytes.Buffer{}
-	sink := func(name string) (io.WriteCloser, error) {
-		buf := &bytes.Buffer{}
-		csvs[name] = buf
-		return nopCloser{buf}, nil
-	}
-	start := time.Now()
-	err, panicked := runSafely(eng, spec, &out, sink)
-	res := attemptResult{
-		err:      err,
-		panicked: panicked,
-		elapsed:  time.Since(start).Milliseconds(),
-		profile:  telemetry.Dump(eng.Telemetry.Profiles()),
-		aborted:  eng.Canceled(),
-	}
-	res.hits, res.runs = eng.CacheStats()
-	if err == nil {
-		res.bundle = &ResultBundle{Output: out.String()}
-		if len(csvs) > 0 {
-			res.bundle.CSV = make(map[string]string, len(csvs))
-			for name, buf := range csvs {
-				res.bundle.CSV[name] = buf.String()
-			}
-		}
-	}
-	return res
-}
-
-// executeCompute runs one attempt through the Config.Compute override,
-// with the same panic containment and cancellation classification as the
-// engine path. Simulated protocheck crashes are rethrown, never converted
-// into job failures — a dead process reports nothing.
-func (s *Server) executeCompute(ctx context.Context, spec bench.Job) attemptResult {
-	start := time.Now()
-	var res attemptResult
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if protohook.IsCrash(r) {
-					panic(r)
-				}
-				res.panicked = true
-				if e, ok := r.(error); ok {
-					res.err = fmt.Errorf("experiment panicked: %w", e)
-				} else {
-					res.err = fmt.Errorf("experiment panicked: %v", r)
-				}
-			}
-		}()
-		res.bundle, res.err = s.compute(ctx, spec)
-	}()
-	res.elapsed = time.Since(start).Milliseconds()
-	res.aborted = ctx.Err() != nil
-	if res.err == nil && res.bundle == nil && !res.aborted {
-		res.err = errors.New("compute returned no result")
-	}
-	return res
-}
-
-// cellHook is the engine's fault seam: an "engine.cell" rule can delay a
-// cell, error it (surfaced as a panic so it unwinds like a workload
-// fault), or crash the process at cell granularity.
-func (s *Server) cellHook(label string) {
-	if err := s.faults.Fire("engine.cell", label); err != nil {
-		panic(err)
-	}
-}
-
-func (s *Server) jobDeadline(j *job) time.Duration {
-	if j.req.DeadlineMS > 0 {
-		return time.Duration(j.req.DeadlineMS) * time.Millisecond
-	}
-	return s.deadline
-}
-
-// backoff computes the pause before the next attempt: exponential in the
-// attempt number, capped, with deterministic equal jitter (hashed from the
-// job ID and attempt, so tests replay identical schedules).
-func (s *Server) backoff(id string, attempt int) time.Duration {
-	d := s.retryBase << uint(attempt-1)
-	if d > s.retryCap || d <= 0 {
-		d = s.retryCap
-	}
-	half := d / 2
-	if half <= 0 {
-		return d
-	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", id, attempt)
-	return half + time.Duration(h.Sum64()%uint64(half))
-}
-
-func (s *Server) jobParallel(j *job) int {
-	if j.req.Parallel > 0 {
-		return j.req.Parallel
-	}
-	return s.parallel
-}
-
-// runSafely executes the job, converting a panic out of the bench layer
-// (bad workload wiring, simulator invariant failures, injected poison
-// cells) into a job error instead of killing the worker. Panic errors are
-// wrapped, not flattened, so faultline.IsFault still recognises injected
-// faults through the recovery.
-func runSafely(eng *bench.Engine, spec bench.Job, w io.Writer, csv bench.CSVSink) (err error, panicked bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if protohook.IsCrash(r) {
-				// A simulated protocheck crash is the process dying, not the
-				// experiment failing; let it unwind to the explorer.
-				panic(r)
-			}
-			panicked = true
-			if e, ok := r.(error); ok {
-				err = fmt.Errorf("experiment panicked: %w", e)
-			} else {
-				err = fmt.Errorf("experiment panicked: %v", r)
-			}
-		}
-	}()
-	return bench.RunJob(eng, spec, w, csv), false
-}
-
-// fetch loads and decodes a stored bundle; a decode failure is treated as
-// corruption (delete and recompute), mirroring the store's own checks.
-func (s *Server) fetch(key string) (*ResultBundle, store.Meta, bool) {
-	body, meta, ok := s.store.Get(key, bench.SimVersion)
-	if !ok {
-		return nil, store.Meta{}, false
-	}
-	var bundle ResultBundle
-	if err := json.Unmarshal(body, &bundle); err != nil {
-		s.store.Delete(key)
-		return nil, store.Meta{}, false
-	}
-	return &bundle, meta, true
-}
-
-func (s *Server) persist(key string, spec bench.Job, bundle *ResultBundle, elapsedMS int64) {
-	body, err := json.Marshal(bundle)
-	if err != nil {
-		s.log.Printf("store: encode %s: %v", key, err)
-		return
-	}
-	jobJSON, _ := json.Marshal(spec)
-	meta := store.Meta{
-		Version:     bench.SimVersion,
-		CreatedUnix: time.Now().Unix(),
-		ElapsedMS:   elapsedMS,
-		Job:         jobJSON,
-	}
-	// Store writes can carry injected (or real, transient) I/O faults;
-	// retry a few times before degrading, so a flaky disk costs the warm
-	// path as rarely as possible. A failed persist still does not fail
-	// this job: the result is served from memory.
-	var perr error
-	for try := 0; try < 3; try++ {
-		if try > 0 {
-			s.metrics.Counter("store.put_retries").Inc()
-		}
-		if perr = s.store.Put(key, body, meta); perr == nil {
-			return
-		}
-	}
-	s.log.Printf("store: put %s: %v", key, perr)
-}
-
-type nopCloser struct{ io.Writer }
-
-func (nopCloser) Close() error { return nil }
+func (s *Server) Abort() error { return s.sched.Abort() }
 
 // ---- HTTP layer ----
 
@@ -750,31 +291,51 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleSubmit is the admitted path: tenant accounting, rate limits,
+// coalescing, and backpressure all happen in the front door; this handler
+// only translates its verdicts onto the wire. 429-class rejections carry
+// Retry-After so well-behaved clients pace themselves.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	j, err := s.Submit(req)
+	j, coalesced, err := s.Admit(r.Header.Get(TenantHeader), req)
 	switch {
-	case errors.Is(err, ErrBacklogFull):
+	case errors.Is(err, frontdoor.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, frontdoor.ErrRateLimited),
+		errors.Is(err, frontdoor.ErrQuotaExceeded),
+		errors.Is(err, frontdoor.ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.door.RetryAfter())))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
+		if coalesced {
+			w.Header().Set(CoalescedHeader, "true")
+		}
 		writeJSON(w, http.StatusCreated, j.Status())
 	}
+}
+
+// retryAfterSeconds renders a pause as a whole-second Retry-After value,
+// rounding up so "1ms" never becomes "retry immediately".
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.List())
 }
 
-func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
-	j, ok := s.queue.Get(r.PathValue("id"))
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*sched.Job, bool) {
+	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 	}
@@ -792,7 +353,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j.cancel()
+	j.Cancel()
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
@@ -841,7 +402,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	from := 0
 	for {
-		lines, done, changed := j.progress.Snapshot(from)
+		lines, done, changed := j.Progress().Snapshot(from)
 		for _, line := range lines {
 			fmt.Fprintln(w, line)
 		}
@@ -879,11 +440,17 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	profile.WriteJSON(w)
 }
 
+// handleGC collects store entries from dead simulator generations, then
+// flushes the memory tier: a collected key must not outlive its disk copy
+// in RAM.
 func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 	removed, err := s.store.GC(bench.SimVersion)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "gc: %v", err)
 		return
+	}
+	if s.cache != nil {
+		s.cache.Flush()
 	}
 	stats, _ := s.store.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -899,21 +466,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE sgxd_store_entries gauge\nsgxd_store_entries %d\n", stats.Entries)
 		fmt.Fprintf(w, "# TYPE sgxd_store_body_bytes gauge\nsgxd_store_body_bytes %d\n", stats.BodyBytes)
 	}
-	fmt.Fprintf(w, "# TYPE sgxd_quarantined_jobs gauge\nsgxd_quarantined_jobs %d\n", len(s.quarantined()))
-	fmt.Fprintf(w, "# TYPE sgxd_faults_injected_total counter\nsgxd_faults_injected_total %d\n", s.faults.Total())
-}
-
-// quarantined returns the parked jobs awaiting operator action (released
-// ones drop off the list: their RequeuedAs points at the fresh job).
-func (s *Server) quarantined() []*job {
-	var out []*job
-	for _, j := range s.queue.List() {
-		st := j.Status()
-		if st.State == StateQuarantined && st.RequeuedAs == "" {
-			out = append(out, j)
-		}
+	if s.cache != nil {
+		entries, bytes := s.cache.Stats()
+		fmt.Fprintf(w, "# TYPE sgxd_cache_entries gauge\nsgxd_cache_entries %d\n", entries)
+		fmt.Fprintf(w, "# TYPE sgxd_cache_bytes gauge\nsgxd_cache_bytes %d\n", bytes)
 	}
-	return out
+	fmt.Fprintf(w, "# TYPE sgxd_quarantined_jobs gauge\nsgxd_quarantined_jobs %d\n", len(s.Quarantine()))
+	fmt.Fprintf(w, "# TYPE sgxd_faults_injected_total counter\nsgxd_faults_injected_total %d\n", s.faults.Total())
 }
 
 func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
@@ -942,8 +501,9 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady is the readiness probe: journal replay finished, the store
-// accepts writes, and the queue accepts submissions. CI and orchestration
-// gate traffic on this instead of sleeping.
+// accepts writes, the queue accepts submissions, and drain has not begun.
+// CI and orchestration gate traffic on this instead of sleeping; the
+// admission layer rejects with 503 in lockstep with it.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	type readiness struct {
 		Ready bool   `json:"ready"`
@@ -959,7 +519,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		rd.Ready = false
 		rd.Store = err.Error()
 	}
-	if !s.queue.Accepting() {
+	if s.draining.Load() || !s.sched.Accepting() {
 		rd.Ready = false
 		rd.Queue = "shutting down"
 	}
