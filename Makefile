@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full chaos bench bench-json golden drift experiments load
+.PHONY: ci vet build test race test-race-full chaos cluster-smoke bench bench-json golden drift experiments load
 
 ci: vet build test race
 
@@ -21,7 +21,7 @@ test:
 
 # Short race pass: the packages where goroutines actually meet shared state.
 race:
-	$(GO) test -race -short ./internal/bench/ ./internal/machine/ ./internal/mem/ ./internal/harden/ ./internal/core/ ./internal/serve/...
+	$(GO) test -race -short ./internal/bench/ ./internal/machine/ ./internal/mem/ ./internal/harden/ ./internal/core/ ./internal/serve/... ./internal/cluster/
 
 # Full race sweep (slow; run before touching machine/bench concurrency).
 test-race-full:
@@ -31,7 +31,14 @@ test-race-full:
 # points in the store's torn-write window, and drive faulted sweeps through
 # retry/quarantine — under the race detector. Same gate the CI chaos job runs.
 chaos:
-	SGXD_CHAOS=1 $(GO) test -race -timeout 20m ./internal/faultline/ ./internal/serve/ ./internal/serve/store/
+	SGXD_CHAOS=1 $(GO) test -race -timeout 20m ./internal/faultline/ ./internal/serve/ ./internal/serve/store/ ./internal/cluster/
+
+# Three real sgxd nodes, one SIGKILLed mid-figure: survivors must stay
+# ready, adopt the dead node's journaled job exactly once, converge to
+# sgxbench's bytes, and export the cluster counters. Same gate the CI
+# cluster-smoke job runs.
+cluster-smoke:
+	bash ./scripts/cluster_smoke.sh
 
 # Deep protocol-checking tier: the same explorer `go test` runs at ~12k
 # interleavings, with CI's DFS budget plus the seeded random walk. Same

@@ -20,6 +20,7 @@
 //	quarantine ls          list parked poison jobs (panicked/timed out N times)
 //	requeue <job-id>       release a quarantined job as a fresh submission
 //	experiments            list runnable experiments
+//	cluster status         membership table as this node sees it
 //	gc                     sweep stale results from the store
 //	ping                   check the daemon is up (liveness)
 //	ready                  check the daemon accepts work (readiness)
@@ -39,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"sgxbounds/internal/cluster"
 	"sgxbounds/internal/serve"
 )
 
@@ -74,6 +76,8 @@ func main() {
 		err = c.requeue(rest)
 	case "experiments":
 		err = c.experiments()
+	case "cluster":
+		err = c.cluster(rest)
 	case "gc":
 		err = c.gc()
 	case "ping":
@@ -105,6 +109,7 @@ commands:
   quarantine ls                 list parked poison jobs
   requeue <job-id>              release a quarantined job as a fresh submission
   experiments                   list runnable experiments
+  cluster status                membership table as this node sees it
   gc                            sweep stale store entries
   ping                          liveness
   ready                         readiness (journal replayed, store writable)
@@ -403,6 +408,30 @@ func (c *client) experiments() error {
 			suffix = " [" + strings.Join(params, ",") + "]"
 		}
 		fmt.Fprintf(c.out, "%-8s %s%s\n", info.Name, info.Desc, suffix)
+	}
+	return nil
+}
+
+// cluster reports the daemon's view of its cluster. `cluster status`
+// prints one row per member: the daemon itself first, then its peers with
+// liveness as judged by heartbeat age.
+func (c *client) cluster(args []string) error {
+	if len(args) != 1 || args[0] != "status" {
+		return fmt.Errorf("usage: cluster status")
+	}
+	var st cluster.Status
+	if err := c.api(http.MethodGet, "/api/v1/cluster/status", nil, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-8s %-6s %6s %7s  %s\n", "NODE", "STATE", "QUEUED", "PENDING", "ADDR")
+	for _, n := range st.Nodes {
+		state := "alive"
+		if n.Self {
+			state = "self"
+		} else if !n.Alive {
+			state = "dead"
+		}
+		fmt.Fprintf(c.out, "%-8s %-6s %6d %7d  %s\n", n.ID, state, n.Queued, n.Pending, n.Addr)
 	}
 	return nil
 }

@@ -10,6 +10,15 @@
 //	sgxd [-addr 127.0.0.1:7483] [-store DIR] [-jobs 1] [-backlog 64] [-parallel 0]
 //	     [-journal FILE] [-faults SPEC.json] [-max-attempts 3] [-deadline 0]
 //	     [-cache-bytes N] [-tenant-rps R] [-tenant-burst B] [-tenant-inflight Q]
+//	     [-node-id ID -peers LIST] [-heartbeat 1s] [-dead-after 3]
+//
+// Cluster mode: -peers takes the full static membership ("n1=http://h:p,
+// n2=http://h:p,..." or "@peers.json") and -node-id names this node in it.
+// Every node gets the same list; submissions then route to each digest's
+// owner, results replicate by verified peer-fetch, idle nodes steal queued
+// work, and a node missing heartbeats for -dead-after intervals has its
+// journaled jobs re-enqueued on survivors exactly once. See
+// internal/cluster and "Running a cluster" in the README.
 //
 // API (see internal/serve):
 //
@@ -54,6 +63,7 @@ import (
 	"time"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/cluster"
 	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/serve"
 	"sgxbounds/internal/serve/store"
@@ -75,6 +85,10 @@ func main() {
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst allowance (with -tenant-rps)")
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant concurrent job quota (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "pause advertised with 429 rejections")
+	nodeID := flag.String("node-id", "", "this node's ID in the cluster membership (with -peers)")
+	peers := flag.String("peers", "", "cluster membership: \"id=url,id=url,...\" or \"@file\" (empty = single node)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+	deadAfter := flag.Int("dead-after", 3, "missed heartbeats before a peer is declared dead")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sgxd: ", log.LstdFlags)
@@ -98,6 +112,24 @@ func main() {
 		}
 		logger.Printf("fault injection armed from %s", *faults)
 	}
+	var clusterCfg *serve.ClusterConfig
+	if *peers != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if *nodeID == "" {
+			logger.Fatal("sgxd: -peers requires -node-id")
+		}
+		clusterCfg = &serve.ClusterConfig{
+			Self:      *nodeID,
+			Nodes:     nodes,
+			Heartbeat: *heartbeat,
+			DeadAfter: *deadAfter,
+		}
+	} else if *nodeID != "" {
+		logger.Fatal("sgxd: -node-id requires -peers")
+	}
 	srv, err := serve.New(serve.Config{
 		Store:             st,
 		Workers:           *jobs,
@@ -113,6 +145,7 @@ func main() {
 		TenantBurst:       *tenantBurst,
 		TenantMaxInFlight: *tenantInflight,
 		RetryAfter:        *retryAfter,
+		Cluster:           clusterCfg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -128,6 +161,10 @@ func main() {
 	}
 	logger.Printf("listening on %s (store %s: %d results, journal %s, sim %s)",
 		*addr, *storeDir, stats.Entries, jdesc, bench.SimVersion)
+	if clusterCfg != nil {
+		logger.Printf("cluster: node %s in %d-node membership (heartbeat %s, dead after %d missed)",
+			clusterCfg.Self, len(clusterCfg.Nodes), *heartbeat, *deadAfter)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,12 @@
 // percentiles, the coalescing ratio, and the 429/5xx rates into a JSON
 // baseline (BENCH_load.json) that later PRs track SLOs against.
 //
+// Cluster runs: -targets takes a comma-separated list of node URLs and
+// round-robins submissions across them, adding a per-target breakdown
+// (issued/accepted/429/p50/p99) to the report. -label merges the report
+// under {"runs": {label: ...}} in -out instead of overwriting it, so one
+// file holds comparable runs (BENCH_cluster.json: "1node" vs "3node").
+//
 // Exit status: 0 on a clean run, 1 when an -assert-* flag fails, 2 on
 // usage or connectivity errors.
 package main
@@ -21,12 +27,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
 type cliConfig struct {
 	addr      string
+	targets   string
+	label     string
 	rps       float64
 	duration  time.Duration
 	mix       float64
@@ -42,11 +51,12 @@ type cliConfig struct {
 // report is the BENCH_load.json schema.
 type report struct {
 	Config struct {
-		Addr         string  `json:"addr"`
-		TargetRPS    float64 `json:"target_rps"`
-		DurationSec  float64 `json:"duration_sec"`
-		IdenticalMix float64 `json:"identical_mix"`
-		IdenticalJob string  `json:"identical_job"`
+		Addr         string   `json:"addr"`
+		Targets      []string `json:"targets,omitempty"`
+		TargetRPS    float64  `json:"target_rps"`
+		DurationSec  float64  `json:"duration_sec"`
+		IdenticalMix float64  `json:"identical_mix"`
+		IdenticalJob string   `json:"identical_job"`
 	} `json:"config"`
 	Totals struct {
 		Issued    int `json:"issued"`
@@ -70,7 +80,22 @@ type report struct {
 		Mean float64 `json:"mean"`
 	} `json:"submit_latency_ms"`
 	AchievedRPS float64 `json:"achieved_rps"`
-	Unix        int64   `json:"unix"`
+	// PerTarget breaks the run down by cluster node when -targets named
+	// more than one; round-robin issue order makes the shares comparable.
+	PerTarget []targetReport `json:"per_target,omitempty"`
+	Unix      int64          `json:"unix"`
+}
+
+// targetReport is one node's share of a -targets run.
+type targetReport struct {
+	Target    string  `json:"target"`
+	Issued    int     `json:"issued"`
+	Accepted  int     `json:"accepted"`
+	Rejected  int     `json:"rejected_429"`
+	Server5xx int     `json:"server_5xx"`
+	Errors    int     `json:"transport_errors"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
 }
 
 // distinctPool is the cycle of cheap single-cell grid jobs used for the
@@ -96,6 +121,7 @@ func distinctBody(i int) []byte {
 }
 
 type outcome struct {
+	target    int // index into the round-robin target list
 	latency   time.Duration
 	status    int
 	coalesced bool
@@ -109,6 +135,8 @@ func main() {
 func run() int {
 	var cfg cliConfig
 	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "sgxd base URL")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated sgxd base URLs to round-robin across (cluster runs; overrides -addr)")
+	flag.StringVar(&cfg.label, "label", "", "merge the report under this key in {\"runs\":{...}} instead of overwriting -out")
 	flag.Float64Var(&cfg.rps, "rps", 50, "target submissions per second (open loop)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Float64Var(&cfg.mix, "mix", 0.8, "fraction of submissions that are the identical job (0..1); the rest cycle a distinct-job pool")
@@ -130,10 +158,28 @@ func run() int {
 		return 2
 	}
 
+	targets := []string{cfg.addr}
+	if cfg.targets != "" {
+		targets = targets[:0]
+		for _, tgt := range strings.Split(cfg.targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				targets = append(targets, strings.TrimRight(tgt, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "sgxload: -targets named no URLs")
+			return 2
+		}
+		// The report's addr field names where load actually went.
+		cfg.addr = targets[0]
+	}
+
 	client := &http.Client{Timeout: cfg.timeout}
-	if !waitReady(client, cfg.addr, cfg.timeout) {
-		fmt.Fprintf(os.Stderr, "sgxload: %s/readyz never went ready\n", cfg.addr)
-		return 2
+	for _, tgt := range targets {
+		if !waitReady(client, tgt, cfg.timeout) {
+			fmt.Fprintf(os.Stderr, "sgxload: %s/readyz never went ready\n", tgt)
+			return 2
+		}
 	}
 
 	if !json.Valid([]byte(cfg.identical)) {
@@ -147,17 +193,17 @@ func run() int {
 		outcomes []outcome
 		wg       sync.WaitGroup
 	)
-	submit := func(body []byte) {
+	submit := func(target int, body []byte) {
 		defer wg.Done()
 		start := time.Now()
-		req, err := http.NewRequest(http.MethodPost, cfg.addr+"/api/v1/jobs", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, targets[target]+"/api/v1/jobs", bytes.NewReader(body))
 		if err != nil {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Sgxd-Tenant", cfg.tenant)
 		resp, err := client.Do(req)
-		o := outcome{latency: time.Since(start), err: err}
+		o := outcome{target: target, latency: time.Since(start), err: err}
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -180,25 +226,26 @@ func run() int {
 	issued, identCredit, distinctSeq := 0, 0.0, 0
 	for time.Now().Before(deadline) {
 		<-ticker.C
+		target := issued % len(targets) // round-robin across the cluster
 		issued++
 		identCredit += cfg.mix
 		wg.Add(1)
 		if identCredit >= 1 {
 			identCredit--
-			go submit(identical)
+			go submit(target, identical)
 		} else {
-			go submit(distinctBody(distinctSeq))
+			go submit(target, distinctBody(distinctSeq))
 			distinctSeq++
 		}
 	}
 	elapsed := time.Since(start)
 	wg.Wait()
 
-	rep := buildReport(cfg, outcomes, issued, elapsed)
+	rep := buildReport(cfg, targets, outcomes, issued, elapsed)
 	blob, _ := json.MarshalIndent(rep, "", "  ")
 	blob = append(blob, '\n')
 	if cfg.out != "" {
-		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		if err := writeReport(cfg, blob); err != nil {
 			fmt.Fprintf(os.Stderr, "sgxload: write %s: %v\n", cfg.out, err)
 			return 2
 		}
@@ -220,9 +267,36 @@ func run() int {
 	return code
 }
 
-func buildReport(cfg cliConfig, outcomes []outcome, issued int, elapsed time.Duration) report {
+// writeReport lands the JSON on disk. Plain mode overwrites -out with the
+// report; -label mode merges it under {"runs": {label: report}} so one
+// file accumulates comparable runs (the 1-node vs 3-node benchmark shape).
+func writeReport(cfg cliConfig, blob []byte) error {
+	if cfg.label == "" {
+		return os.WriteFile(cfg.out, blob, 0o644)
+	}
+	merged := struct {
+		Runs map[string]json.RawMessage `json:"runs"`
+	}{Runs: map[string]json.RawMessage{}}
+	if prev, err := os.ReadFile(cfg.out); err == nil {
+		json.Unmarshal(prev, &merged) // unreadable/legacy content starts fresh
+		if merged.Runs == nil {
+			merged.Runs = map[string]json.RawMessage{}
+		}
+	}
+	merged.Runs[cfg.label] = json.RawMessage(bytes.TrimSpace(blob))
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, append(out, '\n'), 0o644)
+}
+
+func buildReport(cfg cliConfig, targets []string, outcomes []outcome, issued int, elapsed time.Duration) report {
 	var rep report
 	rep.Config.Addr = cfg.addr
+	if len(targets) > 1 {
+		rep.Config.Targets = targets
+	}
 	rep.Config.TargetRPS = cfg.rps
 	rep.Config.DurationSec = cfg.duration.Seconds()
 	rep.Config.IdenticalMix = cfg.mix
@@ -269,7 +343,47 @@ func buildReport(cfg cliConfig, outcomes []outcome, issued int, elapsed time.Dur
 		rep.LatencyMS.Max = lat[len(lat)-1]
 		rep.LatencyMS.Mean = sum / float64(len(lat))
 	}
+	if len(targets) > 1 {
+		rep.PerTarget = perTarget(targets, outcomes)
+	}
 	return rep
+}
+
+// perTarget splits the outcomes by round-robin target.
+func perTarget(targets []string, outcomes []outcome) []targetReport {
+	reps := make([]targetReport, len(targets))
+	lat := make([][]float64, len(targets))
+	for i, tgt := range targets {
+		reps[i].Target = tgt
+	}
+	for _, o := range outcomes {
+		i := o.target
+		if i < 0 || i >= len(targets) {
+			continue
+		}
+		reps[i].Issued++
+		switch {
+		case o.err != nil:
+			reps[i].Errors++
+			continue
+		case o.status == http.StatusCreated:
+			reps[i].Accepted++
+		case o.status == http.StatusTooManyRequests:
+			reps[i].Rejected++
+		case o.status >= 500:
+			reps[i].Server5xx++
+		}
+		lat[i] = append(lat[i], float64(o.latency)/float64(time.Millisecond))
+	}
+	for i := range reps {
+		if len(lat[i]) == 0 {
+			continue
+		}
+		sort.Float64s(lat[i])
+		reps[i].P50MS = percentile(lat[i], 0.50)
+		reps[i].P99MS = percentile(lat[i], 0.99)
+	}
+	return reps
 }
 
 // percentile reads the p-quantile from a sorted sample (nearest-rank).

@@ -1,0 +1,651 @@
+// Package cluster turns N independent sgxd daemons into one sharded
+// service. The design leans entirely on the content-addressed result
+// store: a job's digest (canonical spec + bench.SimVersion) names its
+// result everywhere, so any node's bytes are every node's bytes once
+// verified — replication is read-through, never consensus.
+//
+// Four mechanisms, all over the existing HTTP transport:
+//
+//   - Membership + liveness: a static node list (same on every node) and
+//     periodic heartbeats that piggyback queue depth and the sender's
+//     unsettled jobs. A node silent past the dead-after window is dead.
+//   - Placement: job digests consistent-hash onto live nodes (bounded-load
+//     variant — a node whose queue exceeds its fair share spills to the
+//     next ring node, so hot shards spread). Any node accepts any submit
+//     and forwards it to the owner, unless it already holds the result
+//     locally (serve-local beats a network hop).
+//   - Peer-fetch read-through: a local result miss consults live peers
+//     before computing. Peer bytes are re-verified (key, SimVersion, size,
+//     sha256) on arrival; corrupt bytes count, log, and fall through to
+//     the next peer or a local recompute — they never reach a cache tier
+//     or a client.
+//   - Work-stealing + recovery: an idle node shadow-computes queued jobs
+//     from the deepest straggler (the victim's own copy then settles via a
+//     warm store hit — no ownership handoff, duplicates are byte-identical
+//     by construction). When a node dies, exactly one survivor (its ring
+//     successor among the living) re-enqueues the dead node's piggybacked
+//     unsettled jobs, at most once per job per boot incarnation.
+//
+// Fault sites (internal/faultline): "cluster.heartbeat" drops outgoing
+// beats, "cluster.peer.fetch" fails the peer read-through, bitflip on
+// "cluster.peer.body" corrupts received result bytes, and
+// "cluster.steal" delays/denies steal traffic to widen steal races.
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sgxbounds/internal/faultline"
+	"sgxbounds/internal/serve/sched"
+	"sgxbounds/internal/serve/store"
+	"sgxbounds/internal/telemetry"
+)
+
+// maxPiggyback bounds the unsettled-job set carried per heartbeat; a node
+// with more pending work than this recovers the overflow from its own
+// journal when it restarts, as before clustering.
+const maxPiggyback = 256
+
+// Local is the slice of the serving stack the cluster drives on its own
+// node. internal/serve implements it over the admission layer and the
+// scheduler; tests implement it directly.
+type Local interface {
+	// Admit submits through the node's own admission layer (validation,
+	// quotas, coalescing). recoveredFrom, when non-empty, annotates the
+	// job as the adoption of a dead peer's journaled work.
+	Admit(tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, error)
+	// Depth reports the scheduler backlog occupancy.
+	Depth() (queued, capacity int)
+	// Unsettled lists queued/running jobs — the journal-replayable set a
+	// heartbeat piggybacks for dead-node recovery.
+	Unsettled(max int) []sched.PendingJob
+	// Stealable lists jobs still queued (no worker picked them up yet)
+	// that an idle peer may shadow-compute.
+	Stealable(max int) []sched.PendingJob
+	// HasLocal reports whether this node already holds a verified result
+	// for key (memory or disk) — the serve-local shortcut in routing.
+	HasLocal(key string) bool
+}
+
+// Config parameterises a Cluster.
+type Config struct {
+	Self  string // this node's ID; must appear in Nodes
+	Nodes []Node // full membership, including Self
+
+	// Heartbeat is the beat interval (default 1s); liveness, recovery
+	// checks, and steal probes all run on its ticker.
+	Heartbeat time.Duration
+	// DeadAfter is how many missed beat intervals declare a peer dead
+	// (default 3).
+	DeadAfter int
+	// StealMax bounds the queued jobs stolen per idle tick (default 1).
+	StealMax int
+
+	Local   Local
+	Metrics *telemetry.Registry
+	Faults  *faultline.Injector
+	Log     *log.Logger
+	Client  *http.Client // nil = a pooled client with a 30s timeout
+}
+
+// peerState is everything we know about one remote member.
+type peerState struct {
+	node     Node
+	lastSeen time.Time
+	alive    bool
+	nonce    string // boot incarnation from its last beat
+	queued   int
+	pending  []sched.PendingJob
+}
+
+// Cluster is one node's view of the cluster.
+type Cluster struct {
+	self      Node
+	interval  time.Duration
+	deadAfter time.Duration
+	stealMax  int
+	local     Local
+	client    *http.Client
+	faults    *faultline.Injector
+	log       *log.Logger
+	nonce     string
+	ring      *ring
+
+	// peer_fetches and steals sit at the registry top level so the
+	// exposition names are exactly sgxd_peer_fetches_total and
+	// sgxd_steals_total; the rest live under cluster.*.
+	peerFetches, steals                         *telemetry.Counter
+	peerCorrupt, stealsDonated                  *telemetry.Counter
+	beatsSent, beatsRecv, deaths, jobsRecovered *telemetry.Counter
+	forwarded, forwardFallback                  *telemetry.Counter
+
+	mu      sync.Mutex
+	peers   map[string]*peerState
+	adopted map[string]bool      // "deadID@nonce/jobID" → re-enqueued
+	stolen  map[string]time.Time // store key → last steal (thief-side dedupe)
+
+	stop     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// New builds a Cluster; call Start to begin heartbeating and stealing.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Local == nil {
+		return nil, errors.New("cluster: Config.Local is required")
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: Config.Nodes is empty")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.StealMax <= 0 {
+		cfg.StealMax = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = defaultClient()
+	}
+
+	var self *Node
+	ids := make([]string, 0, len(cfg.Nodes))
+	peers := make(map[string]*peerState, len(cfg.Nodes)-1)
+	for i := range cfg.Nodes {
+		n := cfg.Nodes[i]
+		ids = append(ids, n.ID)
+		if n.ID == cfg.Self {
+			self = &cfg.Nodes[i]
+		} else {
+			peers[n.ID] = &peerState{node: n}
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: self %q is not in the node list", cfg.Self)
+	}
+
+	nonce := make([]byte, 8)
+	rand.Read(nonce)
+	c := &Cluster{
+		self:      *self,
+		interval:  cfg.Heartbeat,
+		deadAfter: time.Duration(cfg.DeadAfter) * cfg.Heartbeat,
+		stealMax:  cfg.StealMax,
+		local:     cfg.Local,
+		client:    cfg.Client,
+		faults:    cfg.Faults,
+		log:       cfg.Log,
+		nonce:     hex.EncodeToString(nonce),
+		ring:      newRing(ids),
+
+		peerFetches:     cfg.Metrics.Counter("peer_fetches"),
+		steals:          cfg.Metrics.Counter("steals"),
+		peerCorrupt:     cfg.Metrics.Counter("cluster.peer_corrupt"),
+		stealsDonated:   cfg.Metrics.Counter("cluster.steals_donated"),
+		beatsSent:       cfg.Metrics.Counter("cluster.heartbeats_sent"),
+		beatsRecv:       cfg.Metrics.Counter("cluster.heartbeats_recv"),
+		deaths:          cfg.Metrics.Counter("cluster.node_deaths"),
+		jobsRecovered:   cfg.Metrics.Counter("cluster.jobs_recovered"),
+		forwarded:       cfg.Metrics.Counter("cluster.forwarded"),
+		forwardFallback: cfg.Metrics.Counter("cluster.forward_fallback"),
+
+		peers:    peers,
+		adopted:  make(map[string]bool),
+		stolen:   make(map[string]time.Time),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self.ID }
+
+// Start launches the heartbeat/recovery/steal loop. Every peer gets a
+// full dead-after grace window from this instant, so a cluster booting
+// node by node does not declare the stragglers dead on tick one.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	now := time.Now()
+	for _, ps := range c.peers {
+		ps.lastSeen = now
+		ps.alive = true
+	}
+	c.mu.Unlock()
+	go c.loop()
+}
+
+// Stop halts the loop; idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.loopDone
+	}
+}
+
+func (c *Cluster) loop() {
+	defer close(c.loopDone)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.beatOnce()
+			c.reapAndRecover()
+			c.stealOnce()
+		}
+	}
+}
+
+// selfBeat snapshots this node's wire-visible state.
+func (c *Cluster) selfBeat() Beat {
+	queued, _ := c.local.Depth()
+	return Beat{
+		From:    c.self.ID,
+		Nonce:   c.nonce,
+		Queued:  queued,
+		Pending: c.local.Unsettled(maxPiggyback),
+		Unix:    time.Now().Unix(),
+	}
+}
+
+// beatOnce sends one heartbeat to every peer. The answering beat carries
+// the peer's own state, so information flows both ways even when only one
+// side's sends get through.
+func (c *Cluster) beatOnce() {
+	c.mu.Lock()
+	targets := make([]Node, 0, len(c.peers))
+	for _, ps := range c.peers {
+		targets = append(targets, ps.node)
+	}
+	c.mu.Unlock()
+	for _, node := range targets {
+		if err := c.faults.Fire("cluster.heartbeat", node.ID); err != nil {
+			continue // beat dropped on the (simulated) floor
+		}
+		ack, err := c.postBeat(node, c.selfBeat())
+		if err != nil {
+			continue // silence ages lastSeen; reap decides
+		}
+		c.beatsSent.Inc()
+		c.observeBeat(ack)
+	}
+}
+
+// ReceiveBeat ingests a peer's heartbeat and answers with our own; the
+// HTTP layer mounts it at POST /api/v1/cluster/heartbeat.
+func (c *Cluster) ReceiveBeat(b Beat) Beat {
+	c.beatsRecv.Inc()
+	c.observeBeat(b)
+	return c.selfBeat()
+}
+
+func (c *Cluster) observeBeat(b Beat) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps, ok := c.peers[b.From]
+	if !ok {
+		return // not in the membership list; ignore
+	}
+	if !ps.alive {
+		c.log.Printf("cluster: node %s is back (nonce %s)", b.From, b.Nonce)
+	}
+	ps.lastSeen = time.Now()
+	ps.alive = true
+	ps.nonce = b.Nonce
+	ps.queued = b.Queued
+	ps.pending = b.Pending
+}
+
+// reapAndRecover declares silent peers dead and, when this node is the
+// dead node's ring successor among the living, re-enqueues its
+// piggybacked unsettled jobs. Adoption is tracked per (node, boot nonce,
+// job ID): each job is re-enqueued at most once per incarnation, and a
+// rebooted peer (fresh nonce) starts clean — its own journal replay
+// already resurrected anything that mattered.
+func (c *Cluster) reapAndRecover() {
+	now := time.Now()
+	type adoption struct {
+		deadID string
+		jobs   []sched.PendingJob
+	}
+	var adoptions []adoption
+
+	c.mu.Lock()
+	for _, ps := range c.peers {
+		if ps.alive && now.Sub(ps.lastSeen) > c.deadAfter {
+			ps.alive = false
+			c.deaths.Inc()
+			c.log.Printf("cluster: node %s declared dead (silent for %v)", ps.node.ID, now.Sub(ps.lastSeen).Round(time.Millisecond))
+		}
+		if ps.alive || ps.nonce == "" || len(ps.pending) == 0 {
+			continue
+		}
+		if !c.isRecovererLocked(ps.node.ID) {
+			continue
+		}
+		var jobs []sched.PendingJob
+		for _, pj := range ps.pending {
+			key := ps.node.ID + "@" + ps.nonce + "/" + pj.ID
+			if !c.adopted[key] {
+				jobs = append(jobs, pj)
+			}
+		}
+		if len(jobs) > 0 {
+			adoptions = append(adoptions, adoption{deadID: ps.node.ID, jobs: jobs})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, a := range adoptions {
+		c.recover(a.deadID, a.jobs)
+	}
+}
+
+// isRecovererLocked reports whether this node is deadID's designated
+// recoverer: its successor in sorted ID order among the currently-live
+// nodes. Deterministic, so survivors with a consistent liveness view
+// elect the same recoverer without coordinating. (Caller holds c.mu.)
+func (c *Cluster) isRecovererLocked(deadID string) bool {
+	live := []string{c.self.ID}
+	for id, ps := range c.peers {
+		if ps.alive {
+			live = append(live, id)
+		}
+	}
+	sort.Strings(live)
+	for _, id := range live {
+		if id > deadID {
+			return id == c.self.ID
+		}
+	}
+	return live[0] == c.self.ID // wrap around
+}
+
+// recover re-enqueues one dead node's jobs, routing each to its owner
+// under the post-death ring (which may be this node or another survivor).
+// A job is marked adopted only once its submission succeeds, so a
+// transient failure retries next tick without double-enqueueing the jobs
+// that made it.
+func (c *Cluster) recover(deadID string, jobs []sched.PendingJob) {
+	c.mu.Lock()
+	nonce := ""
+	if ps, ok := c.peers[deadID]; ok {
+		nonce = ps.nonce
+	}
+	c.mu.Unlock()
+	for _, pj := range jobs {
+		st, err := c.routeSubmit("cluster-recovery", pj.Req, deadID)
+		if err != nil {
+			c.log.Printf("cluster: re-enqueue of %s (from dead %s) failed: %v", pj.ID, deadID, err)
+			continue
+		}
+		c.mu.Lock()
+		c.adopted[deadID+"@"+nonce+"/"+pj.ID] = true
+		c.mu.Unlock()
+		c.jobsRecovered.Inc()
+		c.log.Printf("cluster: re-enqueued job %s from dead %s as %s on %s", pj.ID, deadID, st.ID, orSelf(st.Node, c.self.ID))
+	}
+}
+
+func orSelf(node, self string) string {
+	if node == "" {
+		return self
+	}
+	return node
+}
+
+// Route decides placement for a content address: serve locally when this
+// node owns the digest or already holds the result (and the client did
+// not Force a recompute), otherwise name the owning node. Satisfies the
+// frontdoor.Router seam.
+func (c *Cluster) Route(key string, force bool) (node string, local bool) {
+	owner := c.ownerOf(key)
+	if owner == c.self.ID || owner == "" {
+		return "", true
+	}
+	if !force && c.local.HasLocal(key) {
+		return "", true
+	}
+	return owner, false
+}
+
+// ownerOf runs the bounded-load placement over the currently-live view.
+func (c *Cluster) ownerOf(key string) string {
+	queued, _ := c.local.Depth()
+	c.mu.Lock()
+	alive := map[string]bool{c.self.ID: true}
+	loads := map[string]int{c.self.ID: queued}
+	for id, ps := range c.peers {
+		if ps.alive {
+			alive[id] = true
+			loads[id] = ps.queued
+		}
+	}
+	c.mu.Unlock()
+	return c.ring.owner(key, alive, loads)
+}
+
+// Forward sends a submission to nodeID's cluster-submit endpoint.
+func (c *Cluster) Forward(nodeID, tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, error) {
+	peer, ok := c.nodeByID(nodeID)
+	if !ok {
+		return sched.JobStatus{}, fmt.Errorf("cluster: unknown node %q", nodeID)
+	}
+	st, err := c.forwardSubmit(peer, tenant, req, recoveredFrom)
+	if err != nil {
+		return sched.JobStatus{}, err
+	}
+	c.forwarded.Inc()
+	return st, nil
+}
+
+// routeSubmit is the placement-aware internal submit used by recovery:
+// local when this node should serve the digest, forwarded to the owner
+// otherwise, falling back to local when the owner cannot be reached (the
+// work must not be lost to a second failure).
+func (c *Cluster) routeSubmit(tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, error) {
+	if node, local := c.Route(req.StoreKey(), req.Force); !local {
+		st, err := c.Forward(node, tenant, req, recoveredFrom)
+		if err == nil {
+			return st, nil
+		}
+		c.forwardFallback.Inc()
+		c.log.Printf("cluster: forward to %s failed (%v); admitting locally", node, err)
+	}
+	return c.local.Admit(tenant, req, recoveredFrom)
+}
+
+// FetchResult is the peer read-through the result tier consults below
+// its local miss: the digest's owner first (most likely holder), then
+// every other live peer. Only verified bytes come back; corrupt bodies
+// count, log, and keep walking. Satisfies resultier.PeerFetch.
+func (c *Cluster) FetchResult(key, version string) ([]byte, store.Meta, bool) {
+	if err := c.faults.Fire("cluster.peer.fetch", key); err != nil {
+		return nil, store.Meta{}, false
+	}
+	owner := c.ownerOf(key)
+	c.mu.Lock()
+	candidates := make([]Node, 0, len(c.peers))
+	if ps, ok := c.peers[owner]; ok && ps.alive {
+		candidates = append(candidates, ps.node)
+	}
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if ps := c.peers[id]; ps.alive && id != owner {
+			candidates = append(candidates, ps.node)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, node := range candidates {
+		if body, meta, ok := c.fetchFrom(node, key, version); ok {
+			c.peerFetches.Inc()
+			return body, meta, true
+		}
+	}
+	return nil, store.Meta{}, false
+}
+
+// Donate is the victim side of a steal: hand up to max queued jobs to a
+// thief. The jobs are not dequeued — the thief shadow-computes into the
+// shared content-address space and the victim's own copy settles via a
+// warm store (or peer-fetch) hit when a worker finally picks it up.
+// Duplicated compute is the worst case, and it is byte-identical.
+func (c *Cluster) Donate(max int) []sched.PendingJob {
+	if max <= 0 {
+		max = 1
+	}
+	if err := c.faults.Fire("cluster.steal", "donate"); err != nil {
+		return nil
+	}
+	jobs := c.local.Stealable(max)
+	c.stealsDonated.Add(uint64(len(jobs)))
+	return jobs
+}
+
+// stealOnce runs on each tick: when this node's backlog is empty, pull
+// queued jobs from the deepest live straggler and compute them here.
+func (c *Cluster) stealOnce() {
+	if queued, _ := c.local.Depth(); queued > 0 {
+		return // not idle; no stealing
+	}
+	var victim Node
+	deepest := 0
+	c.mu.Lock()
+	for _, ps := range c.peers {
+		if ps.alive && ps.queued > deepest {
+			victim, deepest = ps.node, ps.queued
+		}
+	}
+	c.mu.Unlock()
+	if deepest == 0 {
+		return
+	}
+	if err := c.faults.Fire("cluster.steal", victim.ID); err != nil {
+		return
+	}
+	for _, pj := range c.fetchSteal(victim, c.stealMax) {
+		key := pj.Req.StoreKey()
+		if c.recentlyStolen(key) || c.local.HasLocal(key) {
+			continue
+		}
+		if _, err := c.local.Admit("cluster-steal", pj.Req, ""); err != nil {
+			continue
+		}
+		c.markStolen(key)
+		c.steals.Inc()
+		c.log.Printf("cluster: stole job %s (key %.12s…) from %s", pj.ID, key, victim.ID)
+	}
+}
+
+// recentlyStolen / markStolen keep an idle node from re-stealing the same
+// digest every tick while its first shadow compute is still running.
+func (c *Cluster) recentlyStolen(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.stolen[key]
+	return ok && time.Since(t) < 20*c.interval
+}
+
+func (c *Cluster) markStolen(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for k, t := range c.stolen {
+		if now.Sub(t) > 40*c.interval {
+			delete(c.stolen, k)
+		}
+	}
+	c.stolen[key] = now
+}
+
+func (c *Cluster) nodeByID(id string) (Node, bool) {
+	if id == c.self.ID {
+		return c.self, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ps, ok := c.peers[id]; ok {
+		return ps.node, true
+	}
+	return Node{}, false
+}
+
+// NodeStatus is one row of the cluster-status report.
+type NodeStatus struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	Self       bool   `json:"self,omitempty"`
+	Alive      bool   `json:"alive"`
+	Queued     int    `json:"queued"`
+	Pending    int    `json:"pending"`
+	LastSeenMS int64  `json:"last_seen_ms,omitempty"` // ms since last beat (0 for self)
+	Nonce      string `json:"nonce,omitempty"`
+}
+
+// Status is the GET /api/v1/cluster/status body.
+type Status struct {
+	Self  string       `json:"self"`
+	Nonce string       `json:"nonce"`
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// StatusReport snapshots this node's view of the membership, sorted by ID.
+func (c *Cluster) StatusReport() Status {
+	queued, _ := c.local.Depth()
+	st := Status{
+		Self:  c.self.ID,
+		Nonce: c.nonce,
+		Nodes: []NodeStatus{{
+			ID: c.self.ID, Addr: c.self.Addr, Self: true, Alive: true,
+			Queued: queued, Pending: len(c.local.Unsettled(maxPiggyback)),
+			Nonce: c.nonce,
+		}},
+	}
+	now := time.Now()
+	c.mu.Lock()
+	for _, ps := range c.peers {
+		st.Nodes = append(st.Nodes, NodeStatus{
+			ID: ps.node.ID, Addr: ps.node.Addr, Alive: ps.alive,
+			Queued: ps.queued, Pending: len(ps.pending),
+			LastSeenMS: now.Sub(ps.lastSeen).Milliseconds(),
+			Nonce:      ps.nonce,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].ID < st.Nodes[j].ID })
+	return st
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Node is one member of the static membership list: a stable ID plus the
+// base URL its sgxd API listens on. Every node in a cluster is configured
+// with the same full list (including itself), so placement agrees
+// everywhere without a coordination service.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ParsePeers parses a membership spec into a sorted, deduplicated node
+// list. Two forms are accepted:
+//
+//   - inline: "n1=http://host:7483,n2=http://host:7484" (commas or
+//     whitespace separate entries; a bare host:port gets http://)
+//   - file:   "@peers.json" — a JSON array of {"id": ..., "addr": ...},
+//     or the same inline text
+//
+// The same spec string is handed to every node (only -node-id differs),
+// so the parse must be deterministic: entries come back sorted by ID.
+func ParsePeers(spec string) ([]Node, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: read peers file: %w", err)
+		}
+		spec = strings.TrimSpace(string(data))
+	}
+	if spec == "" {
+		return nil, fmt.Errorf("cluster: empty peers spec")
+	}
+
+	var nodes []Node
+	if strings.HasPrefix(spec, "[") {
+		if err := json.Unmarshal([]byte(spec), &nodes); err != nil {
+			return nil, fmt.Errorf("cluster: bad peers JSON: %w", err)
+		}
+	} else {
+		for _, entry := range strings.FieldsFunc(spec, func(r rune) bool {
+			return r == ',' || r == '\n' || r == ' ' || r == '\t'
+		}) {
+			id, addr, ok := strings.Cut(entry, "=")
+			if !ok || id == "" || addr == "" {
+				return nil, fmt.Errorf("cluster: bad peer entry %q (want id=url)", entry)
+			}
+			nodes = append(nodes, Node{ID: id, Addr: addr})
+		}
+	}
+
+	seen := make(map[string]bool, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		if n.ID == "" || n.Addr == "" {
+			return nil, fmt.Errorf("cluster: peer entry %d missing id or addr", i)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+		if !strings.Contains(n.Addr, "://") {
+			n.Addr = "http://" + n.Addr
+		}
+		u, err := url.Parse(n.Addr)
+		if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return nil, fmt.Errorf("cluster: node %s has bad addr %q", n.ID, n.Addr)
+		}
+		n.Addr = strings.TrimRight(n.Addr, "/")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return nodes, nil
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the virtual-node count per member. 64 points per node
+// keeps the placement spread within a few percent of uniform for the
+// single-digit cluster sizes the static membership model targets, while
+// the whole ring stays small enough to rebuild on every liveness change.
+const ringReplicas = 64
+
+// loadFactor is the bounded-load headroom: a node may own at most
+// ceil(loadFactor * (totalQueued+1) / liveNodes) queued jobs before the
+// placement walk spills past it to the next node on the ring. 1.25 is the
+// classic "consistent hashing with bounded loads" sweet spot — hot digests
+// spread without shredding locality for everything else.
+const loadFactor = 1.25
+
+// point is one virtual node on the hash ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// ring is a consistent-hash ring over a fixed member set. Liveness and
+// load are not baked in: owner takes them per lookup, so the ring itself
+// is built once at cluster start and shared read-only.
+type ring struct {
+	points []point
+}
+
+func newRing(ids []string) *ring {
+	r := &ring{points: make([]point, 0, len(ids)*ringReplicas)}
+	for _, id := range ids {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, point{hash: hash64(id + "#" + strconv.Itoa(i)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owner maps key onto the first live node clockwise from its hash whose
+// queued load is under the bounded-load capacity; when every live node is
+// at capacity the primary (first live node clockwise, ignoring load)
+// takes it. alive must contain at least one node; loads carries each live
+// node's queued depth.
+func (r *ring) owner(key string, alive map[string]bool, loads map[string]int) string {
+	if len(r.points) == 0 || len(alive) == 0 {
+		return ""
+	}
+	total := 0
+	for id := range alive {
+		total += loads[id]
+	}
+	capacity := int(math.Ceil(loadFactor * float64(total+1) / float64(len(alive))))
+
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	primary := ""
+	visited := make(map[string]bool, len(alive))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !alive[p.node] || visited[p.node] {
+			continue
+		}
+		visited[p.node] = true
+		if primary == "" {
+			primary = p.node
+		}
+		if loads[p.node] < capacity {
+			return p.node
+		}
+		if len(visited) == len(alive) {
+			break
+		}
+	}
+	return primary
+}
+
+// hash64 is FNV-64a with a splitmix64 finalizer. Raw FNV of short,
+// similar strings (the "id#3"-style virtual-node labels) barely stirs the
+// high bits, so the ring points bunch into a few arcs and the placement
+// skews several-fold; the finalizer's avalanche restores an even spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -8,7 +8,11 @@
 // An Injector is built from a Spec (a seed plus a list of Rules) and wired
 // into code by naming fault sites: the store fires "store.write.body",
 // "store.read.meta", ...; the serve layer fires "engine.cell" per executed
-// cell and "crash.<point>" at named barriers. A Rule matches a site by op
+// cell and "crash.<point>" at named barriers; the cluster layer fires
+// "cluster.heartbeat" per outgoing beat, "cluster.peer.fetch" and
+// "cluster.peer.body" around the peer read-through (error → miss, bitflip
+// → corrupt-on-the-wire), and "cluster.steal" on steal traffic. A Rule
+// matches a site by op
 // pattern (exact, or a trailing-* prefix glob) and optionally by a
 // substring of the site's detail (a store key, a cell label), then fires
 // with a deterministic pseudo-random decision derived from (seed, rule,

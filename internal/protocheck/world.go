@@ -39,8 +39,10 @@ func stubCompute(ctx context.Context, spec bench.Job) (*serve.ResultBundle, erro
 // directory, exactly as a restarted sgxd would.
 type world struct {
 	dir        string
+	storeDir   string
 	journal    string
 	sched      *sched
+	compute    func(context.Context, bench.Job) (*serve.ResultBundle, error)
 	srv        *serve.Server
 	st         *store.Store
 	breakOrder bool
@@ -48,10 +50,25 @@ type world struct {
 }
 
 func newWorld(dir string, s *sched, breakOrder bool) (*world, error) {
+	return newWorldAt(dir, filepath.Join(dir, "store"), s, breakOrder, nil)
+}
+
+// newWorldAt separates the store root from the world directory so two
+// worlds — two schedulers, two journals — can sit over ONE shared
+// content-addressed store: the cluster's shared-truth configuration,
+// modeled in-process. compute, when non-nil, replaces stubCompute (the
+// shared-store checks count executions per scheduler).
+func newWorldAt(dir, storeDir string, s *sched, breakOrder bool,
+	compute func(context.Context, bench.Job) (*serve.ResultBundle, error)) (*world, error) {
+	if compute == nil {
+		compute = stubCompute
+	}
 	w := &world{
 		dir:        dir,
+		storeDir:   storeDir,
 		journal:    filepath.Join(dir, "journal.jsonl"),
 		sched:      s,
+		compute:    compute,
 		breakOrder: breakOrder,
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -72,7 +89,7 @@ func newWorld(dir string, s *sched, breakOrder bool) (*world, error) {
 // ordering, not their timing, is the subject), two attempts before
 // quarantine so the poison saga stays short.
 func (w *world) reboot() error {
-	st, err := store.Open(filepath.Join(w.dir, "store"))
+	st, err := store.Open(w.storeDir)
 	if err != nil {
 		return err
 	}
@@ -85,7 +102,7 @@ func (w *world) reboot() error {
 		Backlog:     32,
 		Journal:     w.journal,
 		Hooks:       w.sched,
-		Compute:     stubCompute,
+		Compute:     w.compute,
 		MaxAttempts: 2,
 		RetryBase:   time.Nanosecond,
 		RetryCap:    time.Nanosecond,
@@ -214,7 +231,7 @@ func (w *world) drain(o *oracle) {
 	}
 }
 
-func (w *world) storeRoot() string { return filepath.Join(w.dir, "store") }
+func (w *world) storeRoot() string { return w.storeDir }
 
 // stateHash digests the protocol-relevant state before a scheduling
 // decision: every job's lifecycle position plus each actor's remaining

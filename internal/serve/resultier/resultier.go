@@ -17,10 +17,20 @@ package resultier
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"sgxbounds/internal/serve/store"
 	"sgxbounds/internal/telemetry"
 )
+
+// PeerFetch is the cluster read-through hook, consulted on a disk miss
+// before the scheduler falls back to computing: given a content address
+// and simulator version, return verified result bytes from a peer node,
+// or ok=false. The tier trusts the hook to have verified checksum and
+// version already (internal/cluster does); bytes it returns are
+// replicated to the local disk store and then admitted to memory, so the
+// next hit is local.
+type PeerFetch func(key, version string) ([]byte, store.Meta, bool)
 
 // entry is one cached result: the stored body and metadata, plus the
 // byte charge it holds against the tier's budget.
@@ -43,6 +53,9 @@ type Tier struct {
 	bytes int64
 
 	hits, misses, evictions, inserts *telemetry.Counter
+
+	// peers, when set, sits below the disk tier and above compute.
+	peers atomic.Value // PeerFetch
 }
 
 // New builds a tier over disk, holding at most maxBytes of cached result
@@ -71,6 +84,20 @@ func New(disk *store.Store, maxBytes int64, reg *telemetry.Registry) *Tier {
 // mediate (stats, GC enumeration, writability probes).
 func (t *Tier) Disk() *store.Store { return t.disk }
 
+// SetPeerFetch installs the cluster read-through below the disk tier.
+// Safe to call after the tier is in use; nil-safe before it is set.
+func (t *Tier) SetPeerFetch(f PeerFetch) { t.peers.Store(f) }
+
+// Contains reports whether key is resident in the memory tier under the
+// given simulator version, without touching disk or promoting the entry —
+// the cluster router's cheap "can I serve this locally" probe.
+func (t *Tier) Contains(key, version string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.items[key]
+	return ok && el.Value.(*entry).meta.Version == version
+}
+
 // Get serves key from memory when the cached entry matches version;
 // otherwise it reads through to disk and, on success, caches the result.
 // The returned body is shared with the cache: callers must not mutate it
@@ -97,8 +124,23 @@ func (t *Tier) Get(key, version string) ([]byte, store.Meta, bool) {
 	body, meta, ok := t.disk.Get(key, version)
 	if ok {
 		t.admit(key, body, meta)
+		return body, meta, true
 	}
-	return body, meta, ok
+	// Disk miss: a peer may already hold this digest. The hook returns
+	// only verified bytes; replicate to disk first (the durability rule —
+	// memory never holds what the local disk could lose) and admit to the
+	// LRU only once the disk copy landed. A failed local write still
+	// serves the verified peer bytes: the authoritative copy lives on the
+	// peer's disk.
+	if f, _ := t.peers.Load().(PeerFetch); f != nil {
+		if pbody, pmeta, pok := f(key, version); pok {
+			if err := t.disk.Put(key, pbody, pmeta); err == nil {
+				t.admit(key, pbody, pmeta)
+			}
+			return pbody, pmeta, true
+		}
+	}
+	return nil, meta, false
 }
 
 // Put writes through: disk first (the store's atomic commit protocol is

@@ -120,6 +120,21 @@ type JobStatus struct {
 	CreatedUnix  int64  `json:"created_unix"`
 	StartedUnix  int64  `json:"started_unix,omitempty"`
 	FinishedUnix int64  `json:"finished_unix,omitempty"`
+	// Node names the cluster node executing this job (stamped by the HTTP
+	// layer; empty outside cluster mode).
+	Node string `json:"node,omitempty"`
+	// RecoveredFrom names the dead cluster node whose journaled job this
+	// one re-enqueues; each adoption happens exactly once.
+	RecoveredFrom string `json:"recovered_from,omitempty"`
+}
+
+// PendingJob pairs a job's ID with its resubmittable request — the unit
+// the cluster layer moves between nodes: heartbeats piggyback each node's
+// unsettled set so survivors can adopt a dead node's work, and the steal
+// endpoint hands queued jobs to idle thieves.
+type PendingJob struct {
+	ID  string        `json:"id"`
+	Req SubmitRequest `json:"req"`
 }
 
 // ResultBundle is the store body format: the experiment's table text

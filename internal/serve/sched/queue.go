@@ -72,6 +72,17 @@ func (j *Job) Progress() *ProgressBuffer { return j.progress }
 // requeue layers resubmit it verbatim).
 func (j *Job) Request() SubmitRequest { return j.req }
 
+// SetRecoveredFrom annotates the job as the adoption of a dead cluster
+// node's journaled work; JobStatus surfaces it so operators (and the
+// chaos suite) can count each adoption exactly once. Deliberately valid
+// on a terminal job: an adoption that settled instantly off a warm store
+// hit is still an adoption.
+func (j *Job) SetRecoveredFrom(node string) {
+	j.mu.Lock()
+	j.status.RecoveredFrom = node
+	j.mu.Unlock()
+}
+
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.status.State = StateRunning

@@ -229,6 +229,35 @@ func (s *Scheduler) Depth() (queued, capacity int) {
 	return len(s.queue.backlog), cap(s.queue.backlog)
 }
 
+// Unsettled returns up to max non-terminal jobs (queued or running), in
+// submission order — exactly the set a journal replay would resurrect if
+// this process died now. Cluster heartbeats piggyback it so a dead node's
+// survivors can re-enqueue its work without reading its journal.
+func (s *Scheduler) Unsettled(max int) []PendingJob {
+	return s.pendingWhere(max, func(st JobState) bool { return !st.Terminal() })
+}
+
+// Stealable returns up to max jobs still waiting in the queue (no worker
+// has picked them up), in submission order — the set an idle cluster peer
+// may shadow-compute. Running jobs are excluded: their compute is already
+// paid for here, and a thief duplicating it buys nothing.
+func (s *Scheduler) Stealable(max int) []PendingJob {
+	return s.pendingWhere(max, func(st JobState) bool { return st == StateQueued })
+}
+
+func (s *Scheduler) pendingWhere(max int, want func(JobState) bool) []PendingJob {
+	var out []PendingJob
+	for _, j := range s.queue.List() {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		if st := j.Status(); want(st.State) {
+			out = append(out, PendingJob{ID: st.ID, Req: j.Request()})
+		}
+	}
+	return out
+}
+
 // jobFinished is the queue's onFinish hook: it makes every terminal
 // transition durable. A "finished" record marks the job settled, so a
 // restart will not re-run it; a quarantine verdict carries the fault

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sgxbounds/internal/bench"
+	"sgxbounds/internal/cluster"
 	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/protohook"
 	"sgxbounds/internal/serve/frontdoor"
@@ -91,6 +93,23 @@ type Config struct {
 	// calls RunNext, on the caller's goroutine. This is the deterministic
 	// drive protocheck schedules; production daemons leave it false.
 	Manual bool
+
+	// Cluster, when non-nil, joins this daemon to a static multi-node
+	// cluster (internal/cluster): submissions route to each digest's
+	// owner, results replicate by verified peer-fetch read-through, idle
+	// nodes steal queued work from stragglers, and a dead node's journaled
+	// jobs are re-enqueued on survivors exactly once.
+	Cluster *ClusterConfig
+}
+
+// ClusterConfig is the serve-level cluster knob set; see cluster.Config
+// for the semantics of each field.
+type ClusterConfig struct {
+	Self      string         // this node's ID; must appear in Nodes
+	Nodes     []cluster.Node // full membership, including Self
+	Heartbeat time.Duration  // beat interval (default 1s)
+	DeadAfter int            // missed beats before a peer is dead (default 3)
+	StealMax  int            // queued jobs stolen per idle tick (default 1)
 }
 
 // Server is the sgxd daemon: a thin HTTP transport wiring the admission
@@ -99,16 +118,28 @@ type Config struct {
 // the server maps requests in and statuses/rejections out.
 type Server struct {
 	store    *store.Store    // raw disk tier
-	cache    *resultier.Tier // nil when CacheBytes == 0
+	cache    *resultier.Tier // nil when CacheBytes == 0 and not clustered
 	sched    *sched.Scheduler
 	door     *frontdoor.Door
+	cluster  *cluster.Cluster // nil outside cluster mode
 	faults   *faultline.Injector
 	log      *log.Logger
 	metrics  *telemetry.Registry
 	mux      *http.ServeMux
 	ready    atomic.Bool
 	draining atomic.Bool
+
+	// routed remembers which node a forwarded job landed on, so status,
+	// result, progress, profile, and cancel requests for it proxy there.
+	// Bounded FIFO: a client that lost its route past the bound resubmits
+	// (content addressing makes that a warm hit on the owner).
+	routedMu    sync.Mutex
+	routed      map[string]string
+	routedOrder []string
 }
+
+// maxRoutedJobs bounds the routed-job table.
+const maxRoutedJobs = 16384
 
 // New builds a server; call Handler for its API and Shutdown to drain.
 // When cfg.Journal is set, the scheduler replays it before accepting
@@ -127,11 +158,13 @@ func New(cfg Config) (*Server, error) {
 	cfg.Store.SetHooks(cfg.Hooks)
 
 	// Result tier: the scheduler reads and writes through the LRU when one
-	// is configured, the raw store otherwise. The cache counters are
+	// is configured, the raw store otherwise. Cluster mode always builds
+	// the tier (a zero byte budget makes it a passthrough) because the
+	// peer-fetch read-through hangs below it. The cache counters are
 	// registered either way so /metrics always exposes the vocabulary.
 	var results sched.ResultStore = cfg.Store
 	var cache *resultier.Tier
-	if cfg.CacheBytes > 0 {
+	if cfg.CacheBytes > 0 || cfg.Cluster != nil {
 		cache = resultier.New(cfg.Store, cfg.CacheBytes, metrics)
 		results = cache
 	} else {
@@ -169,17 +202,41 @@ func New(cfg Config) (*Server, error) {
 		log:     cfg.Log,
 		metrics: metrics,
 	}
-	s.door = frontdoor.New(frontdoor.Config{
+	doorCfg := frontdoor.Config{
 		Backend:           sc,
 		TenantRPS:         cfg.TenantRPS,
 		TenantBurst:       cfg.TenantBurst,
 		TenantMaxInFlight: cfg.TenantMaxInFlight,
 		RetryAfter:        cfg.RetryAfter,
 		Metrics:           metrics,
-	})
+	}
+	if cfg.Cluster != nil {
+		cl, err := cluster.New(cluster.Config{
+			Self:      cfg.Cluster.Self,
+			Nodes:     cfg.Cluster.Nodes,
+			Heartbeat: cfg.Cluster.Heartbeat,
+			DeadAfter: cfg.Cluster.DeadAfter,
+			StealMax:  cfg.Cluster.StealMax,
+			Local:     clusterLocal{s},
+			Metrics:   metrics,
+			Faults:    cfg.Faults,
+			Log:       cfg.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+		s.routed = make(map[string]string)
+		cache.SetPeerFetch(cl.FetchResult)
+		doorCfg.Router = cl
+	}
+	s.door = frontdoor.New(doorCfg)
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.ready.Store(true)
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	return s, nil
 }
 
@@ -195,11 +252,23 @@ func (s *Server) BeginDrain() {
 	s.door.BeginDrain()
 }
 
-// Shutdown closes admission (see BeginDrain), drains the scheduler, then
-// closes the journal.
+// Shutdown closes admission (see BeginDrain), stops cluster traffic,
+// drains the scheduler, then closes the journal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 	return s.sched.Shutdown(ctx)
+}
+
+// ClusterStatus returns this node's view of the cluster membership;
+// ok=false outside cluster mode.
+func (s *Server) ClusterStatus() (cluster.Status, bool) {
+	if s.cluster == nil {
+		return cluster.Status{}, false
+	}
+	return s.cluster.StatusReport(), true
 }
 
 // Admit routes one submission through the admission layer: validation,
@@ -251,7 +320,83 @@ func (s *Server) Requeue(id string) (old, fresh JobStatus, err error) { return s
 // Abort closes the journal without draining the queue — the in-process
 // equivalent of the machine losing power. Only protocheck's crash
 // simulation calls it; everything else shuts down via Shutdown.
-func (s *Server) Abort() error { return s.sched.Abort() }
+func (s *Server) Abort() error {
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
+	return s.sched.Abort()
+}
+
+// ---- cluster glue ----
+
+// clusterLocal adapts the server into the cluster layer's view of its own
+// node (cluster.Local): submissions land through the admission layer so
+// recovered and stolen jobs coalesce with (and are quota-accounted like)
+// everything else.
+type clusterLocal struct{ s *Server }
+
+func (l clusterLocal) Admit(tenant string, req SubmitRequest, recoveredFrom string) (sched.JobStatus, error) {
+	j, coalesced, err := l.s.Admit(tenant, req)
+	if err != nil {
+		return sched.JobStatus{}, err
+	}
+	// A coalesced follower attached to someone else's job; marking that
+	// job as an adoption would miscount recoveries.
+	if recoveredFrom != "" && !coalesced {
+		j.SetRecoveredFrom(recoveredFrom)
+	}
+	st := j.Status()
+	l.s.stampNode(&st)
+	return st, nil
+}
+
+func (l clusterLocal) Depth() (int, int)                    { return l.s.sched.Depth() }
+func (l clusterLocal) Unsettled(max int) []sched.PendingJob { return l.s.sched.Unsettled(max) }
+func (l clusterLocal) Stealable(max int) []sched.PendingJob { return l.s.sched.Stealable(max) }
+
+// HasLocal is the router's "serve it here" probe: memory first (no IO),
+// then a meta-only disk stat. Version-pinned to the running simulator, so
+// a stale entry never short-circuits routing.
+func (l clusterLocal) HasLocal(key string) bool {
+	if l.s.cache != nil && l.s.cache.Contains(key, bench.SimVersion) {
+		return true
+	}
+	meta, ok := l.s.store.Stat(key)
+	return ok && meta.Key == key && meta.Version == bench.SimVersion
+}
+
+// stampNode marks a locally-owned job status with this node's ID (cluster
+// mode only; single-node responses are unchanged).
+func (s *Server) stampNode(st *JobStatus) {
+	if s.cluster != nil {
+		st.Node = s.cluster.Self()
+	}
+}
+
+// rememberRoute records where a forwarded job lives, evicting the oldest
+// route past the bound.
+func (s *Server) rememberRoute(id, node string) {
+	if id == "" {
+		return
+	}
+	s.routedMu.Lock()
+	defer s.routedMu.Unlock()
+	if _, ok := s.routed[id]; !ok {
+		s.routedOrder = append(s.routedOrder, id)
+		for len(s.routedOrder) > maxRoutedJobs {
+			delete(s.routed, s.routedOrder[0])
+			s.routedOrder = s.routedOrder[1:]
+		}
+	}
+	s.routed[id] = node
+}
+
+func (s *Server) routeOf(id string) (string, bool) {
+	s.routedMu.Lock()
+	defer s.routedMu.Unlock()
+	node, ok := s.routed[id]
+	return node, ok
+}
 
 // ---- HTTP layer ----
 
@@ -277,6 +422,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /api/v1/gc", s.handleGC)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Cluster peer endpoints (404 outside cluster mode): node-to-node
+	// heartbeats, verified result fetch, owner-side submit, and the
+	// steal-donation seam, plus the operator-facing membership view.
+	s.mux.HandleFunc("GET /api/v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /api/v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("GET /api/v1/cluster/results/{key}", s.handleClusterResult)
+	s.mux.HandleFunc("POST /api/v1/cluster/submit", s.handleClusterSubmit)
+	s.mux.HandleFunc("GET /api/v1/cluster/steal", s.handleClusterSteal)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -301,7 +454,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	j, coalesced, err := s.Admit(r.Header.Get(TenantHeader), req)
+	tenant := r.Header.Get(TenantHeader)
+	// Route-or-serve: in cluster mode the digest's owner computes it
+	// (unless we already hold the result). Forward failure falls back to
+	// local admission — a reachable node never refuses work because the
+	// owner is down.
+	if s.cluster != nil {
+		if node, local := s.door.Route(req); !local {
+			st, err := s.cluster.Forward(node, tenant, req, "")
+			if err == nil {
+				s.rememberRoute(st.ID, node)
+				writeJSON(w, http.StatusCreated, st)
+				return
+			}
+			s.log.Printf("cluster: forward to %s failed (%v); serving locally", node, err)
+		}
+	}
+	j, coalesced, err := s.Admit(tenant, req)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	if coalesced {
+		w.Header().Set(CoalescedHeader, "true")
+	}
+	st := j.Status()
+	s.stampNode(&st)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// writeAdmitError maps the front door's rejection sentinels onto status
+// codes, shared by the client submit path and the cluster submit path.
+func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, frontdoor.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -310,13 +494,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		errors.Is(err, frontdoor.ErrSaturated):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.door.RetryAfter())))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
-		if coalesced {
-			w.Header().Set(CoalescedHeader, "true")
-		}
-		writeJSON(w, http.StatusCreated, j.Status())
+		writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
@@ -331,20 +510,36 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.List())
+	all := s.List()
+	for i := range all {
+		s.stampNode(&all[i])
+	}
+	writeJSON(w, http.StatusOK, all)
 }
 
+// jobFor resolves {id} to a local job. In cluster mode, a job this node
+// forwarded elsewhere is proxied to its owner instead (the response is
+// then already written).
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*sched.Job, bool) {
-	j, ok := s.sched.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	if j, ok := s.sched.Get(id); ok {
+		return j, true
 	}
-	return j, ok
+	if s.cluster != nil {
+		if node, ok := s.routeOf(id); ok {
+			s.cluster.ProxyJob(w, r, node)
+			return nil, false
+		}
+	}
+	writeError(w, http.StatusNotFound, "no such job %q", id)
+	return nil, false
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.jobFor(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Status())
+		st := j.Status()
+		s.stampNode(&st)
+		writeJSON(w, http.StatusOK, st)
 	}
 }
 
@@ -498,6 +693,103 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 			"requeued":    fresh,
 		})
 	}
+}
+
+// ---- cluster endpoints ----
+
+// requireCluster 404s the peer endpoints on a single-node daemon.
+func (s *Server) requireCluster(w http.ResponseWriter) bool {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "cluster mode disabled (start sgxd with -peers)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.StatusReport())
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	var b cluster.Beat
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.ReceiveBeat(b))
+}
+
+// handleClusterResult serves a verified result body to a peer. It reads
+// the raw disk store — never the peer-fetch path — so two nodes missing
+// the same digest can never chase each other in a fetch cycle. The
+// store's Get re-verifies checksum and version on the way out; the
+// fetching side re-verifies again on arrival.
+func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	key := r.PathValue("key")
+	version := r.URL.Query().Get("version")
+	if version == "" {
+		version = bench.SimVersion
+	}
+	body, meta, ok := s.store.Get(key, version)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no verified result for %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.ResultEnvelope{Meta: meta, Body: body})
+}
+
+// handleClusterSubmit is the owner side of route-or-serve: a peer
+// forwarded this submission here, so admit it locally (never re-route —
+// the forwarding node already ran placement, and one hop is the protocol).
+func (s *Server) handleClusterSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, coalesced, err := s.Admit(r.Header.Get(TenantHeader), req)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	if recoveredFrom := r.Header.Get(cluster.RecoveredHeader); recoveredFrom != "" && !coalesced {
+		j.SetRecoveredFrom(recoveredFrom)
+	}
+	if coalesced {
+		w.Header().Set(CoalescedHeader, "true")
+	}
+	st := j.Status()
+	s.stampNode(&st)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleClusterSteal(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	max := 1
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	jobs := s.cluster.Donate(max)
+	if jobs == nil {
+		jobs = []sched.PendingJob{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
 }
 
 // handleReady is the readiness probe: journal replay finished, the store
