@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full chaos cluster-smoke bench bench-json golden drift experiments load
+.PHONY: ci vet build test race test-race-full chaos cluster-smoke stress-smoke bench bench-json golden drift experiments load
 
 ci: vet build test race
 
@@ -40,6 +40,12 @@ chaos:
 cluster-smoke:
 	bash ./scripts/cluster_smoke.sh
 
+# One small cell per stress kernel through a real sgxd, byte-identical to
+# sgxbench, plus the -epc-bytes knob end-to-end. Same gate the CI
+# stress-smoke job runs.
+stress-smoke:
+	bash ./scripts/stress_smoke.sh
+
 # Deep protocol-checking tier: the same explorer `go test` runs at ~12k
 # interleavings, with CI's DFS budget plus the seeded random walk. Same
 # gate the CI protocheck job runs.
@@ -51,10 +57,13 @@ protocheck:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
-# Record the benchmark sweep plus the sgxd cold/warm serving comparison.
+# Record the benchmark sweep plus the sgxd cold/warm serving comparison,
+# and the stress-kernel headline data (paging cliff, multitask sweep).
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -serve fig1 > BENCH_serve.json
 	@echo wrote BENCH_serve.json
+	$(GO) run ./cmd/benchjson -stress > BENCH_stress.json
+	@echo wrote BENCH_stress.json
 
 # Open-loop load run against a freshly booted sgxd on a cold store:
 # records submit-latency percentiles, the coalescing ratio, and the 429
@@ -75,6 +84,7 @@ load:
 # Refresh the formatter golden files after an intended output change.
 golden:
 	$(GO) test ./internal/bench -run Golden -update
+	$(GO) test ./internal/stress -run Golden -update
 
 # Golden-drift check, locally reproducible: regenerate the captured
 # experiment output and every golden file from this checkout, then fail on
@@ -82,7 +92,7 @@ golden:
 drift:
 	$(GO) run ./cmd/sgxbench -experiment all > experiments_output.txt
 	$(MAKE) golden
-	git diff --exit-code experiments_output.txt internal/bench/testdata/
+	git diff --exit-code experiments_output.txt internal/bench/testdata/ internal/stress/testdata/
 
 experiments:
 	$(GO) run ./cmd/sgxbench -experiment all -progress

@@ -9,6 +9,10 @@
 // the first (cold) submission simulates every cell, the second (warm) must
 // come back from disk with zero simulated cells — the daemon's headline
 // win. Timings are wall-clock on the current host.
+//
+// -stress instead records the stress-kernel headline data (the epc-thrash
+// paging cliff and the multitask task-count sweep, per policy) as
+// structured cells; `make bench-json` commits it as BENCH_stress.json.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"sgxbounds/internal/bench"
 	"sgxbounds/internal/serve"
 	"sgxbounds/internal/serve/store"
+	"sgxbounds/internal/stress"
+	"sgxbounds/internal/workloads"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -46,16 +52,40 @@ type ServeResult struct {
 	Speedup       float64 `json:"speedup"`
 }
 
+// StressCell is one (size, policy) cell of a stress-kernel sweep.
+type StressCell struct {
+	Size            string  `json:"size"`
+	Param           uint64  `json:"param"` // kernel parameter: ws_bytes or tasks
+	Policy          string  `json:"policy"`
+	Outcome         string  `json:"outcome"`
+	Cycles          uint64  `json:"cycles"`
+	Accesses        uint64  `json:"accesses"`
+	CyclesPerAccess float64 `json:"cycles_per_access"`
+	WarmFaults      uint64  `json:"warm_faults,omitempty"`
+	ColdFaults      uint64  `json:"cold_faults,omitempty"`
+	PeakReserved    uint64  `json:"peak_reserved_bytes,omitempty"`
+}
+
+// StressResult is the headline stress data: the epc-thrash paging cliff
+// and the multitask task-count sweep, one cell per (size, policy).
+type StressResult struct {
+	EPCBytes  uint64       `json:"epc_bytes"` // effective capacity of the thrash sweep
+	Thrash    []StressCell `json:"epc_thrash"`
+	Multitask []StressCell `json:"multitask"`
+}
+
 // Output is the document benchjson emits.
 type Output struct {
-	GeneratedUnix int64        `json:"generated_unix"`
-	SimVersion    string       `json:"sim_version"`
-	Serve         *ServeResult `json:"serve,omitempty"`
-	Benchmarks    []Benchmark  `json:"benchmarks,omitempty"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	SimVersion    string        `json:"sim_version"`
+	Serve         *ServeResult  `json:"serve,omitempty"`
+	Stress        *StressResult `json:"stress,omitempty"`
+	Benchmarks    []Benchmark   `json:"benchmarks,omitempty"`
 }
 
 func main() {
 	serveExp := flag.String("serve", "", "also measure cold/warm serving of this experiment")
+	stressRun := flag.Bool("stress", false, "record the stress-kernel headline sweeps (epc-thrash, multitask)")
 	parallel := flag.Int("parallel", 0, "engine workers for the serve measurement")
 	flag.Parse()
 	log.SetFlags(0)
@@ -79,11 +109,52 @@ func main() {
 		}
 		out.Serve = res
 	}
+	if *stressRun {
+		out.Stress = measureStress(*parallel)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// measureStress runs the epc-thrash and multitask sweeps in-process (table
+// text goes to stderr; the JSON cells are the committed artifact).
+func measureStress(parallel int) *StressResult {
+	eng := bench.NewEngine(parallel)
+	thrash := stress.EPCThrash(eng, os.Stderr, stress.AllSizes, 0)
+	multi := stress.Multitask(eng, os.Stderr, stress.AllSizes)
+	res := &StressResult{EPCBytes: thrash.EPCBytes}
+	for _, size := range stress.AllSizes {
+		for _, pol := range bench.PolicyNames {
+			if r, ok := thrash.Cells[size][pol]; ok {
+				res.Thrash = append(res.Thrash, stressCell(size, uint64(thrash.WS[size]), pol, r))
+			}
+			if r, ok := multi.Cells[size][pol]; ok {
+				res.Multitask = append(res.Multitask, stressCell(size, multi.Param[size], pol, r))
+			}
+		}
+	}
+	return res
+}
+
+func stressCell(size workloads.Size, param uint64, pol string, r bench.Result) StressCell {
+	c := StressCell{
+		Size:         size.String(),
+		Param:        param,
+		Policy:       pol,
+		Outcome:      r.Outcome.String(),
+		Cycles:       r.Cycles,
+		Accesses:     r.Totals.Accesses(),
+		WarmFaults:   r.Totals.PageFaults,
+		ColdFaults:   r.Totals.ColdFaults,
+		PeakReserved: r.PeakReserved,
+	}
+	if c.Accesses != 0 {
+		c.CyclesPerAccess = float64(c.Cycles) / float64(c.Accesses)
+	}
+	return c
 }
 
 // parseBench extracts Benchmark lines from `go test -bench` output:

@@ -3,7 +3,8 @@
 // overheads), Figure 8 + Table 3 (working-set sweep), Figure 9 (thread
 // scaling), Figure 10 (optimisation ablation), Figure 11 (SPEC inside SGX),
 // Figure 12 (SPEC outside SGX), Figure 13 (case studies) and Table 4
-// (RIPE).
+// (RIPE) — plus the SGX stress kernels of internal/stress (epc-thrash,
+// transition-storm, multitask, ptrchase), which -epc-bytes parameterises.
 //
 // Experiment cells are independent (each builds a private simulated
 // machine), so they are fanned across -parallel host workers and memoised:
@@ -18,8 +19,10 @@
 //
 // Usage:
 //
-//	sgxbench -experiment <fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table4|all> [-threads 8]
+//	sgxbench -experiment <fig1|...|table4|epc-thrash|transition-storm|multitask|ptrchase|all> [-threads 8]
 //	sgxbench -experiment all [-parallel 8] [-progress]
+//	sgxbench -experiment epc-thrash -epc-bytes 2097152   # sweep against a 2 MB EPC
+//	sgxbench -experiment grid -workloads epc_thrash -policies sgx,sgxbounds -size XS
 //	sgxbench -experiment fig9 -trace -trace-out fig9   # then: sgxtrace summarize fig9.profile.json
 package main
 
@@ -33,12 +36,17 @@ import (
 	"strings"
 
 	"sgxbounds/internal/bench"
+	_ "sgxbounds/internal/stress" // registers the stress experiments
 	"sgxbounds/internal/telemetry"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", bench.ExperimentUsage())
 	threads := flag.Int("threads", bench.DefaultThreads, "worker threads for the multithreaded suites")
+	epcBytes := flag.Uint64("epc-bytes", 0, "EPC capacity override for EPC-aware experiments (0 = scaled default)")
+	size := flag.String("size", "", "input size class for the custom grid (XS|S|M|L|XL)")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workloads for the custom grid")
+	policies := flag.String("policies", "", "comma-separated policies for the custom grid")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report cell progress and per-policy cycle totals to stderr")
 	csvDir := flag.String("csv", "", "also write grid CSVs into this directory (fig7/fig8/fig11/fig12)")
@@ -107,7 +115,13 @@ func main() {
 			return os.Create(*csvDir + "/" + name + ".csv")
 		}
 	}
-	job := bench.Job{Experiment: *exp, Threads: *threads}
+	job := bench.Job{Experiment: *exp, Threads: *threads, Size: *size, EPCBytes: *epcBytes}
+	if *workloadsFlag != "" {
+		job.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	if *policies != "" {
+		job.Policies = strings.Split(*policies, ",")
+	}
 	if err := bench.RunJob(eng, job, os.Stdout, csv); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -184,6 +184,7 @@ func (c *client) submit(args []string) error {
 	size := fs.String("size", "", "working-set size class (grid)")
 	workloadsF := fs.String("workloads", "", "comma-separated workloads (grid)")
 	policies := fs.String("policies", "", "comma-separated policies (grid)")
+	epcBytes := fs.Uint64("epc-bytes", 0, "EPC capacity override for EPC-aware experiments (0 = server default)")
 	parallel := fs.Int("parallel", 0, "engine workers for this job")
 	deadline := fs.Duration("deadline", 0, "per-attempt deadline (0 = server default)")
 	trace := fs.Bool("trace", false, "record structured events in the profile")
@@ -207,6 +208,7 @@ func (c *client) submit(args []string) error {
 		Size:       *size,
 		Workloads:  splitList(*workloadsF),
 		Policies:   splitList(*policies),
+		EPCBytes:   *epcBytes,
 		Parallel:   *parallel,
 		DeadlineMS: deadline.Milliseconds(),
 		Trace:      *trace,

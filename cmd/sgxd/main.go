@@ -67,6 +67,7 @@ import (
 	"sgxbounds/internal/faultline"
 	"sgxbounds/internal/serve"
 	"sgxbounds/internal/serve/store"
+	_ "sgxbounds/internal/stress" // registers the stress experiments
 )
 
 func main() {
@@ -80,6 +81,7 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection spec file (JSON; see internal/faultline)")
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per job before quarantine")
 	deadline := flag.Duration("deadline", 0, "default per-attempt job deadline (0 = unbounded)")
+	epcBytes := flag.Uint64("epc-bytes", 0, "default EPC capacity for EPC-aware submissions (0 = scaled default)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes (0 disables the LRU tier)")
 	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst allowance (with -tenant-rps)")
@@ -140,6 +142,7 @@ func main() {
 		Faults:            inj,
 		MaxAttempts:       *maxAttempts,
 		DefaultDeadline:   *deadline,
+		DefaultEPCBytes:   *epcBytes,
 		CacheBytes:        *cacheBytes,
 		TenantRPS:         *tenantRPS,
 		TenantBurst:       *tenantBurst,

@@ -118,6 +118,26 @@ func Summarize(w io.Writer, rp *telemetry.RunProfile, top int, onlyCell string) 
 		fmt.Fprintf(w, "   epc: faults %d (cold %d, warm %d)   evictions %d\n",
 			cnt("run.epc_faults"), cnt("run.cold_faults"), cnt("run.page_faults"),
 			cnt("run.epc_evictions"))
+		// Capacity counters appeared with the stress kernels; older profiles
+		// lack them, so the section is gated on presence to keep historic
+		// summaries byte-identical.
+		if has("run.epc_capacity_pages") {
+			capPages := cnt("run.epc_capacity_pages")
+			peak := cnt("run.epc_resident_peak_pages")
+			pct := 0.0
+			if capPages > 0 {
+				pct = float64(peak) / float64(capPages) * 100
+			}
+			rate := 0.0
+			if acc := cnt("run.loads") + cnt("run.stores"); acc > 0 {
+				rate = float64(cnt("run.epc_faults")) * 1000 / float64(acc)
+			}
+			fmt.Fprintf(w, "   epc capacity %d pages   resident high-water %d (%.0f%% of EPC)   footprint %d pages   fault rate %.2f/1k accesses\n",
+				capPages, peak, pct, cnt("run.epc_touched_pages"), rate)
+		}
+		if has("run.transitions") {
+			fmt.Fprintf(w, "   transitions %d\n", cnt("run.transitions"))
+		}
 
 		agg := policies[policyOf(c.Label)]
 		if agg == nil {

@@ -114,6 +114,64 @@ func TestDiffIsSelfEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeEPCSection(t *testing.T) {
+	// Profiles recorded after the stress kernels carry the EPC capacity and
+	// transition counters; the summary must surface them — and older
+	// profiles without them (a.profile.json) must not grow the section.
+	rp := &telemetry.RunProfile{
+		Version: telemetry.ProfileVersion,
+		Cells: []telemetry.CellDump{{
+			Label: "epc_thrash/sgx/M/t1",
+			Counters: map[string]uint64{
+				"run.cycles":                  1_000_000,
+				"run.loads":                   40_000,
+				"run.stores":                  10_000,
+				"run.epc_faults":              250,
+				"run.cold_faults":             100,
+				"run.page_faults":             150,
+				"run.epc_evictions":           150,
+				"run.epc_capacity_pages":      1536,
+				"run.epc_resident_peak_pages": 1536,
+				"run.epc_touched_pages":       3072,
+				"run.transitions":             42,
+				"epc.faults":                  250,
+				"epc.cold_faults":             100,
+				"epc.evictions":               150,
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	ok, err := Summarize(&buf, rp, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("reconciliation failed on a consistent profile:\n%s", buf.String())
+	}
+	for _, want := range []string{
+		"epc capacity 1536 pages",
+		"resident high-water 1536 (100% of EPC)",
+		"footprint 3072 pages",
+		"fault rate 5.00/1k accesses",
+		"transitions 42",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	old := loadProfile(t, "a.profile.json")
+	buf.Reset()
+	if _, err := Summarize(&buf, old, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"epc capacity", "transitions "} {
+		if bytes.Contains(buf.Bytes(), []byte(absent)) {
+			t.Errorf("legacy profile summary grew a %q line:\n%s", absent, buf.String())
+		}
+	}
+}
+
 func TestPolicyOf(t *testing.T) {
 	cases := map[string]string{
 		"kmeans/sgxbounds/L/t8":       "sgxbounds",

@@ -131,9 +131,13 @@ func publishRun(p *telemetry.Profile, env *harden.Env, c *perf.Counters, cycles,
 	add("run.page_faults", c.PageFaults)
 	add("run.cold_faults", c.ColdFaults)
 	add("run.peak_reserved_bytes", peakReserved)
+	add("run.transitions", c.Transitions)
 	if epc := env.M.EPC; epc != nil {
 		add("run.epc_faults", epc.Faults())
 		add("run.epc_evictions", epc.Evictions())
+		add("run.epc_capacity_pages", uint64(epc.Capacity()))
+		add("run.epc_resident_peak_pages", uint64(epc.PeakResident()))
+		add("run.epc_touched_pages", uint64(epc.TouchedPages()))
 	}
 }
 

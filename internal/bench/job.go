@@ -15,7 +15,7 @@ import (
 // experiment's byte output (the same changes that force `make golden` /
 // `make drift` updates); stale store entries then read as misses and are
 // recomputed instead of serving outdated tables.
-const SimVersion = "sgxbounds-sim/4"
+const SimVersion = "sgxbounds-sim/5"
 
 // Job is the canonical description of one experiment request: the unit
 // sgxd digests, queues and stores. Two jobs with the same canonical form
@@ -30,6 +30,10 @@ type Job struct {
 	Workloads []string `json:"workloads,omitempty"`
 	Policies  []string `json:"policies,omitempty"`
 	Size      string   `json:"size,omitempty"`
+
+	// EPCBytes overrides the simulated EPC capacity for experiments that
+	// declare UsesEPC (0 = enclave.DefaultEPCBytes).
+	EPCBytes uint64 `json:"epc_bytes,omitempty"`
 }
 
 // KnownPolicies lists every mechanism name NewPolicy accepts.
@@ -61,9 +65,9 @@ func ParseSize(name string) (workloads.Size, error) {
 // the threaded suites and fig13).
 func (j Job) Canonical() Job {
 	c := Job{Experiment: j.Experiment}
-	usesThreads, usesRequests, usesGrid := true, true, false
+	usesThreads, usesRequests, usesGrid, usesEPC := true, true, false, true
 	if exp, ok := LookupExperiment(j.Experiment); ok {
-		usesThreads, usesRequests, usesGrid = exp.UsesThreads, exp.UsesRequests, exp.UsesGrid
+		usesThreads, usesRequests, usesGrid, usesEPC = exp.UsesThreads, exp.UsesRequests, exp.UsesGrid, exp.UsesEPC
 	}
 	if usesThreads {
 		c.Threads = j.Threads
@@ -93,6 +97,9 @@ func (j Job) Canonical() Job {
 			c.Size = workloads.L.String()
 		}
 	}
+	if usesEPC {
+		c.EPCBytes = j.EPCBytes // 0 (the default capacity) stays omitted
+	}
 	return c
 }
 
@@ -120,8 +127,18 @@ func (j Job) Validate() error {
 			return err
 		}
 	}
+	if c.EPCBytes != 0 && (c.EPCBytes < MinEPCBytes || c.EPCBytes > MaxEPCBytes) {
+		return fmt.Errorf("bench: epc_bytes %d out of range [%d, %d]", c.EPCBytes, MinEPCBytes, MaxEPCBytes)
+	}
 	return nil
 }
+
+// EPC capacity override bounds: at least one page, at most 1 GiB (the whole
+// simulated 32-bit address space is only 4 GiB).
+const (
+	MinEPCBytes = 4096
+	MaxEPCBytes = 1 << 30
+)
 
 // Digest returns the content address of this job's result: a hex SHA-256
 // over the canonical job spec and the simulator version stamp. Any change
@@ -148,6 +165,7 @@ func (j Job) Opts(csv CSVSink) RunOpts {
 		Requests:  c.Requests,
 		Workloads: c.Workloads,
 		Policies:  c.Policies,
+		EPCBytes:  c.EPCBytes,
 		CSV:       csv,
 	}
 	if c.Size != "" {

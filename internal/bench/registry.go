@@ -34,6 +34,10 @@ type RunOpts struct {
 	Policies  []string
 	Size      workloads.Size
 
+	// EPCBytes overrides the simulated EPC capacity for experiments that
+	// declare UsesEPC (0 = enclave.DefaultEPCBytes).
+	EPCBytes uint64
+
 	// CSV, when non-nil, additionally exports grid-shaped results.
 	CSV CSVSink
 }
@@ -77,12 +81,14 @@ type Experiment struct {
 	Name string
 	Desc string
 
-	// UsesThreads / UsesRequests / UsesGrid mark which RunOpts fields the
-	// experiment reads. Job.Canonical zeroes the rest, so jobs differing
-	// only in an ignored parameter share one digest (and one store entry).
+	// UsesThreads / UsesRequests / UsesGrid / UsesEPC mark which RunOpts
+	// fields the experiment reads. Job.Canonical zeroes the rest, so jobs
+	// differing only in an ignored parameter share one digest (and one
+	// store entry).
 	UsesThreads  bool
 	UsesRequests bool
 	UsesGrid     bool
+	UsesEPC      bool
 
 	// Custom marks parameterised experiments excluded from the "all" sweep.
 	Custom bool
@@ -146,7 +152,7 @@ var Experiments = []Experiment{
 		Run:  func(e *Engine, w io.Writer, opts RunOpts) error { e.Table4(w); return nil },
 	},
 	{
-		Name: "grid", Desc: "custom cell grid: chosen workloads x policies at one size", UsesThreads: true, UsesGrid: true, Custom: true,
+		Name: "grid", Desc: "custom cell grid: chosen workloads x policies at one size", UsesThreads: true, UsesGrid: true, UsesEPC: true, Custom: true,
 		Run: func(e *Engine, w io.Writer, opts RunOpts) error {
 			ws := make([]workloads.Workload, 0, len(opts.Workloads))
 			for _, name := range opts.Workloads {
@@ -156,7 +162,11 @@ var Experiments = []Experiment{
 				}
 				ws = append(ws, wl)
 			}
-			grid := e.RunGrid(io.Discard, ws, opts.Policies, opts.Size, opts.threads(), machine.DefaultConfig())
+			cfg := machine.DefaultConfig()
+			if opts.EPCBytes != 0 {
+				cfg.Enclave.EPCBytes = opts.EPCBytes
+			}
+			grid := e.RunGrid(io.Discard, ws, opts.Policies, opts.Size, opts.threads(), cfg)
 			tab := &Table{
 				Title:  fmt.Sprintf("Custom grid (%s, %d threads): cycles / peak reserved VM", opts.Size, opts.threads()),
 				Header: append([]string{"benchmark"}, opts.Policies...),

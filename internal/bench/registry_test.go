@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// mustPanic runs f and fails the test unless it panics. Register's panics
+// are the registry's only integrity guard: a silent duplicate would make
+// LookupExperiment (and therefore job canonicalisation and store keys)
+// depend on registration order.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	f()
+}
+
+func TestRegisterRejectsCollisions(t *testing.T) {
+	before := len(Experiments)
+	mustPanic(t, "duplicate name", func() {
+		Register(Experiment{Name: Experiments[0].Name, Desc: "imposter"})
+	})
+	mustPanic(t, `reserved name "all"`, func() {
+		Register(Experiment{Name: "all", Desc: "shadows the sweep"})
+	})
+	mustPanic(t, "empty name", func() {
+		Register(Experiment{Name: ""})
+	})
+	if len(Experiments) != before {
+		t.Fatalf("a rejected registration still grew the registry: %d -> %d", before, len(Experiments))
+	}
+}

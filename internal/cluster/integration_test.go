@@ -483,12 +483,31 @@ func TestDeadNodeRecoveryExactlyOnce(t *testing.T) {
 	for _, req := range specs {
 		submitPinned(t, doomed.url, req)
 	}
-	// Let at least two beats carry the pending set to the survivors.
-	time.Sleep(100 * time.Millisecond)
+	// Wait until beats have carried the full pending set to both survivors
+	// (a fixed sleep flakes when the suite saturates the CPU): recovery can
+	// only adopt what the heartbeats delivered before the silence.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		carried := 0
+		for _, n := range survivors {
+			for _, row := range clusterStatus(t, n.url).Nodes {
+				if row.ID == doomed.id && row.Pending == len(specs) {
+					carried++
+				}
+			}
+		}
+		if carried == len(survivors) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeats never carried the doomed node's pending set")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 
 	doomed.stop() // Abort + listener close: no goodbye, like SIGKILL
 
-	deadline := time.Now().Add(10 * time.Second)
+	deadline = time.Now().Add(10 * time.Second)
 	for {
 		dead := 0
 		for _, n := range survivors {

@@ -253,6 +253,25 @@ func (e *EPC) ResidentPages() int {
 	return n
 }
 
+// PeakResident returns the resident-page high-water mark. The CLOCK ring
+// only ever grows (evictions replace a slot in place), so its length is the
+// largest resident count the run has reached.
+func (e *EPC) PeakResident() int {
+	e.mu.Lock()
+	n := len(e.ring)
+	e.mu.Unlock()
+	return n
+}
+
+// TouchedPages returns the number of distinct pages ever brought into the
+// EPC — the run's total enclave page footprint, independent of eviction.
+func (e *EPC) TouchedPages() int {
+	e.mu.Lock()
+	n := len(e.seen)
+	e.mu.Unlock()
+	return n
+}
+
 // Faults returns the cumulative number of EPC page faults.
 func (e *EPC) Faults() uint64 {
 	e.mu.Lock()

@@ -176,6 +176,7 @@ func New(cfg Config) *Machine {
 			faultCycles:  p.Histogram("machine.fault_service_cycles"),
 			batchLines:   p.Histogram("machine.batch_lines"),
 			batchCycles:  p.Histogram("machine.batch_cycles"),
+			transitions:  p.Counter("machine.transitions"),
 		}
 		m.L3.Instrument(p.Counter("llc.accesses"), p.Counter("llc.misses"))
 		m.AS.Instrument(p.Counter("mem.page_commits"), p.Counter("mem.page_decommits"))
@@ -199,6 +200,7 @@ type probes struct {
 	faultCycles  *telemetry.Histogram // service cost of each warm EPC fault
 	batchLines   *telemetry.Histogram // lines per batched access
 	batchCycles  *telemetry.Histogram // cycles charged per batched access
+	transitions  *telemetry.Counter   // enclave boundary crossings
 }
 
 // MEEBurstLines is the memory-level line count at which a single batched
@@ -376,6 +378,23 @@ func (m *Machine) NewThread() *Thread {
 func (t *Thread) Instr(n uint64) {
 	t.C.Instr += n
 	t.C.Cycles += n * t.M.Cfg.Cost.Instr
+}
+
+// Transition models one synchronous boundary crossing: inside an enclave an
+// EENTER/EEXIT round trip (an ocall or ecall, with the TLB flush and cache
+// refill the crossing causes folded into the constant), outside an enclave a
+// plain syscall. The crossing itself retires no workload instructions and
+// touches no simulated memory — callers charge any argument marshalling as
+// ordinary accesses around it.
+func (t *Thread) Transition() {
+	if t.cancel != nil && t.cancel.Load() {
+		panic(ErrCanceled)
+	}
+	t.C.Transitions++
+	t.C.Cycles += t.M.costs.Transition
+	if t.tel != nil {
+		t.tel.transitions.Inc()
+	}
 }
 
 // accessLine runs one cache-line access through the hierarchy and charges

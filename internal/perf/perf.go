@@ -49,12 +49,13 @@ type Counters struct {
 
 	Hits [numLevels]uint64 // accesses served at each level
 
-	PageFaults uint64 // EPC page faults (paging an evicted page back in)
-	ColdFaults uint64 // compulsory EPC faults (fresh pages, EAUG-style)
-	Allocs     uint64 // heap allocations
-	Frees      uint64 // heap frees
-	Checks     uint64 // bounds checks executed
-	Violations uint64 // bounds violations observed (boundless mode)
+	PageFaults  uint64 // EPC page faults (paging an evicted page back in)
+	ColdFaults  uint64 // compulsory EPC faults (fresh pages, EAUG-style)
+	Allocs      uint64 // heap allocations
+	Frees       uint64 // heap frees
+	Checks      uint64 // bounds checks executed
+	Violations  uint64 // bounds violations observed (boundless mode)
+	Transitions uint64 // enclave boundary crossings (ocall/ecall round trips)
 
 	Cycles uint64 // total simulated cycles
 }
@@ -73,6 +74,7 @@ func (c *Counters) Add(o *Counters) {
 	c.Frees += o.Frees
 	c.Checks += o.Checks
 	c.Violations += o.Violations
+	c.Transitions += o.Transitions
 	c.Cycles += o.Cycles
 }
 
@@ -102,6 +104,16 @@ type CostModel struct {
 	// augments the enclave with a fresh zeroed page (EAUG/EACCEPT), with no
 	// eviction or decryption of previous content.
 	ColdFaultCost uint64
+
+	// TransitionCost is the cycle cost of one synchronous enclave boundary
+	// crossing — an EENTER/EEXIT round trip for an ocall or ecall. The
+	// constant folds in the TLB flush and cache refill the crossing causes,
+	// which is why it is far above a bare syscall.
+	TransitionCost uint64
+
+	// SyscallCost is the cycle cost of the same crossing outside an
+	// enclave: a plain syscall with no EEXIT/EENTER or TLB flush.
+	SyscallCost uint64
 }
 
 // Default returns the cost model used throughout the evaluation. The ratios
@@ -111,10 +123,12 @@ type CostModel struct {
 // paging overheads.
 func Default() CostModel {
 	m := CostModel{
-		Instr:         1,
-		MEEFactor:     3,
-		PageFaultCost: 40000,
-		ColdFaultCost: 3000,
+		Instr:          1,
+		MEEFactor:      3,
+		PageFaultCost:  40000,
+		ColdFaultCost:  3000,
+		TransitionCost: 7000,
+		SyscallCost:    150,
 	}
 	m.LevelCost[L1] = 4
 	m.LevelCost[L2] = 14
@@ -142,8 +156,9 @@ func (m *CostModel) AccessCost(l Level, enclave bool) uint64 {
 // so the access path indexes an array instead of re-deriving the cost of
 // every access through the AccessCost branch chain.
 type Table struct {
-	Level     [numLevels]uint64 // full per-access cost of a hit at each level
-	ColdFault uint64            // surcharge for a compulsory (EAUG) fault
+	Level      [numLevels]uint64 // full per-access cost of a hit at each level
+	ColdFault  uint64            // surcharge for a compulsory (EAUG) fault
+	Transition uint64            // one boundary crossing (enclave or syscall)
 }
 
 // Table materialises the [level x enclave] cost table for one enclave
@@ -154,6 +169,11 @@ func (m *CostModel) Table(enclave bool) Table {
 		t.Level[l] = m.AccessCost(l, enclave)
 	}
 	t.ColdFault = m.ColdFaultCost
+	if enclave {
+		t.Transition = m.TransitionCost
+	} else {
+		t.Transition = m.SyscallCost
+	}
 	return t
 }
 

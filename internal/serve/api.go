@@ -77,6 +77,7 @@ type ExperimentInfo struct {
 	UsesThreads  bool   `json:"uses_threads,omitempty"`
 	UsesRequests bool   `json:"uses_requests,omitempty"`
 	UsesGrid     bool   `json:"uses_grid,omitempty"`
+	UsesEPC      bool   `json:"uses_epc,omitempty"`
 	Custom       bool   `json:"custom,omitempty"`
 }
 
@@ -91,12 +92,13 @@ func ListExperiments() []ExperimentInfo {
 			UsesThreads:  exp.UsesThreads,
 			UsesRequests: exp.UsesRequests,
 			UsesGrid:     exp.UsesGrid,
+			UsesEPC:      exp.UsesEPC,
 			Custom:       exp.Custom,
 		})
 	}
 	infos = append(infos, ExperimentInfo{
 		Name: "all", Desc: "every non-custom experiment, in evaluation order",
-		UsesThreads: true, UsesRequests: true,
+		UsesThreads: true, UsesRequests: true, UsesEPC: true,
 	})
 	return infos
 }

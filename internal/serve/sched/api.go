@@ -34,6 +34,10 @@ type SubmitRequest struct {
 	Workloads  []string `json:"workloads,omitempty"`
 	Policies   []string `json:"policies,omitempty"`
 	Size       string   `json:"size,omitempty"`
+	// EPCBytes overrides the simulated EPC capacity for EPC-aware
+	// experiments (0 = the server's default). Part of the job's identity:
+	// a sweep against a different EPC is a different result.
+	EPCBytes uint64 `json:"epc_bytes,omitempty"`
 
 	// Parallel overrides the engine worker count for this job (0 = server
 	// default). Deliberately not part of the job's identity: engine results
@@ -61,6 +65,7 @@ func (r SubmitRequest) Job() bench.Job {
 		Workloads:  r.Workloads,
 		Policies:   r.Policies,
 		Size:       r.Size,
+		EPCBytes:   r.EPCBytes,
 	}
 }
 

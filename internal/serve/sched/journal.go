@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"sgxbounds/internal/protohook"
@@ -293,9 +294,13 @@ func (jn *Journal) Path() string {
 	return jn.path
 }
 
-// jobSeq parses the sequence number out of a "jNNNNNN" job ID (0 if the ID
-// is not in that form).
+// jobSeq parses the sequence number out of a "jNNNNNN" job ID, with or
+// without a node prefix ("n2-jNNNNNN" — cluster nodes namespace their IDs,
+// see sched.Config.IDPrefix). 0 if the ID is not in that form.
 func jobSeq(id string) int {
+	if i := strings.LastIndexByte(id, 'j'); i >= 0 {
+		id = id[i:]
+	}
 	var n int
 	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
 		return 0

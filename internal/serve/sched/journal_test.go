@@ -204,3 +204,25 @@ func TestJournalNilSafe(t *testing.T) {
 		t.Errorf("nil Path = %q", jn.Path())
 	}
 }
+
+// TestJobSeqPrefixed: cluster nodes mint node-prefixed IDs ("n2-j000017");
+// the journal's sequence watermark must parse those the same as bare IDs so
+// a replayed cluster node never reissues a consumed sequence number.
+func TestJobSeqPrefixed(t *testing.T) {
+	cases := []struct {
+		id   string
+		want int
+	}{
+		{"j000042", 42},
+		{"n2-j000042", 42},
+		{"node-j7-j000013", 13}, // only the last j-run counts
+		{"", 0},
+		{"n2-", 0},
+		{"bogus", 0},
+	}
+	for _, c := range cases {
+		if got := jobSeq(c.id); got != c.want {
+			t.Errorf("jobSeq(%q) = %d, want %d", c.id, got, c.want)
+		}
+	}
+}

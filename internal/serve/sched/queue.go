@@ -132,11 +132,12 @@ type queue struct {
 	backlog  chan *Job
 	wg       sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	idPrefix string
+	closed   bool
 }
 
 // newQueue starts workers goroutines draining a backlog of the given
@@ -229,7 +230,7 @@ func (q *queue) add(req SubmitRequest, spec bench.Job, key, id string, createdUn
 	}
 	if id == "" {
 		q.nextID++
-		id = fmt.Sprintf("j%06d", q.nextID)
+		id = fmt.Sprintf("%sj%06d", q.idPrefix, q.nextID)
 	}
 	j.status = JobStatus{
 		ID: id, Key: key, State: StateQueued, Job: spec,

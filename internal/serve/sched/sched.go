@@ -69,6 +69,13 @@ type Config struct {
 	// calls RunNext, on the caller's goroutine. This is the deterministic
 	// drive protocheck schedules; production daemons leave it false.
 	Manual bool
+	// IDPrefix namespaces minted job IDs ("<prefix>j000001"). Cluster
+	// nodes pass "<nodeID>-" so IDs are globally unique across the
+	// membership: the front node resolves a fetched ID either locally or
+	// through its forward-route table, and two nodes independently minting
+	// "j000001" would make that resolution ambiguous. Empty outside
+	// cluster mode (the historical format).
+	IDPrefix string
 }
 
 // Scheduler owns the job lifecycle: the bounded queue and its workers, the
@@ -169,6 +176,7 @@ func New(cfg Config) (*Scheduler, error) {
 	// Replayed jobs must all fit the backlog regardless of its configured
 	// size — rejecting a journaled job on boot would lose accepted work.
 	s.queue = newQueue(cfg.Workers, backlog+len(replay.Jobs), s.runJob, s.jobFinished, cfg.Hooks)
+	s.queue.idPrefix = cfg.IDPrefix
 	s.queue.setSeq(replay.MaxSeq)
 
 	for _, rj := range replay.Jobs {

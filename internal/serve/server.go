@@ -64,6 +64,13 @@ type Config struct {
 	// own deadline_ms (0 = unbounded).
 	DefaultDeadline time.Duration
 
+	// DefaultEPCBytes, when non-zero, is the EPC capacity applied to
+	// submissions that do not carry their own epc_bytes (sgxd's
+	// -epc-bytes flag). Resolved before the scheduler journals the
+	// request, so store keys, journal replay, and cluster forwarding all
+	// see the resolved capacity rather than a node-relative default.
+	DefaultEPCBytes uint64
+
 	// CacheBytes is the in-memory LRU result tier's budget
 	// (internal/serve/resultier). 0 disables the tier: every result read
 	// hits disk, which is what the corruption-recovery tests (and any
@@ -129,6 +136,8 @@ type Server struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
+	defaultEPC uint64 // Config.DefaultEPCBytes, applied at submission
+
 	// routed remembers which node a forwarded job landed on, so status,
 	// result, progress, profile, and cancel requests for it proxy there.
 	// Bounded FIFO: a client that lost its route past the bound resubmits
@@ -173,6 +182,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// Cluster nodes namespace their job IDs ("n2-j000017") so an ID minted
+	// on one node can never shadow a forwarded job's ID from another — the
+	// route table and the local scheduler share the jobFor lookup path.
+	idPrefix := ""
+	if cfg.Cluster != nil {
+		idPrefix = cfg.Cluster.Self + "-"
+	}
 	sc, err := sched.New(sched.Config{
 		Store:           results,
 		Workers:         cfg.Workers,
@@ -189,18 +205,20 @@ func New(cfg Config) (*Server, error) {
 		Hooks:           cfg.Hooks,
 		Compute:         cfg.Compute,
 		Manual:          cfg.Manual,
+		IDPrefix:        idPrefix,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	s := &Server{
-		store:   cfg.Store,
-		cache:   cache,
-		sched:   sc,
-		faults:  cfg.Faults,
-		log:     cfg.Log,
-		metrics: metrics,
+		store:      cfg.Store,
+		cache:      cache,
+		sched:      sc,
+		faults:     cfg.Faults,
+		log:        cfg.Log,
+		metrics:    metrics,
+		defaultEPC: cfg.DefaultEPCBytes,
 	}
 	doorCfg := frontdoor.Config{
 		Backend:           sc,
@@ -280,6 +298,7 @@ func (s *Server) Admit(tenant string, req SubmitRequest) (j *sched.Job, coalesce
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
+	s.applyDefaults(&req)
 	return s.door.Admit(tenant, req)
 }
 
@@ -287,7 +306,20 @@ func (s *Server) Admit(tenant string, req SubmitRequest) (j *sched.Job, coalesce
 // coalescing, no quotas. In-process tests, cmd tooling, and protocheck
 // (whose duplicate-submit program needs two identical submissions to stay
 // two jobs) use it; HTTP traffic goes through Admit.
-func (s *Server) Submit(req SubmitRequest) (*sched.Job, error) { return s.sched.Submit(req) }
+func (s *Server) Submit(req SubmitRequest) (*sched.Job, error) {
+	s.applyDefaults(&req)
+	return s.sched.Submit(req)
+}
+
+// applyDefaults resolves server-side submission defaults onto the request
+// before it reaches admission or the scheduler, so the journaled request —
+// and therefore replay, compaction, and cluster forwarding — carries the
+// resolved values.
+func (s *Server) applyDefaults(req *SubmitRequest) {
+	if req.EPCBytes == 0 {
+		req.EPCBytes = s.defaultEPC
+	}
+}
 
 // RunNext executes one queued job synchronously on the caller's goroutine,
 // returning false when nothing is queued. This is the drive for Manual

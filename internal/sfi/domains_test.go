@@ -1,0 +1,78 @@
+package sfi
+
+import (
+	"testing"
+
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/machine"
+)
+
+func TestDomainsInDomainAccessPasses(t *testing.T) {
+	c := newCtx(t)
+	d := NewDomains(2)
+	a := c.Malloc(64)
+	b := c.Malloc(64)
+	d.Bind(0, a.Addr(), a.Addr()+64)
+	d.Bind(1, b.Addr(), b.Addr()+64)
+
+	d.Switch(c.T, 0)
+	d.Check(c.T, a, 8, harden.Write)
+	c.StoreAt(a, 0, 8, 7)
+	d.Switch(c.T, 1)
+	d.Check(c.T, b, 8, harden.Read)
+	if got := c.LoadAt(b, 0, 8); got != 0 {
+		t.Errorf("fresh load = %d", got)
+	}
+}
+
+func TestDomainsCrossTaskAccessFaults(t *testing.T) {
+	// Task 0's domain is active; an access aimed at task 1's arena must
+	// raise a domain violation even though the base policy would pass it.
+	c := newCtx(t)
+	d := NewDomains(2)
+	a := c.Malloc(64)
+	b := c.Malloc(64)
+	d.Bind(0, a.Addr(), a.Addr()+64)
+	d.Bind(1, b.Addr(), b.Addr()+64)
+	d.Switch(c.T, 0)
+
+	out := harden.Capture(func() { d.Check(c.T, b, 8, harden.Write) })
+	if out.Violation == nil {
+		t.Fatal("cross-task access not detected")
+	}
+	if out.Violation.Policy != "sfi-domain" {
+		t.Errorf("violation policy = %q, want sfi-domain", out.Violation.Policy)
+	}
+	// Straddling the end of the task's own domain faults too.
+	out = harden.Capture(func() { d.Check(c.T, a+60, 8, harden.Read) })
+	if out.Violation == nil {
+		t.Error("domain-straddling access not detected")
+	}
+}
+
+func TestDomainsSwitchCost(t *testing.T) {
+	c := newCtx(t)
+	d := NewDomains(2)
+	lo := uint32(machine.HeapBase)
+	d.Bind(0, lo, lo+4096)
+	d.Bind(1, lo+4096, lo+8192)
+
+	before := c.T.C.Instr
+	d.Switch(c.T, 0)
+	if got := c.T.C.Instr - before; got != SwitchInstr {
+		t.Errorf("switch charged %d instructions, want %d", got, SwitchInstr)
+	}
+	// Re-switching to the active task is free: the bounds are loaded.
+	before = c.T.C.Instr
+	d.Switch(c.T, 0)
+	if got := c.T.C.Instr - before; got != 0 {
+		t.Errorf("redundant switch charged %d instructions, want 0", got)
+	}
+	d.Switch(c.T, 1)
+	if d.Switches() != 2 {
+		t.Errorf("switches = %d, want 2", d.Switches())
+	}
+	if d.Active() != 1 {
+		t.Errorf("active = %d, want 1", d.Active())
+	}
+}

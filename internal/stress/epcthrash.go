@@ -1,0 +1,180 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/workloads"
+)
+
+// The epc-thrash kernel sweeps one buffer through three access mixes. The
+// buffer scales with the machine's EPC capacity, not with an absolute byte
+// count: XS fits comfortably (EPC/4), M exactly fills the EPC, XL is 4x the
+// capacity. Below capacity every policy pays only its check cost; above it,
+// each pass evicts what the previous one faulted in and the cycles-per-access
+// curve jumps by the paging cost — the cliff ("A Comprehensive Benchmark
+// Suite for Intel SGX" measures exactly this on hardware). Because asan and
+// mpx keep disjoint metadata, their *effective* working sets cross the
+// capacity earlier than sgxbounds' in-pointer bounds — the reason the cliff
+// position is per-policy, not just per-buffer.
+
+// maxThrashBytes caps the buffer so extreme -epc-bytes overrides cannot
+// outgrow the 32-bit heap.
+const maxThrashBytes = 1 << 28
+
+// ThrashWorkingSet returns the epc-thrash buffer size for one input class:
+// a quarter of the EPC capacity at XS, doubling per class to 4x the
+// capacity at XL, page-aligned.
+func ThrashWorkingSet(epcBytes uint64, size workloads.Size) uint32 {
+	ws := effectiveEPC(epcBytes) / 4 * uint64(size.Factor())
+	if ws > maxThrashBytes {
+		ws = maxThrashBytes
+	}
+	ws &^= page - 1
+	if ws < page {
+		ws = page
+	}
+	return uint32(ws)
+}
+
+func runEPCThrash(c *harden.Ctx, threads int, size workloads.Size) uint64 {
+	ws := ThrashWorkingSet(epcCapacity(c), size)
+	buf := c.Malloc(ws)
+	bulkFill(c, buf, ws, 0xE9C7)
+	lines := ws / 64
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(lines, threads, i)
+		if lo >= hi {
+			return 0
+		}
+		span := (hi - lo) * 64
+		base := int64(lo) * 64
+		var d uint64
+
+		// Sequential: one checked 8-byte read per cache line, in order —
+		// the hardware-prefetch-friendly mix, and the cheapest way to fault
+		// every page exactly once above capacity.
+		for ln := lo; ln < hi; ln++ {
+			d = mix(d, w.LoadAt(buf, int64(ln)*64, 8))
+		}
+
+		// Strided: a page-plus-a-line stride, so consecutive accesses land
+		// on different pages *and* different cache sets. Same page count as
+		// sequential per byte touched, none of the locality.
+		stride := uint32(page) + 64
+		off := uint32(0)
+		for k := uint32(0); k < span/512; k++ {
+			d = mix(d, w.LoadAt(buf, base+int64(off&^7), 8))
+			off = (off + stride) % span
+		}
+
+		// Random with a read-modify-write every fourth access: the paper's
+		// "up to 2000x for random" paging regime.
+		r := newRNG(0xE9C70 + uint64(i)*0x9E3779B9)
+		for k := uint32(0); k < span/256; k++ {
+			o := base + int64(r.intn(span-8)&^7)
+			v := w.LoadAt(buf, o, 8)
+			d = mix(d, v)
+			if k%4 == 3 {
+				w.StoreAt(buf, o, 8, v^d)
+			}
+		}
+		return d
+	})
+}
+
+// ThrashResult is one epc-thrash sweep: cells indexed [size][policy], plus
+// the working-set bytes each size resolved to under the swept capacity.
+type ThrashResult struct {
+	EPCBytes uint64 // effective (page-rounded) EPC capacity of the sweep
+	WS       map[workloads.Size]uint32
+	Cells    map[workloads.Size]map[string]bench.Result
+}
+
+// EPCThrash runs the epc-thrash sweep over the given sizes under every
+// headline policy, printing the cycles-per-access and paging tables to w.
+// epcBytes overrides the EPC capacity (0 = the scaled default).
+func EPCThrash(e *bench.Engine, w io.Writer, sizes []workloads.Size, epcBytes uint64) ThrashResult {
+	cfg := stressConfig(epcBytes)
+	res := ThrashResult{
+		EPCBytes: effectiveEPC(epcBytes),
+		WS:       make(map[workloads.Size]uint32, len(sizes)),
+		Cells:    make(map[workloads.Size]map[string]bench.Result, len(sizes)),
+	}
+	var specs []bench.Spec
+	for _, size := range sizes {
+		res.WS[size] = ThrashWorkingSet(res.EPCBytes, size)
+		for _, pol := range bench.PolicyNames {
+			specs = append(specs, bench.Spec{Workload: "epc_thrash", Policy: pol, Size: size, Threads: 1, Config: cfg})
+		}
+	}
+	results := e.RunAll(specs)
+	for i, size := range sizes {
+		row := make(map[string]bench.Result, len(bench.PolicyNames))
+		for j, pol := range bench.PolicyNames {
+			row[pol] = results[i*len(bench.PolicyNames)+j]
+		}
+		res.Cells[size] = row
+	}
+
+	cpa := &bench.Table{
+		Title:  fmt.Sprintf("epc-thrash (EPC %s): cycles per access", bench.FmtMB(res.EPCBytes)),
+		Header: append([]string{"working set"}, bench.PolicyNames...),
+	}
+	paging := &bench.Table{
+		Title:  fmt.Sprintf("epc-thrash (EPC %s): EPC faults, warm / cold", bench.FmtMB(res.EPCBytes)),
+		Header: append([]string{"working set"}, bench.PolicyNames...),
+	}
+	for _, size := range sizes {
+		label := fmt.Sprintf("%-2s %s (%.2fx EPC)", size, bench.FmtMB(uint64(res.WS[size])), float64(res.WS[size])/float64(res.EPCBytes))
+		crow, prow := []string{label}, []string{label}
+		for _, pol := range bench.PolicyNames {
+			r := res.Cells[size][pol]
+			if r.Outcome.Crashed() {
+				crow = append(crow, r.Outcome.String())
+				prow = append(prow, r.Outcome.String())
+				continue
+			}
+			crow = append(crow, fmt.Sprintf("%.1f", cyclesPerAccess(r)))
+			prow = append(prow, fmt.Sprintf("%d / %d", r.Totals.PageFaults, r.Totals.ColdFaults))
+		}
+		cpa.AddRow(crow...)
+		paging.AddRow(prow...)
+	}
+	cpa.Fprint(w)
+	paging.Fprint(w)
+	return res
+}
+
+func cyclesPerAccess(r bench.Result) float64 {
+	if acc := r.Totals.Accesses(); acc != 0 {
+		return float64(r.Cycles) / float64(acc)
+	}
+	return 0
+}
+
+// WriteThrashCSV exports one epc-thrash sweep, one row per cell.
+func WriteThrashCSV(w io.Writer, res ThrashResult) error {
+	if _, err := fmt.Fprintln(w, "size,ws_bytes,ws_over_epc,policy,outcome,cycles,accesses,cycles_per_access,warm_faults,cold_faults"); err != nil {
+		return err
+	}
+	for _, size := range AllSizes {
+		row, ok := res.Cells[size]
+		if !ok {
+			continue
+		}
+		for _, pol := range bench.PolicyNames {
+			r := row[pol]
+			_, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%s,%d,%d,%.2f,%d,%d\n",
+				size, res.WS[size], float64(res.WS[size])/float64(res.EPCBytes), pol,
+				r.Outcome, r.Cycles, r.Totals.Accesses(), cyclesPerAccess(r),
+				r.Totals.PageFaults, r.Totals.ColdFaults)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package stress
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// smallSizes keeps the pinned sweeps fast: the goldens exist to catch text
+// or simulation drift, not to re-chart the full cliff.
+var smallSizes = []workloads.Size{workloads.XS, workloads.S}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update — the same contract as the bench goldens: an
+// accidental change to a kernel or a formatter cannot silently change the
+// published stress tables.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/stress -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output changed (rerun with -update if intended)\n--- want ---\n%s--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+func TestGoldenEPCThrash(t *testing.T) {
+	var buf bytes.Buffer
+	// A 1 MB EPC keeps the reduced sweep on both sides of the cliff.
+	EPCThrash(bench.NewEngine(4), &buf, smallSizes, 1<<20)
+	checkGolden(t, "epc-thrash", buf.Bytes())
+}
+
+func TestGoldenTransitionStorm(t *testing.T) {
+	var buf bytes.Buffer
+	TransitionStorm(bench.NewEngine(4), &buf, smallSizes)
+	checkGolden(t, "transition-storm", buf.Bytes())
+}
+
+func TestGoldenMultitask(t *testing.T) {
+	var buf bytes.Buffer
+	Multitask(bench.NewEngine(4), &buf, smallSizes)
+	checkGolden(t, "multitask", buf.Bytes())
+}
+
+func TestGoldenPtrChase(t *testing.T) {
+	var buf bytes.Buffer
+	PtrChase(bench.NewEngine(4), &buf, smallSizes)
+	checkGolden(t, "ptrchase", buf.Bytes())
+}

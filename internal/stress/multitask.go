@@ -1,0 +1,164 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/sfi"
+	"sgxbounds/internal/workloads"
+)
+
+// The multitask kernel is the Occlum scenario: a library OS multiplexing N
+// isolated tasks inside one enclave address space, each task confined to its
+// own MPX-bounded fault domain (sfi.Domains) with the domain bounds reloaded
+// on every task switch. The hardening policy still guards every object; the
+// domain check layers on top, exactly as Occlum layers intra-enclave
+// isolation over whatever the application already does. Sweeping the task
+// count is the point of the experiment: sgxbounds keeps its bounds inside
+// the pointers, so N tasks cost N arenas and nothing more, while asan's
+// shadow and mpx's bounds tables grow disjoint per-task state — the
+// shadow-scaling gap the tables chart.
+
+const (
+	taskArenaBytes = 64 << 10 // one task's domain-bound arena
+	taskSlots      = 64       // pointer slots at the arena base (spill area)
+	taskObjBytes   = 1024     // bump-allocated object pitch inside the arena
+	taskObjs       = 48       // objects bump-allocated per arena
+	taskRounds     = 6        // scheduler rounds over all tasks
+	taskAccesses   = 256      // checked accesses per task per round
+	taskScratch    = 1024     // per-round LibOS message buffer
+)
+
+// multitaskTasks returns the task count for one input class (4 at XS
+// doubling to 64 at XL).
+func multitaskTasks(size workloads.Size) uint32 { return 4 * size.Factor() }
+
+func runMultitask(c *harden.Ctx, threads int, size workloads.Size) uint64 {
+	tasks := multitaskTasks(size)
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		// Each worker is one scheduler core: it owns its tasks and its own
+		// domain table (per-core bound registers), keeping the simulated
+		// switches deterministic under any parallelism.
+		lo, hi := chunk(tasks, threads, i)
+		n := int(hi - lo)
+		if n == 0 {
+			return 0
+		}
+		doms := sfi.NewDomains(n)
+		arenas := make([]harden.Ptr, n)
+		for t := 0; t < n; t++ {
+			a := w.Calloc(1, taskArenaBytes)
+			arenas[t] = a
+			doms.Bind(t, a.Addr(), a.Addr()+taskArenaBytes)
+		}
+
+		// domLoad/domStore are a task-attributed access: the two-instruction
+		// domain check against the active task's bounds, then the policy's
+		// own checked access.
+		domLoad := func(p harden.Ptr, off int64) uint64 {
+			q := w.P.Add(w.T, p, off)
+			doms.Check(w.T, q, 8, harden.Read)
+			return w.P.Load(w.T, q, 8)
+		}
+		domStore := func(p harden.Ptr, off int64, v uint64) {
+			q := w.P.Add(w.T, p, off)
+			doms.Check(w.T, q, 8, harden.Write)
+			w.P.Store(w.T, q, 8, v)
+		}
+
+		objOff := func(j uint32) int64 {
+			return int64(taskSlots)*8 + int64(j)*taskObjBytes
+		}
+
+		var d uint64
+		r := newRNG(0xBEEF + uint64(i)*0x9E3779B9)
+		for round := 0; round < taskRounds; round++ {
+			for t := 0; t < n; t++ {
+				doms.Switch(w.T, t)
+				arena := arenas[t]
+				// The LibOS hands the task a fresh message buffer each
+				// round. It lives outside the task's arena (it belongs to
+				// the LibOS, not the task), so only the hardening policy
+				// checks it — and its alloc/free churn is what drives
+				// asan's quarantine and mpx's table maintenance per task.
+				scratch := w.Malloc(taskScratch)
+				w.StoreAt(scratch, 0, 8, uint64(round)<<32|uint64(t))
+				for k := 0; k < taskAccesses; k++ {
+					j := r.intn(taskObjs)
+					o := objOff(j) + int64(r.intn(taskObjBytes-8)&^7)
+					switch k % 8 {
+					case 3:
+						// Spill a live object pointer to a slot — the
+						// pointer-store path (mpx bndstx, sgxbounds
+						// tagged word).
+						q := w.P.Add(w.T, arena, objOff(j))
+						s := w.P.Add(w.T, arena, int64(r.intn(taskSlots))*8)
+						doms.Check(w.T, s, 8, harden.Write)
+						w.P.StorePtr(w.T, s, q)
+					case 7:
+						// Reload a spilled pointer and access through it.
+						s := w.P.Add(w.T, arena, int64(r.intn(taskSlots))*8)
+						doms.Check(w.T, s, 8, harden.Read)
+						q := w.P.LoadPtr(w.T, s)
+						if q != 0 {
+							doms.Check(w.T, q, 8, harden.Read)
+							d = mix(d, w.P.Load(w.T, q, 8))
+						}
+					default:
+						if k%2 == 0 {
+							domStore(arena, o, d^uint64(k))
+						} else {
+							d = mix(d, domLoad(arena, o))
+						}
+					}
+				}
+				d = mix(d, w.LoadAt(scratch, 0, 8))
+				w.Free(scratch)
+			}
+		}
+		d = mix(d, doms.Switches())
+		return d
+	})
+}
+
+// Multitask runs the task-count sweep, printing the per-task cost and
+// overhead tables to w.
+func Multitask(e *bench.Engine, w io.Writer, sizes []workloads.Size) CellsResult {
+	res := runSweep(e, "multitask", sizes, func(s workloads.Size) uint64 {
+		return uint64(multitaskTasks(s))
+	})
+
+	perTask := &bench.Table{
+		Title:  fmt.Sprintf("multitask (%d rounds x %d accesses/task): cycles per task-round / peak reserved VM", taskRounds, taskAccesses),
+		Header: append([]string{"tasks"}, bench.PolicyNames...),
+	}
+	overhead := &bench.Table{
+		Title:  "multitask: performance / memory overhead over native SGX",
+		Header: append([]string{"tasks"}, bench.PolicyNames...),
+	}
+	for _, size := range sizes {
+		tasks := res.Param[size]
+		label := fmt.Sprintf("%-2s %2d tasks", size, tasks)
+		crow, orow := []string{label}, []string{label}
+		base := res.Cells[size]["sgx"]
+		for _, pol := range bench.PolicyNames {
+			r := res.Cells[size][pol]
+			if r.Outcome.Crashed() {
+				crow = append(crow, r.Outcome.String())
+				orow = append(orow, r.Outcome.String())
+				continue
+			}
+			crow = append(crow, fmt.Sprintf("%.0f / %s",
+				float64(r.Cycles)/float64(tasks*taskRounds), bench.FmtMB(r.PeakReserved)))
+			orow = append(orow, fmt.Sprintf("%s / %s",
+				bench.FmtX(bench.Overhead(r, base)), bench.FmtX(bench.MemOverhead(r, base))))
+		}
+		perTask.AddRow(crow...)
+		overhead.AddRow(orow...)
+	}
+	perTask.Fprint(w)
+	overhead.Fprint(w)
+	return res
+}

@@ -1,0 +1,125 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/workloads"
+)
+
+// The ptrchase kernel is the interpreter shape: a heap of small nodes
+// reached only through a pointer table, a chase whose next hop is computed
+// from loaded data (no prefetchable stride, every hop a dependent pointer
+// load), and periodic churn batches that free and reallocate nodes the way
+// a runtime's collector or free-list recycles objects. Every hop is a
+// pointer fill plus a checked dereference, so the kernel concentrates the
+// exact traffic that separates tagged pointers (one word, no extra access)
+// from disjoint metadata (bndldx walks, shadow probes) — the
+// memory-safe-interpreter-in-an-enclave workload shape.
+
+const (
+	chaseNodeBytes  = 48 // one interpreter object (a cons cell with slack)
+	chaseStepsPer   = 6  // chase steps per node
+	chaseChurnBatch = 64 // nodes recycled per churn batch
+)
+
+// chaseNodes returns the node count for one input class (4096 at XS
+// doubling to 65536 at XL).
+func chaseNodes(size workloads.Size) uint32 { return 4096 * size.Factor() }
+
+func runPtrChase(c *harden.Ctx, threads int, size workloads.Size) uint64 {
+	nodes := chaseNodes(size)
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(nodes, threads, i)
+		n := hi - lo
+		if n == 0 {
+			return 0
+		}
+		r := newRNG(0xC4A5E + uint64(i)*0x9E3779B9)
+		newNode := func() harden.Ptr {
+			nd := w.Malloc(chaseNodeBytes)
+			w.StoreAt(nd, 0, 8, r.next())
+			w.StoreAt(nd, 40, 8, r.next())
+			return nd
+		}
+		table := w.Malloc(n * 8)
+		for j := uint32(0); j < n; j++ {
+			w.StorePtrAt(table, int64(j)*8, newNode())
+		}
+
+		steps := n * chaseStepsPer
+		churnEvery := n / 4
+		if churnEvery == 0 {
+			churnEvery = 1
+		}
+		var d uint64
+		cur := uint32(0)
+		for s := uint32(0); s < steps; s++ {
+			nd := w.LoadPtrAt(table, int64(cur)*8)
+			v := w.LoadAt(nd, 0, 8)
+			d = mix(d, v)
+			if s%7 == 3 {
+				w.StoreAt(nd, 40, 8, v^d)
+			}
+			cur = uint32((v ^ uint64(s)) % uint64(n))
+			if s%churnEvery == churnEvery-1 {
+				// Churn: recycle a batch of nodes through free + realloc,
+				// re-linking the table — the collector's heap-graph rewrite.
+				for k := uint32(0); k < chaseChurnBatch && k < n; k++ {
+					j := r.intn(n)
+					w.Free(w.LoadPtrAt(table, int64(j)*8))
+					w.StorePtrAt(table, int64(j)*8, newNode())
+				}
+			}
+		}
+		return d
+	})
+}
+
+// PtrChase runs the node-count sweep, printing the per-step cost and
+// overhead tables to w.
+func PtrChase(e *bench.Engine, w io.Writer, sizes []workloads.Size) CellsResult {
+	res := runSweep(e, "ptrchase", sizes, func(s workloads.Size) uint64 {
+		return uint64(chaseNodes(s))
+	})
+
+	tab := &bench.Table{
+		Title:  fmt.Sprintf("ptrchase (%d steps/node, churn batches of %d): cycles per step / overhead over native SGX", chaseStepsPer, chaseChurnBatch),
+		Header: append([]string{"nodes"}, bench.PolicyNames...),
+	}
+	var mo, ao, so []float64
+	for _, size := range sizes {
+		label := fmt.Sprintf("%-2s %6d nodes", size, res.Param[size])
+		row := []string{label}
+		base := res.Cells[size]["sgx"]
+		steps := res.Param[size] * chaseStepsPer
+		for _, pol := range bench.PolicyNames {
+			r := res.Cells[size][pol]
+			if r.Outcome.Crashed() {
+				row = append(row, r.Outcome.String())
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f / %s",
+				float64(r.Cycles)/float64(steps), bench.FmtX(bench.Overhead(r, base))))
+		}
+		tab.AddRow(row...)
+		mo = append(mo, benchOverheadOrNaN(res.Cells[size], "mpx"))
+		ao = append(ao, benchOverheadOrNaN(res.Cells[size], "asan"))
+		so = append(so, benchOverheadOrNaN(res.Cells[size], "sgxbounds"))
+	}
+	tab.AddRow("gmean", "1.00x",
+		"- / "+bench.FmtX(bench.Gmean(mo)), "- / "+bench.FmtX(bench.Gmean(ao)), "- / "+bench.FmtX(bench.Gmean(so)))
+	tab.Fprint(w)
+	return res
+}
+
+func benchOverheadOrNaN(row map[string]bench.Result, pol string) float64 {
+	r, b := row[pol], row["sgx"]
+	if r.Outcome.Crashed() {
+		return math.NaN()
+	}
+	return bench.Overhead(r, b)
+}

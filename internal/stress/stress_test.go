@@ -1,0 +1,137 @@
+package stress
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/serve/sched"
+	"sgxbounds/internal/workloads"
+)
+
+// stressExperiments are the registry names this package contributes.
+var stressExperiments = []string{"epc-thrash", "transition-storm", "multitask", "ptrchase"}
+
+// TestKernelsDeterministic runs every stress workload twice on fresh
+// engines — serial and threaded — and demands identical results down to the
+// digest: the workload contract that makes the store's byte-identity hold.
+func TestKernelsDeterministic(t *testing.T) {
+	for _, wl := range []string{"epc_thrash", "transition_storm", "multitask", "ptrchase"} {
+		for _, threads := range []int{1, 2} {
+			spec := bench.Spec{Workload: wl, Policy: "sgxbounds", Size: workloads.XS,
+				Threads: threads, Config: stressConfig(0)}
+			a := bench.NewEngine(1).Run(spec)
+			b := bench.NewEngine(4).Run(spec)
+			if a.Outcome.Crashed() {
+				t.Fatalf("%s t%d crashed: %s", wl, threads, a.Outcome)
+			}
+			if a.Digest != b.Digest || a.Cycles != b.Cycles || a.Totals != b.Totals ||
+				a.PeakReserved != b.PeakReserved {
+				t.Errorf("%s t%d: reruns diverge (digest %x vs %x, cycles %d vs %d)",
+					wl, threads, a.Digest, b.Digest, a.Cycles, b.Cycles)
+			}
+		}
+	}
+}
+
+// TestSweepOutputParallelInvariant pins the engine-level contract: the
+// printed stress tables are byte-identical for any engine worker count.
+func TestSweepOutputParallelInvariant(t *testing.T) {
+	sizes := []workloads.Size{workloads.XS}
+	type sweep struct {
+		name string
+		run  func(e *bench.Engine, buf *bytes.Buffer)
+	}
+	for _, s := range []sweep{
+		{"epc-thrash", func(e *bench.Engine, buf *bytes.Buffer) { EPCThrash(e, buf, sizes, 1<<20) }},
+		{"transition-storm", func(e *bench.Engine, buf *bytes.Buffer) { TransitionStorm(e, buf, sizes) }},
+		{"multitask", func(e *bench.Engine, buf *bytes.Buffer) { Multitask(e, buf, sizes) }},
+		{"ptrchase", func(e *bench.Engine, buf *bytes.Buffer) { PtrChase(e, buf, sizes) }},
+	} {
+		var serial, fanned bytes.Buffer
+		s.run(bench.NewEngine(1), &serial)
+		s.run(bench.NewEngine(8), &fanned)
+		if !bytes.Equal(serial.Bytes(), fanned.Bytes()) {
+			t.Errorf("%s: output differs between -parallel 1 and 8\n--- serial ---\n%s--- parallel ---\n%s",
+				s.name, serial.String(), fanned.String())
+		}
+	}
+}
+
+// TestExperimentsRegistered checks each kernel is a first-class registry
+// entry and therefore part of the "all" sweep (non-custom entries are).
+func TestExperimentsRegistered(t *testing.T) {
+	for _, name := range stressExperiments {
+		exp, ok := bench.LookupExperiment(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		if exp.Custom {
+			t.Errorf("experiment %q is Custom — it would be excluded from `-experiment all`", name)
+		}
+		if (name == "epc-thrash") != exp.UsesEPC {
+			t.Errorf("experiment %q UsesEPC = %v", name, exp.UsesEPC)
+		}
+	}
+}
+
+// TestJobRoundTrip submits each stress experiment through the job vocabulary:
+// the digest must survive a JSON round trip and must equal the store key the
+// scheduler computes for the equivalent SubmitRequest — the agreement that
+// lets sgxd serve sgxbench's exact bytes.
+func TestJobRoundTrip(t *testing.T) {
+	for _, name := range stressExperiments {
+		job := bench.Job{Experiment: name, EPCBytes: 2 << 20}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, err := json.Marshal(job.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back bench.Job
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Digest() != job.Digest() {
+			t.Errorf("%s: digest changed across JSON round trip", name)
+		}
+		req := sched.SubmitRequest{Experiment: name, EPCBytes: 2 << 20}
+		if req.StoreKey() != job.Digest() {
+			t.Errorf("%s: scheduler store key %s != job digest %s", name, req.StoreKey(), job.Digest())
+		}
+	}
+}
+
+// TestEPCBytesIdentityScope pins which experiments EPCBytes identifies: it
+// must change the digest of EPC-aware experiments and be canonicalised away
+// everywhere else (a transition-storm result is the same result at any
+// configured capacity).
+func TestEPCBytesIdentityScope(t *testing.T) {
+	for _, name := range stressExperiments {
+		plain := bench.Job{Experiment: name}.Digest()
+		swept := bench.Job{Experiment: name, EPCBytes: 2 << 20}.Digest()
+		if name == "epc-thrash" {
+			if plain == swept {
+				t.Errorf("%s: EPCBytes did not change the digest", name)
+			}
+		} else if plain != swept {
+			t.Errorf("%s: EPCBytes leaked into the digest of a non-EPC experiment", name)
+		}
+	}
+}
+
+// TestThrashWorkingSetCrossesCapacity checks the sweep's defining property:
+// the size ladder spans from well under the EPC to a multiple of it.
+func TestThrashWorkingSetCrossesCapacity(t *testing.T) {
+	epc := effectiveEPC(0)
+	lo := ThrashWorkingSet(epc, workloads.XS)
+	hi := ThrashWorkingSet(epc, workloads.XL)
+	if uint64(lo) >= epc {
+		t.Errorf("XS working set %d does not fit the %d-byte EPC", lo, epc)
+	}
+	if uint64(hi) <= epc {
+		t.Errorf("XL working set %d does not exceed the %d-byte EPC", hi, epc)
+	}
+}

@@ -1,0 +1,150 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+
+	"sgxbounds/internal/bench"
+	"sgxbounds/internal/harden"
+	"sgxbounds/internal/perf"
+	"sgxbounds/internal/workloads"
+)
+
+// The transition-storm kernel is the ecall/ocall-pressure stressor
+// (Stress-SGX's "enclave transition" mode): a fixed number of boundary
+// crossings with a tiny checked payload per crossing. The size class scales
+// the payload, not the crossing count, so the sweep shows the composition
+// directly — at XS the fixed transition cost dominates every policy equally
+// and the overheads compress toward 1x; by XL the payload dominates and the
+// per-access overheads reassert themselves.
+
+// stormCrossings is the total boundary crossings per run.
+const stormCrossings = 24576
+
+// stormPayload returns the checked accesses performed per crossing.
+func stormPayload(size workloads.Size) uint32 { return 2 * size.Factor() }
+
+func runTransitionStorm(c *harden.Ctx, threads int, size workloads.Size) uint64 {
+	per := stormPayload(size)
+	return parallel(c, threads, func(w *harden.Ctx, i int) uint64 {
+		lo, hi := chunk(stormCrossings, threads, i)
+		if lo >= hi {
+			return 0
+		}
+		// The payload buffer is small enough to stay L1-hot: the kernel
+		// isolates transition cost, not memory-hierarchy cost.
+		buf := w.Malloc(4096)
+		bulkFill(w, buf, 4096, 0x5702+uint64(i))
+		r := newRNG(0x57021 + uint64(i)*0x9E3779B9)
+		var d uint64
+		for k := lo; k < hi; k++ {
+			w.T.Transition() // the ocall round trip (plain syscall outside an enclave)
+			for j := uint32(0); j < per; j++ {
+				o := int64(r.intn(4096-8) &^ 7)
+				v := w.LoadAt(buf, o, 8)
+				d = mix(d, v)
+				w.StoreAt(buf, o, 8, v+uint64(j))
+			}
+			w.Work(32) // the handler's non-memory work
+		}
+		w.Free(buf)
+		return d
+	})
+}
+
+// CellsResult is one single-parameter stress sweep: cells indexed
+// [size][policy] plus the kernel parameter each size class resolved to.
+type CellsResult struct {
+	Param map[workloads.Size]uint64
+	Cells map[workloads.Size]map[string]bench.Result
+}
+
+// runSweep executes one stress workload over sizes x the headline policies
+// at a fixed parallelism of 1 (the kernels sweep their own parameter; thread
+// scaling is the custom grid's job).
+func runSweep(e *bench.Engine, workload string, sizes []workloads.Size, param func(workloads.Size) uint64) CellsResult {
+	res := CellsResult{
+		Param: make(map[workloads.Size]uint64, len(sizes)),
+		Cells: make(map[workloads.Size]map[string]bench.Result, len(sizes)),
+	}
+	cfg := stressConfig(0)
+	var specs []bench.Spec
+	for _, size := range sizes {
+		res.Param[size] = param(size)
+		for _, pol := range bench.PolicyNames {
+			specs = append(specs, bench.Spec{Workload: workload, Policy: pol, Size: size, Threads: 1, Config: cfg})
+		}
+	}
+	results := e.RunAll(specs)
+	for i, size := range sizes {
+		row := make(map[string]bench.Result, len(bench.PolicyNames))
+		for j, pol := range bench.PolicyNames {
+			row[pol] = results[i*len(bench.PolicyNames)+j]
+		}
+		res.Cells[size] = row
+	}
+	return res
+}
+
+// TransitionStorm runs the transition-storm sweep, printing the
+// cycles-per-crossing and overhead-composition tables to w.
+func TransitionStorm(e *bench.Engine, w io.Writer, sizes []workloads.Size) CellsResult {
+	res := runSweep(e, "transition_storm", sizes, func(s workloads.Size) uint64 {
+		return uint64(stormPayload(s))
+	})
+
+	perCrossing := &bench.Table{
+		Title:  fmt.Sprintf("transition-storm (%d crossings): cycles per crossing", stormCrossings),
+		Header: append([]string{"payload"}, bench.PolicyNames...),
+	}
+	overhead := &bench.Table{
+		Title:  "transition-storm: overhead over native SGX / transition share of cycles",
+		Header: append([]string{"payload"}, bench.PolicyNames...),
+	}
+	txnCost := perf.Default().TransitionCost
+	for _, size := range sizes {
+		label := fmt.Sprintf("%-2s %2d acc/crossing", size, res.Param[size])
+		crow, orow := []string{label}, []string{label}
+		base := res.Cells[size]["sgx"]
+		for _, pol := range bench.PolicyNames {
+			r := res.Cells[size][pol]
+			if r.Outcome.Crashed() {
+				crow = append(crow, r.Outcome.String())
+				orow = append(orow, r.Outcome.String())
+				continue
+			}
+			crow = append(crow, fmt.Sprintf("%.0f", float64(r.Cycles)/float64(stormCrossings)))
+			share := float64(r.Totals.Transitions*txnCost) / float64(r.Cycles) * 100
+			orow = append(orow, fmt.Sprintf("%s / %2.0f%%", bench.FmtX(bench.Overhead(r, base)), share))
+		}
+		perCrossing.AddRow(crow...)
+		overhead.AddRow(orow...)
+	}
+	perCrossing.Fprint(w)
+	overhead.Fprint(w)
+	return res
+}
+
+// WriteCellsCSV exports one single-parameter sweep, one row per cell, with
+// the kernel's parameter under the given column name.
+func WriteCellsCSV(w io.Writer, paramName string, param map[workloads.Size]uint64, cells map[workloads.Size]map[string]bench.Result) error {
+	if _, err := fmt.Fprintf(w, "size,%s,policy,outcome,cycles,accesses,transitions,checks,page_faults,peak_reserved_bytes\n", paramName); err != nil {
+		return err
+	}
+	for _, size := range AllSizes {
+		row, ok := cells[size]
+		if !ok {
+			continue
+		}
+		for _, pol := range bench.PolicyNames {
+			r := row[pol]
+			_, err := fmt.Fprintf(w, "%s,%d,%s,%s,%d,%d,%d,%d,%d,%d\n",
+				size, param[size], pol, r.Outcome, r.Cycles, r.Totals.Accesses(),
+				r.Totals.Transitions, r.Totals.Checks, r.PageFaults, r.PeakReserved)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -56,7 +56,23 @@ type Workload struct {
 
 var registry []Workload
 
-func register(w Workload) { registry = append(registry, w) }
+func register(w Workload) { Register(w) }
+
+// Register adds a workload to the global registry. External suites (such as
+// internal/stress) register through it at init; a name collision or an empty
+// name is a programming error and panics immediately rather than shadowing
+// an existing kernel.
+func Register(w Workload) {
+	if w.Name == "" {
+		panic("workloads: Register with empty name")
+	}
+	for _, r := range registry {
+		if r.Name == w.Name {
+			panic("workloads: duplicate workload " + w.Name)
+		}
+	}
+	registry = append(registry, w)
+}
 
 // All returns every registered workload.
 func All() []Workload { return append([]Workload(nil), registry...) }

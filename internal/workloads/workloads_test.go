@@ -166,3 +166,21 @@ func TestSizeClasses(t *testing.T) {
 		t.Error("size names wrong")
 	}
 }
+
+func TestRegisterRejectsCollisions(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic, got none", what)
+			}
+		}()
+		f()
+	}
+	before := len(registry)
+	mustPanic("duplicate name", func() { Register(Workload{Name: registry[0].Name}) })
+	mustPanic("empty name", func() { Register(Workload{}) })
+	if len(registry) != before {
+		t.Fatalf("a rejected registration still grew the registry: %d -> %d", before, len(registry))
+	}
+}

@@ -125,7 +125,7 @@ done
 # The flattened list interleaves nested objects, so resolve the adopted
 # job's ID through the single-job endpoint instead of line surgery.
 rec_id=""
-for jid in $(jobs_flat "${URL[$adopted_on]}" | grep -o '"id":"j[^"]*"' | cut -d'"' -f4 | sort -u); do
+for jid in $(jobs_flat "${URL[$adopted_on]}" | grep -o '"id":"[^"]*j[0-9]*"' | cut -d'"' -f4 | sort -u); do
 	js=$(curl -fsS "${URL[$adopted_on]}/api/v1/jobs/$jid")
 	if [ "$(jfield "$js" recovered_from || true)" = "$owner" ]; then
 		rec_id=$jid

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# stress_smoke.sh — the stress-kernel serving gate, runnable locally via
+# `make stress-smoke` and in CI's stress-smoke job.
+#
+# Boots one real sgxd and, for every stress kernel, lands a small grid cell
+# through the daemon and requires the result to be byte-identical to the
+# same cell printed directly by sgxbench. Then exercises the -epc-bytes
+# knob end-to-end: a full epc-thrash sweep against a 2 MB EPC submitted
+# through the daemon must match `sgxbench -experiment epc-thrash
+# -epc-bytes 2097152`, and a resubmission must be served from the store.
+#
+# Needs: go, curl. No jq — same contract as cluster_smoke.sh.
+set -euo pipefail
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+cleanup() {
+	status=$?
+	# shellcheck disable=SC2046
+	kill $(jobs -p) 2>/dev/null || true
+	wait 2>/dev/null || true
+	if [ "$status" -ne 0 ] && [ -f "$WORK/sgxd.log" ]; then
+		echo "---- sgxd.log ----" >&2
+		tail -40 "$WORK/sgxd.log" >&2
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building sgxd, sgxctl, sgxbench"
+$GO build -o "$WORK/sgxd" ./cmd/sgxd
+$GO build -o "$WORK/sgxctl" ./cmd/sgxctl
+$GO build -o "$WORK/sgxbench" ./cmd/sgxbench
+
+PORT=${PORT:-7495}
+URL="http://127.0.0.1:$PORT"
+"$WORK/sgxd" -addr "127.0.0.1:$PORT" -store "$WORK/store" \
+	-journal "$WORK/journal.jsonl" 2>"$WORK/sgxd.log" &
+SGXD_PID=$!
+
+for _ in $(seq 1 100); do
+	curl -fsS "$URL/readyz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -fsS "$URL/readyz" >/dev/null || { echo "sgxd never became ready" >&2; exit 1; }
+echo "== sgxd ready on $URL"
+
+# Every stress kernel must be listed by the daemon's experiment registry.
+experiments=$(curl -fsS "$URL/api/v1/experiments")
+for exp in epc-thrash transition-storm multitask ptrchase; do
+	grep -q "\"$exp\"" <<<"$experiments" || { echo "daemon does not list $exp" >&2; exit 1; }
+done
+echo "== all four stress experiments registered"
+
+# One small grid cell per kernel: served bytes must equal sgxbench's bytes.
+for wl in epc_thrash transition_storm multitask ptrchase; do
+	id=$("$WORK/sgxctl" -addr "$URL" submit grid \
+		-workloads "$wl" -policies sgx,sgxbounds -size XS)
+	"$WORK/sgxctl" -addr "$URL" wait "$id" >/dev/null
+	"$WORK/sgxctl" -addr "$URL" result "$id" >"$WORK/served-$wl.txt"
+	"$WORK/sgxbench" -experiment grid \
+		-workloads "$wl" -policies sgx,sgxbounds -size XS >"$WORK/direct-$wl.txt"
+	diff "$WORK/served-$wl.txt" "$WORK/direct-$wl.txt"
+	echo "== $wl: served bytes match sgxbench"
+done
+
+# The -epc-bytes knob, end-to-end: the swept capacity is part of the job's
+# identity, flows through submission, and the served sweep matches sgxbench.
+EPC=2097152
+id=$("$WORK/sgxctl" -addr "$URL" submit epc-thrash -epc-bytes "$EPC")
+"$WORK/sgxctl" -addr "$URL" wait "$id" >/dev/null
+"$WORK/sgxctl" -addr "$URL" result "$id" >"$WORK/served-thrash.txt"
+grep -q "EPC 2.0MB" "$WORK/served-thrash.txt" || {
+	echo "served sweep does not reflect the 2 MB EPC override" >&2
+	exit 1
+}
+"$WORK/sgxbench" -experiment epc-thrash -epc-bytes "$EPC" >"$WORK/direct-thrash.txt"
+diff "$WORK/served-thrash.txt" "$WORK/direct-thrash.txt"
+echo "== epc-thrash @ 2MB EPC: served bytes match sgxbench"
+
+# A resubmission of the same sweep must replay from the store, same bytes.
+id2=$("$WORK/sgxctl" -addr "$URL" submit epc-thrash -epc-bytes "$EPC")
+"$WORK/sgxctl" -addr "$URL" wait "$id2" | grep "from store"
+"$WORK/sgxctl" -addr "$URL" result "$id2" | diff - "$WORK/direct-thrash.txt"
+echo "== resubmission served from store, same bytes"
+
+kill -TERM "$SGXD_PID"
+wait "$SGXD_PID" || true
+grep -q "draining" "$WORK/sgxd.log" || true
+echo "== stress smoke passed"
