@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race test-race-full chaos cluster-smoke stress-smoke bench bench-json golden drift experiments load
+.PHONY: ci vet build test race test-race-full chaos cluster-smoke membership-smoke stress-smoke bench bench-json golden drift experiments load
 
 ci: vet build test race
 
@@ -40,6 +40,14 @@ chaos:
 cluster-smoke:
 	bash ./scripts/cluster_smoke.sh
 
+# Self-healing membership gate: a 2-node fleet under sgxload traffic gains
+# a third node via -join (epoch convergence + result re-replication onto
+# the newcomer), then loses it again via a graceful `sgxctl cluster leave`
+# (queue handoff + store evacuation), with zero 5xx throughout. Same gate
+# the CI membership-smoke job runs.
+membership-smoke:
+	bash ./scripts/membership_smoke.sh
+
 # One small cell per stress kernel through a real sgxd, byte-identical to
 # sgxbench, plus the -epc-bytes knob end-to-end. Same gate the CI
 # stress-smoke job runs.
@@ -58,12 +66,16 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Record the benchmark sweep plus the sgxd cold/warm serving comparison,
-# and the stress-kernel headline data (paging cliff, multitask sweep).
+# the stress-kernel headline data (paging cliff, multitask sweep), and the
+# membership-churn submit-latency pair (3-node static vs join-under-load),
+# which merges into BENCH_cluster.json next to sgxload's 1node/3node runs.
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -serve fig1 > BENCH_serve.json
 	@echo wrote BENCH_serve.json
 	$(GO) run ./cmd/benchjson -stress > BENCH_stress.json
 	@echo wrote BENCH_stress.json
+	$(GO) run ./cmd/benchjson -cluster-churn BENCH_cluster.json
+	@echo merged cluster churn runs into BENCH_cluster.json
 
 # Open-loop load run against a freshly booted sgxd on a cold store:
 # records submit-latency percentiles, the coalescing ratio, and the 429

@@ -13,6 +13,12 @@
 // -stress instead records the stress-kernel headline data (the epc-thrash
 // paging cliff and the multitask task-count sweep, per policy) as
 // structured cells; `make bench-json` commits it as BENCH_stress.json.
+//
+// -cluster-churn FILE boots an in-process 3-node fleet, measures the
+// submit path under fixed-rate load, joins a fourth node mid-load, and
+// merges the two phase reports ("3node-static" vs "join-under-load") into
+// FILE's {"runs": {...}} map; `make bench-json` points it at
+// BENCH_cluster.json. See cluster.go.
 package main
 
 import (
@@ -87,9 +93,18 @@ func main() {
 	serveExp := flag.String("serve", "", "also measure cold/warm serving of this experiment")
 	stressRun := flag.Bool("stress", false, "record the stress-kernel headline sweeps (epc-thrash, multitask)")
 	parallel := flag.Int("parallel", 0, "engine workers for the serve measurement")
+	churnOut := flag.String("cluster-churn", "", "measure membership-churn submit latency and merge the runs into this file")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+
+	if *churnOut != "" {
+		if err := measureClusterChurn(*churnOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged 3node-static and join-under-load into %s", *churnOut)
+		return
+	}
 
 	out := Output{
 		GeneratedUnix: time.Now().Unix(),

@@ -20,7 +20,12 @@
 //	quarantine ls          list parked poison jobs (panicked/timed out N times)
 //	requeue <job-id>       release a quarantined job as a fresh submission
 //	experiments            list runnable experiments
-//	cluster status         membership table as this node sees it
+//	cluster status         membership table (with epoch) as this node sees it
+//	cluster join <seed>    tell this daemon to join the fleet at seed's URL
+//	cluster leave          gracefully drain and depart this daemon's node
+//	cluster quarantine ls  fleet-wide quarantine view (all nodes)
+//	cluster quarantine requeue <job-id>
+//	                       release a parked job wherever in the fleet it lives
 //	gc                     sweep stale results from the store
 //	ping                   check the daemon is up (liveness)
 //	ready                  check the daemon accepts work (readiness)
@@ -109,7 +114,11 @@ commands:
   quarantine ls                 list parked poison jobs
   requeue <job-id>              release a quarantined job as a fresh submission
   experiments                   list runnable experiments
-  cluster status                membership table as this node sees it
+  cluster status                membership table (with epoch) as this node sees it
+  cluster join <seed-url>       tell this daemon to join the fleet at seed
+  cluster leave                 gracefully drain and depart this daemon's node
+  cluster quarantine ls         fleet-wide quarantine view
+  cluster quarantine requeue <job-id>   release a parked job on any node
   gc                            sweep stale store entries
   ping                          liveness
   ready                         readiness (journal replayed, store writable)
@@ -414,28 +423,163 @@ func (c *client) experiments() error {
 	return nil
 }
 
-// cluster reports the daemon's view of its cluster. `cluster status`
-// prints one row per member: the daemon itself first, then its peers with
-// liveness as judged by heartbeat age.
+// cluster drives the membership: status table, join/leave churn, and the
+// fleet-wide quarantine view.
 func (c *client) cluster(args []string) error {
-	if len(args) != 1 || args[0] != "status" {
-		return fmt.Errorf("usage: cluster status")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cluster status | join <seed-url> | leave | quarantine ls | quarantine requeue <job-id>")
 	}
-	var st cluster.Status
-	if err := c.api(http.MethodGet, "/api/v1/cluster/status", nil, &st); err != nil {
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "status":
+		return c.clusterStatus()
+	case "join":
+		return c.clusterJoin(rest)
+	case "leave":
+		return c.clusterLeave(rest)
+	case "quarantine":
+		return c.clusterQuarantine(rest)
+	default:
+		return fmt.Errorf("usage: cluster status | join <seed-url> | leave | quarantine ls | quarantine requeue <job-id>")
+	}
+}
+
+// clusterStatus prints one row per member: the daemon itself first, then
+// its peers with liveness as judged by heartbeat age. The epoch line pins
+// which membership version the table describes.
+func (c *client) clusterStatus() error {
+	st, err := c.fetchClusterStatus()
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(c.out, "%-8s %-6s %6s %7s  %s\n", "NODE", "STATE", "QUEUED", "PENDING", "ADDR")
+	c.printClusterStatus(st)
+	return nil
+}
+
+func (c *client) fetchClusterStatus() (cluster.Status, error) {
+	var st cluster.Status
+	err := c.api(http.MethodGet, "/api/v1/cluster/status", nil, &st)
+	return st, err
+}
+
+func (c *client) printClusterStatus(st cluster.Status) {
+	fmt.Fprintf(c.out, "epoch %d\n", st.Epoch)
+	fmt.Fprintf(c.out, "%-8s %-8s %6s %7s  %s\n", "NODE", "STATE", "QUEUED", "PENDING", "ADDR")
 	for _, n := range st.Nodes {
 		state := "alive"
-		if n.Self {
+		switch {
+		case n.Self:
 			state = "self"
-		} else if !n.Alive {
+		case !n.Alive:
 			state = "dead"
 		}
-		fmt.Fprintf(c.out, "%-8s %-6s %6d %7d  %s\n", n.ID, state, n.Queued, n.Pending, n.Addr)
+		if n.Leaving {
+			state = "leaving"
+		}
+		if n.Breaker != "" {
+			state += "!" // degraded: circuit breaker open or probing
+		}
+		fmt.Fprintf(c.out, "%-8s %-8s %6d %7d  %s\n", n.ID, state, n.Queued, n.Pending, n.Addr)
 	}
+}
+
+// clusterJoin tells the daemon at -addr to join the fleet reachable at
+// the seed URL, then prints the resulting membership.
+func (c *client) clusterJoin(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cluster join <seed-url>")
+	}
+	var st cluster.Status
+	if err := c.api(http.MethodPost, "/api/v1/cluster/join", map[string]string{"seed": args[0]}, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.errOut, "joined fleet via %s\n", args[0])
+	c.printClusterStatus(st)
 	return nil
+}
+
+// clusterLeave starts a graceful departure of the daemon at -addr and, by
+// default, polls until it has drained and departed.
+func (c *client) clusterLeave(args []string) error {
+	fs := flag.NewFlagSet("cluster leave", flag.ExitOnError)
+	wait := fs.Bool("wait", true, "poll until the node has departed")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: cluster leave [-wait=false] [-timeout D]")
+	}
+	if err := c.api(http.MethodPost, "/api/v1/cluster/leave", struct{}{}, nil); err != nil {
+		return err
+	}
+	fmt.Fprintln(c.errOut, "leave accepted: draining")
+	if !*wait {
+		return nil
+	}
+	deadline := time.Now().Add(*timeout)
+	for {
+		st, err := c.fetchClusterStatus()
+		if err == nil && st.Departed {
+			fmt.Fprintln(c.out, "departed")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node still draining after %s (leave continues in the daemon)", *timeout)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// clusterQuarantine aggregates the fleet-wide quarantine view, and can
+// requeue a parked job wherever it lives — the node holding it is found
+// from the aggregate and the release proxies there.
+func (c *client) clusterQuarantine(args []string) error {
+	if len(args) == 1 && args[0] == "ls" {
+		var rep cluster.QuarantineReport
+		if err := c.api(http.MethodGet, "/api/v1/cluster/quarantine", nil, &rep); err != nil {
+			return err
+		}
+		total := 0
+		fmt.Fprintf(c.out, "%-8s %-12s %-10s %8s  %s\n", "NODE", "JOB", "EXPERIMENT", "ATTEMPTS", "ERROR")
+		for _, n := range rep.Nodes {
+			for _, st := range n.Jobs {
+				total++
+				fmt.Fprintf(c.out, "%-8s %-12s %-10s %8d  %s\n", n.ID, st.ID, st.Job.Experiment, st.Attempts, st.Error)
+			}
+		}
+		if total == 0 {
+			fmt.Fprintln(c.out, "quarantine empty fleet-wide")
+		}
+		return nil
+	}
+	if len(args) == 2 && args[0] == "requeue" {
+		id := args[1]
+		var rep cluster.QuarantineReport
+		if err := c.api(http.MethodGet, "/api/v1/cluster/quarantine", nil, &rep); err != nil {
+			return err
+		}
+		node := ""
+		for _, n := range rep.Nodes {
+			for _, st := range n.Jobs {
+				if st.ID == id {
+					node = n.ID
+				}
+			}
+		}
+		if node == "" {
+			return fmt.Errorf("job %q is not quarantined on any node", id)
+		}
+		var out struct {
+			Quarantined serve.JobStatus `json:"quarantined"`
+			Requeued    serve.JobStatus `json:"requeued"`
+		}
+		if err := c.api(http.MethodPost, "/api/v1/cluster/quarantine/"+node+"/"+id+"/requeue", nil, &out); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.errOut, "job %s on %s released as %s (%s)\n",
+			out.Quarantined.ID, node, out.Requeued.ID, out.Requeued.State)
+		fmt.Fprintln(c.out, out.Requeued.ID)
+		return nil
+	}
+	return fmt.Errorf("usage: cluster quarantine ls | cluster quarantine requeue <job-id>")
 }
 
 func (c *client) gc() error {

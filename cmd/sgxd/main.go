@@ -10,15 +10,20 @@
 //	sgxd [-addr 127.0.0.1:7483] [-store DIR] [-jobs 1] [-backlog 64] [-parallel 0]
 //	     [-journal FILE] [-faults SPEC.json] [-max-attempts 3] [-deadline 0]
 //	     [-cache-bytes N] [-tenant-rps R] [-tenant-burst B] [-tenant-inflight Q]
-//	     [-node-id ID -peers LIST] [-heartbeat 1s] [-dead-after 3]
+//	     [-node-id ID -peers LIST | -node-id ID -join URL] [-advertise URL]
+//	     [-heartbeat 1s] [-dead-after 3]
 //
-// Cluster mode: -peers takes the full static membership ("n1=http://h:p,
+// Cluster mode: -peers takes the boot membership ("n1=http://h:p,
 // n2=http://h:p,..." or "@peers.json") and -node-id names this node in it.
 // Every node gets the same list; submissions then route to each digest's
 // owner, results replicate by verified peer-fetch, idle nodes steal queued
 // work, and a node missing heartbeats for -dead-after intervals has its
-// journaled jobs re-enqueued on survivors exactly once. See
-// internal/cluster and "Running a cluster" in the README.
+// journaled jobs re-enqueued on survivors exactly once. From there
+// membership is dynamic: -join URL starts this node as a fleet of one and
+// announces it to a running node (epoch-versioned views gossip on the
+// heartbeats; results it now owns re-replicate to it), and `sgxctl
+// cluster leave` drains and departs a node without restarting anything.
+// See internal/cluster and "Running a cluster" in the README.
 //
 // API (see internal/serve):
 //
@@ -87,8 +92,10 @@ func main() {
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst allowance (with -tenant-rps)")
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant concurrent job quota (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "pause advertised with 429 rejections")
-	nodeID := flag.String("node-id", "", "this node's ID in the cluster membership (with -peers)")
+	nodeID := flag.String("node-id", "", "this node's ID in the cluster membership (with -peers or -join)")
 	peers := flag.String("peers", "", "cluster membership: \"id=url,id=url,...\" or \"@file\" (empty = single node)")
+	join := flag.String("join", "", "join a running fleet via this seed node URL (requires -node-id; -peers optional)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (default http://<addr>; required with -join when -addr binds a wildcard)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
 	deadAfter := flag.Int("dead-after", 3, "missed heartbeats before a peer is declared dead")
 	flag.Parse()
@@ -115,7 +122,8 @@ func main() {
 		logger.Printf("fault injection armed from %s", *faults)
 	}
 	var clusterCfg *serve.ClusterConfig
-	if *peers != "" {
+	switch {
+	case *peers != "":
 		nodes, err := cluster.ParsePeers(*peers)
 		if err != nil {
 			logger.Fatal(err)
@@ -129,8 +137,29 @@ func main() {
 			Heartbeat: *heartbeat,
 			DeadAfter: *deadAfter,
 		}
-	} else if *nodeID != "" {
-		logger.Fatal("sgxd: -node-id requires -peers")
+	case *join != "":
+		// Joining a running fleet: start as a one-node membership (just
+		// ourselves), then announce to the seed once we are listening; the
+		// adopted view brings the rest of the fleet.
+		if *nodeID == "" {
+			logger.Fatal("sgxd: -join requires -node-id")
+		}
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = "http://" + *addr
+		}
+		self, err := cluster.ParsePeers(*nodeID + "=" + selfAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		clusterCfg = &serve.ClusterConfig{
+			Self:      *nodeID,
+			Nodes:     self,
+			Heartbeat: *heartbeat,
+			DeadAfter: *deadAfter,
+		}
+	case *nodeID != "":
+		logger.Fatal("sgxd: -node-id requires -peers or -join")
 	}
 	srv, err := serve.New(serve.Config{
 		Store:             st,
@@ -167,6 +196,28 @@ func main() {
 	if clusterCfg != nil {
 		logger.Printf("cluster: node %s in %d-node membership (heartbeat %s, dead after %d missed)",
 			clusterCfg.Self, len(clusterCfg.Nodes), *heartbeat, *deadAfter)
+	}
+	if *join != "" {
+		// Announce to the seed with retries: the fleet (or our own
+		// listener) may need a moment, and a join-at-boot that ultimately
+		// cannot reach the seed is a dead node waiting to be discovered.
+		go func() {
+			backoff := 100 * time.Millisecond
+			for attempt := 1; ; attempt++ {
+				err := srv.JoinCluster(*join)
+				if err == nil {
+					return
+				}
+				if attempt >= 10 {
+					logger.Printf("cluster: join via %s failed after %d attempts: %v", *join, attempt, err)
+					return
+				}
+				time.Sleep(backoff)
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
+			}
+		}()
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -10,7 +10,10 @@
 //
 // Cluster runs: -targets takes a comma-separated list of node URLs and
 // round-robins submissions across them, adding a per-target breakdown
-// (issued/accepted/429/p50/p99) to the report. -label merges the report
+// (issued/accepted/429/retried/p50/p99) to the report. Transport failures
+// retry with bounded, jittered backoff — a node restarting during
+// membership churn briefly refuses connections, which is churn, not an
+// outage — and retried submissions are counted separately from errors. -label merges the report
 // under {"runs": {label: ...}} in -out instead of overwriting it, so one
 // file holds comparable runs (BENCH_cluster.json: "1node" vs "3node").
 //
@@ -66,6 +69,11 @@ type report struct {
 		Rejected  int `json:"rejected_429"`
 		Server5xx int `json:"server_5xx"`
 		Errors    int `json:"transport_errors"`
+		// Retried counts submissions that needed at least one transport
+		// retry but ultimately reached a node — expected (and reported
+		// separately, not as errors) during membership churn, when a
+		// restarting node briefly refuses connections.
+		Retried int `json:"retried"`
 	} `json:"totals"`
 	// CoalescingRatio is accepted submissions per distinct job the daemon
 	// actually had to own (1.0 = no sharing; N identical concurrent
@@ -94,6 +102,7 @@ type targetReport struct {
 	Rejected  int     `json:"rejected_429"`
 	Server5xx int     `json:"server_5xx"`
 	Errors    int     `json:"transport_errors"`
+	Retried   int     `json:"retried"`
 	P50MS     float64 `json:"p50_ms"`
 	P99MS     float64 `json:"p99_ms"`
 }
@@ -125,7 +134,24 @@ type outcome struct {
 	latency   time.Duration
 	status    int
 	coalesced bool
+	retries   int // transport retries before this outcome settled
 	err       error
+}
+
+// submitAttempts bounds the transport retries per submission: a node
+// mid-restart during membership churn refuses connections for well under
+// the total backoff this allows, and anything still refusing after that
+// is a real outage worth reporting as an error.
+const submitAttempts = 3
+
+// retryDelay is the jittered backoff before transport retry n (1-based)
+// of submission seq. The jitter is derived, not random — runs stay
+// byte-reproducible — but seq spreads concurrent retries so a restarting
+// node is not hit by a synchronized thundering herd.
+func retryDelay(seq, n int) time.Duration {
+	base := 50 * time.Millisecond << (n - 1) // 50ms, 100ms
+	jitter := time.Duration(seq%7) * 10 * time.Millisecond
+	return base + jitter
 }
 
 func main() {
@@ -193,23 +219,38 @@ func run() int {
 		outcomes []outcome
 		wg       sync.WaitGroup
 	)
-	submit := func(target int, body []byte) {
+	submit := func(seq, target int, body []byte) {
 		defer wg.Done()
 		start := time.Now()
-		req, err := http.NewRequest(http.MethodPost, targets[target]+"/api/v1/jobs", bytes.NewReader(body))
-		if err != nil {
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set("X-Sgxd-Tenant", cfg.tenant)
-		resp, err := client.Do(req)
-		o := outcome{target: target, latency: time.Since(start), err: err}
-		if err == nil {
+		o := outcome{target: target}
+		for attempt := 1; ; attempt++ {
+			req, err := http.NewRequest(http.MethodPost, targets[target]+"/api/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				o.err = err
+				break
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Sgxd-Tenant", cfg.tenant)
+			resp, err := client.Do(req)
+			if err != nil {
+				// Transport failure (connection refused during churn, reset
+				// mid-restart): retry with jittered backoff, bounded.
+				o.err = err
+				if attempt >= submitAttempts {
+					break
+				}
+				o.retries++
+				time.Sleep(retryDelay(seq, attempt))
+				continue
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			o.err = nil
 			o.status = resp.StatusCode
 			o.coalesced = resp.Header.Get("X-Sgxd-Coalesced") == "true"
+			break
 		}
+		o.latency = time.Since(start)
 		mu.Lock()
 		outcomes = append(outcomes, o)
 		mu.Unlock()
@@ -232,9 +273,9 @@ func run() int {
 		wg.Add(1)
 		if identCredit >= 1 {
 			identCredit--
-			go submit(target, identical)
+			go submit(issued, target, identical)
 		} else {
-			go submit(target, distinctBody(distinctSeq))
+			go submit(issued, target, distinctBody(distinctSeq))
 			distinctSeq++
 		}
 	}
@@ -310,6 +351,9 @@ func buildReport(cfg cliConfig, targets []string, outcomes []outcome, issued int
 	var lat []float64
 	var sum float64
 	for _, o := range outcomes {
+		if o.retries > 0 && o.err == nil {
+			rep.Totals.Retried++
+		}
 		switch {
 		case o.err != nil:
 			rep.Totals.Errors++
@@ -362,6 +406,9 @@ func perTarget(targets []string, outcomes []outcome) []targetReport {
 			continue
 		}
 		reps[i].Issued++
+		if o.retries > 0 && o.err == nil {
+			reps[i].Retried++
+		}
 		switch {
 		case o.err != nil:
 			reps[i].Errors++

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. A peer starts closed (healthy); breakerThreshold
+// consecutive failures open it for a backoff window; the first call after
+// the window becomes the half-open probe, whose outcome either closes the
+// breaker or re-opens it with the window doubled (up to the cap).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerThreshold is the consecutive-failure count that opens a peer's
+// breaker: a flapping peer then costs one timeout per backoff window
+// instead of one per request.
+const breakerThreshold = 3
+
+// breakers tracks one circuit breaker per peer. The clock is injected so
+// the unit tests drive the state machine deterministically.
+type breakers struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	base   time.Duration // first open window
+	cap    time.Duration // backoff ceiling
+	peers  map[string]*breakerState
+	opened func() // counter hook, fired on each closed→open transition
+}
+
+type breakerState struct {
+	state   int
+	fails   int           // consecutive failures while closed
+	until   time.Time     // open until (meaningless when closed)
+	backoff time.Duration // current open window
+	probing bool          // a half-open probe is in flight
+}
+
+func newBreakers(base, cap time.Duration, now func() time.Time, opened func()) *breakers {
+	if now == nil {
+		now = time.Now
+	}
+	if opened == nil {
+		opened = func() {}
+	}
+	return &breakers{now: now, base: base, cap: cap, peers: map[string]*breakerState{}, opened: opened}
+}
+
+func (b *breakers) get(id string) *breakerState {
+	st, ok := b.peers[id]
+	if !ok {
+		st = &breakerState{backoff: b.base}
+		b.peers[id] = st
+	}
+	return st
+}
+
+// allow reports whether a call to peer id may proceed. While open it
+// returns false until the window expires; the first allowed call after
+// expiry is the single half-open probe (concurrent callers keep getting
+// false until the probe resolves).
+func (b *breakers) allow(id string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(id)
+	switch st.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(st.until) {
+			return false
+		}
+		st.state = breakerHalfOpen
+		st.probing = true
+		return true
+	default: // half-open: exactly one probe at a time
+		if st.probing {
+			return false
+		}
+		st.probing = true
+		return true
+	}
+}
+
+// success records a completed call: it closes a half-open breaker and
+// resets the failure streak and backoff.
+func (b *breakers) success(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(id)
+	st.state = breakerClosed
+	st.fails = 0
+	st.probing = false
+	st.backoff = b.base
+}
+
+// failure records a failed call: a closed breaker opens after
+// breakerThreshold consecutive failures; a half-open probe failure
+// re-opens immediately with the window doubled (up to cap).
+func (b *breakers) failure(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(id)
+	switch st.state {
+	case breakerClosed:
+		st.fails++
+		if st.fails < breakerThreshold {
+			return
+		}
+		st.state = breakerOpen
+		st.until = b.now().Add(st.backoff)
+		b.opened()
+	case breakerHalfOpen:
+		st.state = breakerOpen
+		st.probing = false
+		st.backoff *= 2
+		if st.backoff > b.cap {
+			st.backoff = b.cap
+		}
+		st.until = b.now().Add(st.backoff)
+		b.opened()
+	case breakerOpen:
+		// A straggling failure from before the window; keep the window.
+	}
+	st.fails = 0
+}
+
+// open reports whether calls to id are currently being refused. Unlike
+// allow it has no side effects, so routing can consult it without
+// consuming the half-open probe slot.
+func (b *breakers) open(id string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.peers[id]
+	if !ok {
+		return false
+	}
+	switch st.state {
+	case breakerOpen:
+		return b.now().Before(st.until)
+	case breakerHalfOpen:
+		return false // a probe may run; routing may try
+	default:
+		return false
+	}
+}
+
+// describe renders the breaker state for the status report ("" = closed).
+func (b *breakers) describe(id string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.peers[id]
+	if !ok {
+		return ""
+	}
+	switch st.state {
+	case breakerOpen:
+		if b.now().Before(st.until) {
+			return "open"
+		}
+		return "half-open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return ""
+	}
+}
+
+// forget drops state for a departed peer.
+func (b *breakers) forget(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.peers, id)
+}

@@ -58,6 +58,7 @@ type chaosNode struct {
 	id   string
 	addr string // host:port
 	url  string
+	dir  string // store + journal root, reused across restarts
 	cmd  *exec.Cmd
 }
 
@@ -75,32 +76,41 @@ func startChaosCluster(t *testing.T, bin string, n int) []*chaosNode {
 	}
 	peers := strings.Join(specParts, ",")
 	for _, node := range nodes {
-		dir := t.TempDir()
-		cmd := exec.Command(bin,
-			"-addr", node.addr,
-			"-store", filepath.Join(dir, "store"),
-			"-journal", filepath.Join(dir, "journal.jsonl"),
-			"-node-id", node.id,
-			"-peers", peers,
-			"-heartbeat", "100ms",
-			"-dead-after", "3",
-		)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		node.cmd = cmd
-		t.Cleanup(func() {
-			if cmd.Process != nil {
-				cmd.Process.Kill()
-				cmd.Wait()
-			}
-		})
+		node.dir = t.TempDir()
+		launchChaosNode(t, bin, node, "-peers", peers)
 	}
 	for _, node := range nodes {
 		waitReady(t, node.url)
 	}
 	return nodes
+}
+
+// launchChaosNode starts (or restarts) one sgxd process on its recorded
+// addr, store, and journal, plus the given membership flags (-peers at
+// first boot, -join on a rejoin).
+func launchChaosNode(t *testing.T, bin string, node *chaosNode, membership ...string) {
+	t.Helper()
+	args := []string{
+		"-addr", node.addr,
+		"-store", filepath.Join(node.dir, "store"),
+		"-journal", filepath.Join(node.dir, "journal.jsonl"),
+		"-node-id", node.id,
+		"-heartbeat", "100ms",
+		"-dead-after", "3",
+	}
+	args = append(args, membership...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.cmd = cmd
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
 }
 
 func waitReady(t *testing.T, base string) {
@@ -264,6 +274,173 @@ func TestClusterChaosSIGKILLConvergesByteIdentical(t *testing.T) {
 		if !strings.Contains(text, name) {
 			t.Errorf("/metrics missing %s", name)
 		}
+	}
+}
+
+// TestClusterChaosRollingRestartZeroLoss is the churn acceptance bar: each
+// of the three nodes in turn is SIGKILLed and rejoined (same identity,
+// same store and journal, `-join` against a survivor) while cheap distinct
+// grid specs keep arriving. Every submission must be admitted (no non-429
+// 5xx — postSubmit fatals on anything but 201), every spec must resolve
+// byte-identical to a direct sgxbench run, results must come from the
+// fleet store rather than recomputation, re-replication must have moved
+// results to their post-churn owners, and a second identical read sweep
+// must need zero additional peer fetches.
+func TestClusterChaosRollingRestartZeroLoss(t *testing.T) {
+	chaosEnabled(t)
+	bin := buildSgxd(t)
+	nodes := startChaosCluster(t, bin, 3)
+
+	gridSpec := func(i int) serve.SubmitRequest {
+		return serve.SubmitRequest{Experiment: "grid", Workloads: []string{"histogram"},
+			Policies: []string{"sgxbounds"}, Size: "XS", Threads: 1 + i}
+	}
+	var specs []serve.SubmitRequest
+	submitBatch := func(front *chaosNode, n int) {
+		for i := 0; i < n; i++ {
+			req := gridSpec(len(specs))
+			specs = append(specs, req)
+			submitVia(t, front.url, req)
+		}
+	}
+	waitDeadOn := func(live []*chaosNode, deadID string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			declared := 0
+			for _, n := range live {
+				for _, row := range clusterStatus(t, n.url).Nodes {
+					if row.ID == deadID && !row.Alive {
+						declared++
+					}
+				}
+			}
+			if declared == len(live) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("survivors never declared %s dead", deadID)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitFleetConverged := func() {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			settled := true
+			for _, n := range nodes {
+				st := clusterStatus(t, n.url)
+				alive := 0
+				for _, row := range st.Nodes {
+					if row.Alive {
+						alive++
+					}
+				}
+				if len(st.Nodes) != 3 || alive != 3 {
+					settled = false
+				}
+			}
+			if settled {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("fleet never reconverged after a rejoin")
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	submitBatch(nodes[0], 6) // steady-state working set before any churn
+
+	for i, victim := range nodes {
+		seed := nodes[(i+1)%len(nodes)]
+		t.Logf("rolling restart: killing %s, rejoin via %s", victim.id, seed.id)
+		if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		victim.cmd.Wait()
+		var live []*chaosNode
+		for _, n := range nodes {
+			if n != victim {
+				live = append(live, n)
+			}
+		}
+		// Load during the death window: forwards to the victim fail, the
+		// bounded retry re-routes or falls back local, and every submit
+		// still lands 201.
+		submitBatch(seed, 2)
+		waitDeadOn(live, victim.id)
+		submitBatch(seed, 2)
+
+		launchChaosNode(t, bin, victim, "-join", seed.url)
+		waitReady(t, victim.url)
+		waitFleetConverged()
+		submitBatch(seed, 1)
+	}
+
+	// Let every queue drain (journal-replayed jobs included) before the
+	// verification sweeps.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		busy := false
+		for _, n := range nodes {
+			for _, row := range clusterStatus(t, n.url).Nodes {
+				if row.Self && (row.Queued > 0 || row.Pending > 0) {
+					busy = true
+				}
+			}
+		}
+		if !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet queues never drained after the rolling restart")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Zero lost work, byte-identical: every spec resolves from the fleet
+	// store through n1, matching a direct in-process sgxbench run.
+	engine := bench.NewEngine(0)
+	sweep := func() {
+		for _, req := range specs {
+			st := submitVia(t, nodes[0].url, req)
+			fin := waitDoneFor(t, nodes[0].url, st.ID, 2*time.Minute)
+			if !fin.FromStore {
+				t.Fatalf("spec %+v recomputed after churn (FromStore=false): its result was lost", req)
+			}
+			var want bytes.Buffer
+			if err := bench.RunJob(engine, req.Job(), &want, nil); err != nil {
+				t.Fatal(err)
+			}
+			if got := fetchResult(t, nodes[0].url, st.ID); got != want.String() {
+				t.Fatalf("spec %+v differs from direct sgxbench output after churn", req)
+			}
+		}
+	}
+	sweep()
+
+	// Re-replication moved results onto their post-churn owners...
+	var rereplicated float64
+	for _, n := range nodes {
+		rereplicated += metricValue(metricsText(t, n.url), "sgxd_rereplicated_total")
+	}
+	if rereplicated < 1 {
+		t.Fatalf("sgxd_rereplicated_total = %v across the fleet, want > 0", rereplicated)
+	}
+	// ...so a second identical sweep is owner-local: the peer-fetch rate
+	// drops to zero.
+	fetchesBefore := 0.0
+	for _, n := range nodes {
+		fetchesBefore += metricValue(metricsText(t, n.url), "sgxd_peer_fetches_total")
+	}
+	sweep()
+	fetchesAfter := 0.0
+	for _, n := range nodes {
+		fetchesAfter += metricValue(metricsText(t, n.url), "sgxd_peer_fetches_total")
+	}
+	if fetchesAfter > fetchesBefore {
+		t.Fatalf("post-churn peer-fetch rate did not drop: %v new fetches on an owner-local sweep",
+			fetchesAfter-fetchesBefore)
 	}
 }
 

@@ -1,24 +1,40 @@
-// Package cluster turns N independent sgxd daemons into one sharded
-// service. The design leans entirely on the content-addressed result
-// store: a job's digest (canonical spec + bench.SimVersion) names its
-// result everywhere, so any node's bytes are every node's bytes once
+// Package cluster turns N independent sgxd daemons into one sharded,
+// self-healing service. The design leans entirely on the content-addressed
+// result store: a job's digest (canonical spec + bench.SimVersion) names
+// its result everywhere, so any node's bytes are every node's bytes once
 // verified — replication is read-through, never consensus.
 //
-// Four mechanisms, all over the existing HTTP transport:
+// Six mechanisms, all over the existing HTTP transport:
 //
-//   - Membership + liveness: a static node list (same on every node) and
-//     periodic heartbeats that piggyback queue depth and the sender's
-//     unsettled jobs. A node silent past the dead-after window is dead.
+//   - Membership + liveness: an epoch-versioned membership view, seeded
+//     from the boot node list and gossiped on periodic heartbeats that
+//     also piggyback queue depth, the sender's unsettled jobs, and its
+//     quarantine digest. A higher epoch wins; epoch ties break on the
+//     view digest, so concurrent changes converge without coordination.
+//     Nodes join a running fleet (POST /api/v1/cluster/join) and leave it
+//     gracefully (ring-excluded drain, queue handoff, then departure)
+//     without any restarts. A node silent past the dead-after window is
+//     dead.
 //   - Placement: job digests consistent-hash onto live nodes (bounded-load
 //     variant — a node whose queue exceeds its fair share spills to the
-//     next ring node, so hot shards spread). Any node accepts any submit
-//     and forwards it to the owner, unless it already holds the result
-//     locally (serve-local beats a network hop).
+//     next ring node, so hot shards spread). The ring is rebuilt
+//     atomically on every epoch change; an in-flight forward that loses
+//     the race re-routes once against the new epoch before falling back
+//     to local compute.
 //   - Peer-fetch read-through: a local result miss consults live peers
-//     before computing. Peer bytes are re-verified (key, SimVersion, size,
-//     sha256) on arrival; corrupt bytes count, log, and fall through to
-//     the next peer or a local recompute — they never reach a cache tier
-//     or a client.
+//     before computing — the best candidate raced against the second-best
+//     after a hedge delay derived from recent fetch latencies, so one
+//     slow peer cannot stall the read path. Peer bytes are re-verified
+//     (key, SimVersion, size, sha256) on arrival; corrupt bytes count,
+//     log, and fall through — they never reach a cache tier or a client.
+//   - Re-replication: on every epoch change each node scans its store
+//     manifest and pushes verified copies of results it no longer owns to
+//     the new owner (rate-limited, resumable; see rebalance.go), so a
+//     later owner-local read is a disk hit instead of a cross-node fetch.
+//   - Degraded-mode routing: per-peer circuit breakers (consecutive
+//     failures → open for a backoff window → half-open probe; see
+//     breaker.go) make a flapping peer cost one timeout instead of one
+//     per request, with fallback-to-local compute while open.
 //   - Work-stealing + recovery: an idle node shadow-computes queued jobs
 //     from the deepest straggler (the victim's own copy then settles via a
 //     warm store hit — no ownership handoff, duplicates are byte-identical
@@ -28,11 +44,14 @@
 //
 // Fault sites (internal/faultline): "cluster.heartbeat" drops outgoing
 // beats, "cluster.peer.fetch" fails the peer read-through, bitflip on
-// "cluster.peer.body" corrupts received result bytes, and
-// "cluster.steal" delays/denies steal traffic to widen steal races.
+// "cluster.peer.body" corrupts received result bytes, "cluster.steal"
+// delays/denies steal traffic, "cluster.join" fails join admission,
+// "cluster.rebalance" skips re-replication scan steps, and
+// "cluster.peer.replicate" fails the push of one re-replicated result.
 package cluster
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -41,6 +60,7 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,6 +74,10 @@ import (
 // with more pending work than this recovers the overflow from its own
 // journal when it restarts, as before clustering.
 const maxPiggyback = 256
+
+// maxQuarantineDigest bounds the quarantined-job digest carried per
+// heartbeat for fleet-wide quarantine visibility.
+const maxQuarantineDigest = 64
 
 // Local is the slice of the serving stack the cluster drives on its own
 // node. internal/serve implements it over the admission layer and the
@@ -69,26 +93,44 @@ type Local interface {
 	// heartbeat piggybacks for dead-node recovery.
 	Unsettled(max int) []sched.PendingJob
 	// Stealable lists jobs still queued (no worker picked them up yet)
-	// that an idle peer may shadow-compute.
+	// that an idle peer may shadow-compute, or a leaving node hand off.
 	Stealable(max int) []sched.PendingJob
 	// HasLocal reports whether this node already holds a verified result
 	// for key (memory or disk) — the serve-local shortcut in routing.
 	HasLocal(key string) bool
+	// Cancel cancels one local job by ID; a leaving node cancels each
+	// queued job it successfully handed off to the new owner.
+	Cancel(id string) bool
+	// BeginDrain closes the node's admission layer; a leaving node calls
+	// it the moment its ring-excluded epoch is gossiped.
+	BeginDrain()
+	// Quarantined lists the node's parked poison jobs — the digest the
+	// heartbeats carry for fleet-wide quarantine visibility.
+	Quarantined(max int) []sched.JobStatus
+	// Manifest lists the store keys this node holds for the running
+	// simulator version — the scan set for re-replication.
+	Manifest() []string
+	// LoadResult reads one verified result body from the local disk store
+	// (the push side of re-replication).
+	LoadResult(key string) (body []byte, meta store.Meta, ok bool)
 }
 
 // Config parameterises a Cluster.
 type Config struct {
 	Self  string // this node's ID; must appear in Nodes
-	Nodes []Node // full membership, including Self
+	Nodes []Node // boot membership, including Self (may be Self alone before a join)
 
 	// Heartbeat is the beat interval (default 1s); liveness, recovery
-	// checks, and steal probes all run on its ticker.
+	// checks, steal probes, and re-replication all run on its ticker.
 	Heartbeat time.Duration
 	// DeadAfter is how many missed beat intervals declare a peer dead
 	// (default 3).
 	DeadAfter int
 	// StealMax bounds the queued jobs stolen per idle tick (default 1).
 	StealMax int
+	// ReplicateMax bounds the results re-replicated per tick after an
+	// epoch change (default 4) — the rate limit on rebalance traffic.
+	ReplicateMax int
 
 	Local   Local
 	Metrics *telemetry.Registry
@@ -99,39 +141,49 @@ type Config struct {
 
 // peerState is everything we know about one remote member.
 type peerState struct {
-	node     Node
-	lastSeen time.Time
-	alive    bool
-	nonce    string // boot incarnation from its last beat
-	queued   int
-	pending  []sched.PendingJob
+	node       Node
+	lastSeen   time.Time
+	alive      bool
+	nonce      string // boot incarnation from its last beat
+	queued     int
+	pending    []sched.PendingJob
+	quarantine []sched.JobStatus
 }
 
 // Cluster is one node's view of the cluster.
 type Cluster struct {
-	self      Node
-	interval  time.Duration
-	deadAfter time.Duration
-	stealMax  int
-	local     Local
-	client    *http.Client
-	faults    *faultline.Injector
-	log       *log.Logger
-	nonce     string
-	ring      *ring
+	self         Node
+	interval     time.Duration
+	deadAfter    time.Duration
+	stealMax     int
+	replicateMax int
+	local        Local
+	client       *http.Client
+	faults       *faultline.Injector
+	log          *log.Logger
+	nonce        string
+	breakers     *breakers
+	lat          *latTracker
 
-	// peer_fetches and steals sit at the registry top level so the
-	// exposition names are exactly sgxd_peer_fetches_total and
-	// sgxd_steals_total; the rest live under cluster.*.
-	peerFetches, steals                         *telemetry.Counter
+	// peer_fetches, steals, and rereplicated sit at the registry top level
+	// so the exposition names are exactly sgxd_peer_fetches_total,
+	// sgxd_steals_total, and sgxd_rereplicated_total; the rest live under
+	// cluster.*.
+	peerFetches, steals, rereplicated           *telemetry.Counter
 	peerCorrupt, stealsDonated                  *telemetry.Counter
 	beatsSent, beatsRecv, deaths, jobsRecovered *telemetry.Counter
 	forwarded, forwardFallback                  *telemetry.Counter
+	epochChanges, joins, breakerOpens, hedged   *telemetry.Counter
 
-	mu      sync.Mutex
-	peers   map[string]*peerState
-	adopted map[string]bool      // "deadID@nonce/jobID" → re-enqueued
-	stolen  map[string]time.Time // store key → last steal (thief-side dedupe)
+	mu       sync.Mutex
+	view     View
+	ring     *ring
+	peers    map[string]*peerState
+	adopted  map[string]bool      // "deadID@nonce/jobID" → re-enqueued
+	stolen   map[string]time.Time // store key → last steal (thief-side dedupe)
+	rebal    *rebalanceScan       // in-progress re-replication scan (nil = idle)
+	leaving  bool                 // ring-excluded drain in progress
+	departed bool                 // graceful leave completed
 
 	stop     chan struct{}
 	loopDone chan struct{}
@@ -156,6 +208,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.StealMax <= 0 {
 		cfg.StealMax = 1
 	}
+	if cfg.ReplicateMax <= 0 {
+		cfg.ReplicateMax = 4
+	}
 	if cfg.Log == nil {
 		cfg.Log = log.New(io.Discard, "", 0)
 	}
@@ -166,12 +221,11 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Client = defaultClient()
 	}
 
+	view := viewOf(cfg.Nodes)
 	var self *Node
-	ids := make([]string, 0, len(cfg.Nodes))
 	peers := make(map[string]*peerState, len(cfg.Nodes)-1)
 	for i := range cfg.Nodes {
 		n := cfg.Nodes[i]
-		ids = append(ids, n.ID)
 		if n.ID == cfg.Self {
 			self = &cfg.Nodes[i]
 		} else {
@@ -185,19 +239,21 @@ func New(cfg Config) (*Cluster, error) {
 	nonce := make([]byte, 8)
 	rand.Read(nonce)
 	c := &Cluster{
-		self:      *self,
-		interval:  cfg.Heartbeat,
-		deadAfter: time.Duration(cfg.DeadAfter) * cfg.Heartbeat,
-		stealMax:  cfg.StealMax,
-		local:     cfg.Local,
-		client:    cfg.Client,
-		faults:    cfg.Faults,
-		log:       cfg.Log,
-		nonce:     hex.EncodeToString(nonce),
-		ring:      newRing(ids),
+		self:         *self,
+		interval:     cfg.Heartbeat,
+		deadAfter:    time.Duration(cfg.DeadAfter) * cfg.Heartbeat,
+		stealMax:     cfg.StealMax,
+		replicateMax: cfg.ReplicateMax,
+		local:        cfg.Local,
+		client:       cfg.Client,
+		faults:       cfg.Faults,
+		log:          cfg.Log,
+		nonce:        hex.EncodeToString(nonce),
+		lat:          &latTracker{},
 
 		peerFetches:     cfg.Metrics.Counter("peer_fetches"),
 		steals:          cfg.Metrics.Counter("steals"),
+		rereplicated:    cfg.Metrics.Counter("rereplicated"),
 		peerCorrupt:     cfg.Metrics.Counter("cluster.peer_corrupt"),
 		stealsDonated:   cfg.Metrics.Counter("cluster.steals_donated"),
 		beatsSent:       cfg.Metrics.Counter("cluster.heartbeats_sent"),
@@ -206,18 +262,39 @@ func New(cfg Config) (*Cluster, error) {
 		jobsRecovered:   cfg.Metrics.Counter("cluster.jobs_recovered"),
 		forwarded:       cfg.Metrics.Counter("cluster.forwarded"),
 		forwardFallback: cfg.Metrics.Counter("cluster.forward_fallback"),
+		epochChanges:    cfg.Metrics.Counter("cluster.epoch_changes"),
+		joins:           cfg.Metrics.Counter("cluster.joins"),
+		breakerOpens:    cfg.Metrics.Counter("cluster.breaker_opens"),
+		hedged:          cfg.Metrics.Counter("cluster.hedged_fetches"),
 
+		view:     view,
+		ring:     newRing(view.ringIDs()),
 		peers:    peers,
 		adopted:  make(map[string]bool),
 		stolen:   make(map[string]time.Time),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	c.breakers = newBreakers(8*c.interval, 64*c.interval, nil, func() { c.breakerOpens.Inc() })
 	return c, nil
 }
 
 // Self returns this node's ID.
 func (c *Cluster) Self() string { return c.self.ID }
+
+// Epoch returns the membership epoch this node currently operates under.
+func (c *Cluster) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Epoch
+}
+
+// Departed reports whether this node has completed a graceful leave.
+func (c *Cluster) Departed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.departed
+}
 
 // Start launches the heartbeat/recovery/steal loop. Every peer gets a
 // full dead-after grace window from this instant, so a cluster booting
@@ -261,19 +338,26 @@ func (c *Cluster) loop() {
 			c.beatOnce()
 			c.reapAndRecover()
 			c.stealOnce()
+			c.rebalanceOnce()
 		}
 	}
 }
 
-// selfBeat snapshots this node's wire-visible state.
+// selfBeat snapshots this node's wire-visible state, membership view
+// included — the view is how epochs gossip.
 func (c *Cluster) selfBeat() Beat {
 	queued, _ := c.local.Depth()
+	c.mu.Lock()
+	view := c.view.clone()
+	c.mu.Unlock()
 	return Beat{
-		From:    c.self.ID,
-		Nonce:   c.nonce,
-		Queued:  queued,
-		Pending: c.local.Unsettled(maxPiggyback),
-		Unix:    time.Now().Unix(),
+		From:       c.self.ID,
+		Nonce:      c.nonce,
+		Queued:     queued,
+		Pending:    c.local.Unsettled(maxPiggyback),
+		Quarantine: c.local.Quarantined(maxQuarantineDigest),
+		View:       view,
+		Unix:       time.Now().Unix(),
 	}
 }
 
@@ -311,9 +395,10 @@ func (c *Cluster) ReceiveBeat(b Beat) Beat {
 func (c *Cluster) observeBeat(b Beat) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeViewLocked(b.View)
 	ps, ok := c.peers[b.From]
 	if !ok {
-		return // not in the membership list; ignore
+		return // not in the (merged) membership; ignore
 	}
 	if !ps.alive {
 		c.log.Printf("cluster: node %s is back (nonce %s)", b.From, b.Nonce)
@@ -323,6 +408,198 @@ func (c *Cluster) observeBeat(b Beat) {
 	ps.nonce = b.Nonce
 	ps.queued = b.Queued
 	ps.pending = b.Pending
+	ps.quarantine = b.Quarantine
+}
+
+// mergeViewLocked resolves a gossiped view against the local one: the
+// higher epoch wins (ties break on the view digest), and the loser of a
+// concurrent change re-asserts what only it knows — its own membership,
+// or its own leaving state — under the next epoch, so the fleet converges
+// instead of silently dropping a node. (Caller holds c.mu.)
+func (c *Cluster) mergeViewLocked(remote View) {
+	winner, changed := pickView(c.view, remote)
+	if !changed {
+		return
+	}
+	if m, ok := winner.find(c.self.ID); !ok {
+		if !c.leaving && !c.departed {
+			winner = winner.withJoined(c.self)
+		}
+	} else if c.leaving && !c.departed && !m.Leaving {
+		winner = winner.withLeaving(c.self.ID)
+	}
+	c.installViewLocked(winner)
+}
+
+// installViewLocked adopts a new membership view atomically: the ring is
+// rebuilt for the epoch, the peer table gains new members (with a full
+// liveness grace window) and drops departed ones, and a re-replication
+// scan is scheduled. (Caller holds c.mu.)
+func (c *Cluster) installViewLocked(v View) {
+	old := c.view.Epoch
+	c.view = v
+	c.ring = newRing(v.ringIDs())
+	now := time.Now()
+	seen := make(map[string]bool, len(v.Members))
+	for _, m := range v.Members {
+		if m.ID == c.self.ID {
+			continue
+		}
+		seen[m.ID] = true
+		if ps, ok := c.peers[m.ID]; ok {
+			ps.node = m.Node
+		} else {
+			c.peers[m.ID] = &peerState{node: m.Node, lastSeen: now, alive: true}
+		}
+	}
+	for id := range c.peers {
+		if !seen[id] {
+			delete(c.peers, id)
+			c.breakers.forget(id)
+		}
+	}
+	c.epochChanges.Inc()
+	c.rebal = &rebalanceScan{}
+	c.log.Printf("cluster: membership epoch %d installed (%d members, was epoch %d)", v.Epoch, len(v.Members), old)
+}
+
+// Join announces this node to a running fleet through seed's join
+// endpoint and adopts the returned view. The serve layer calls it at boot
+// (sgxd -join) or on the operator form of POST /api/v1/cluster/join.
+func (c *Cluster) Join(seed string) error {
+	c.mu.Lock()
+	if c.leaving || c.departed {
+		c.mu.Unlock()
+		return errors.New("cluster: node is leaving; cannot join")
+	}
+	epoch := c.view.Epoch
+	c.mu.Unlock()
+	v, err := c.postJoin(strings.TrimRight(seed, "/"), c.self, epoch)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.mergeViewLocked(v)
+	joined := c.view.Epoch
+	c.mu.Unlock()
+	c.log.Printf("cluster: joined via %s at epoch %d", seed, joined)
+	c.beatOnce() // gossip our arrival now instead of waiting a tick
+	return nil
+}
+
+// HandleJoin admits a node into the membership (the member side of a
+// join). It always bumps the epoch past both sides' views — even for an
+// idempotent rejoin — so the joiner's possibly-stale solo view can never
+// win a digest tie against the fleet.
+func (c *Cluster) HandleJoin(n Node, joinerEpoch uint64) (View, error) {
+	if err := c.faults.Fire("cluster.join", n.ID); err != nil {
+		return View{}, err
+	}
+	if n.ID == "" || n.Addr == "" {
+		return View{}, errors.New("cluster: join needs id and addr")
+	}
+	addr, err := normalizeAddr(n.Addr)
+	if err != nil {
+		return View{}, err
+	}
+	n.Addr = addr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.departed {
+		return View{}, errors.New("cluster: this node has left the fleet")
+	}
+	if n.ID == c.self.ID {
+		return View{}, fmt.Errorf("cluster: %q is this node's own ID", n.ID)
+	}
+	next := c.view.withJoined(n)
+	if next.Epoch <= joinerEpoch {
+		next.Epoch = joinerEpoch + 1
+	}
+	c.joins.Inc()
+	c.installViewLocked(next)
+	c.log.Printf("cluster: node %s (%s) joined at epoch %d", n.ID, n.Addr, next.Epoch)
+	return c.view.clone(), nil
+}
+
+// Leave gracefully exits the fleet: gossip a ring-excluded (leaving)
+// epoch, close local admission, hand still-queued jobs to their new
+// owners, wait for running work and the re-replication scan to settle,
+// then gossip a final epoch without this node and stop the loop. The
+// process stays up afterwards — drained, serving reads — until the
+// operator stops it.
+func (c *Cluster) Leave(ctx context.Context) error {
+	c.mu.Lock()
+	if c.leaving || c.departed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.leaving = true
+	c.installViewLocked(c.view.withLeaving(c.self.ID))
+	c.mu.Unlock()
+	c.log.Printf("cluster: leaving — ring-excluded drain begins")
+	c.beatOnce() // the fleet must stop routing to us before we drain
+	c.local.BeginDrain()
+
+	// Hand off the jobs no worker has picked up yet: forward each to its
+	// owner under the leaving epoch, cancelling the local copy only when
+	// the forward succeeded (a failed handoff stays local and drains).
+	for _, pj := range c.local.Stealable(maxPiggyback) {
+		node, local := c.Route(pj.Req.StoreKey(), pj.Req.Force)
+		if local || node == "" {
+			continue
+		}
+		if _, err := c.Forward(node, "cluster-handoff", pj.Req, ""); err != nil {
+			c.log.Printf("cluster: handoff of %s to %s failed (%v); draining it locally", pj.ID, node, err)
+			continue
+		}
+		c.local.Cancel(pj.ID)
+		c.log.Printf("cluster: handed off queued job %s to %s", pj.ID, node)
+	}
+
+	// Wait for running work to settle and the re-replication scan (our
+	// whole manifest, now that we own nothing) to finish pushing.
+	settle := func() error {
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			c.mu.Lock()
+			rebalancing := c.rebal != nil
+			c.mu.Unlock()
+			if !rebalancing && len(c.local.Unsettled(1)) == 0 {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("cluster: leave interrupted: %w", ctx.Err())
+			case <-c.stop:
+				return errors.New("cluster: stopped mid-leave")
+			case <-t.C:
+			}
+		}
+	}
+	if err := settle(); err != nil {
+		return err
+	}
+	// A job still running at the snapshot settles its result *after* the
+	// evacuation scan read the manifest — gone with us unless pushed now.
+	// The queue is drained and the ring excludes us, so nothing new can
+	// land: one fresh full-manifest pass covers every late settler.
+	c.mu.Lock()
+	c.rebal = &rebalanceScan{}
+	c.mu.Unlock()
+	if err := settle(); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	c.departed = true
+	c.installViewLocked(c.view.without(c.self.ID))
+	c.rebal = nil // departure owes the fleet nothing further
+	c.mu.Unlock()
+	c.beatOnce() // final gossip: the fleet drops us this epoch
+	c.log.Printf("cluster: departed the fleet")
+	c.Stop()
+	return nil
 }
 
 // reapAndRecover declares silent peers dead and, when this node is the
@@ -424,15 +701,19 @@ func orSelf(node, self string) string {
 }
 
 // Route decides placement for a content address: serve locally when this
-// node owns the digest or already holds the result (and the client did
-// not Force a recompute), otherwise name the owning node. Satisfies the
-// frontdoor.Router seam.
+// node owns the digest, already holds the result (and the client did not
+// Force a recompute), or the owner's circuit breaker is open (degraded
+// mode: local compute beats queueing behind a flapping peer). Otherwise
+// name the owning node. Satisfies the frontdoor.Router seam.
 func (c *Cluster) Route(key string, force bool) (node string, local bool) {
 	owner := c.ownerOf(key)
 	if owner == c.self.ID || owner == "" {
 		return "", true
 	}
 	if !force && c.local.HasLocal(key) {
+		return "", true
+	}
+	if c.breakers.open(owner) {
 		return "", true
 	}
 	return owner, false
@@ -442,8 +723,12 @@ func (c *Cluster) Route(key string, force bool) (node string, local bool) {
 func (c *Cluster) ownerOf(key string) string {
 	queued, _ := c.local.Depth()
 	c.mu.Lock()
+	ring := c.ring
 	alive := map[string]bool{c.self.ID: true}
 	loads := map[string]int{c.self.ID: queued}
+	if c.leaving || c.departed {
+		delete(alive, c.self.ID)
+	}
 	for id, ps := range c.peers {
 		if ps.alive {
 			alive[id] = true
@@ -451,47 +736,95 @@ func (c *Cluster) ownerOf(key string) string {
 		}
 	}
 	c.mu.Unlock()
-	return c.ring.owner(key, alive, loads)
+	return ring.owner(key, alive, loads)
 }
 
-// Forward sends a submission to nodeID's cluster-submit endpoint.
+// Forward sends a submission to nodeID's cluster-submit endpoint, guarded
+// by the per-peer circuit breaker.
 func (c *Cluster) Forward(nodeID, tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, error) {
 	peer, ok := c.nodeByID(nodeID)
 	if !ok {
 		return sched.JobStatus{}, fmt.Errorf("cluster: unknown node %q", nodeID)
 	}
+	if !c.breakers.allow(nodeID) {
+		return sched.JobStatus{}, fmt.Errorf("cluster: breaker open for %s", nodeID)
+	}
 	st, err := c.forwardSubmit(peer, tenant, req, recoveredFrom)
 	if err != nil {
+		c.breakers.failure(nodeID)
 		return sched.JobStatus{}, err
 	}
+	c.breakers.success(nodeID)
 	c.forwarded.Inc()
 	return st, nil
 }
 
+// ForwardRetry forwards a submission to node with the single bounded
+// re-route the membership protocol allows: when the first forward fails
+// (the ring may have moved mid-flight, or the owner may be gone), the key
+// is routed once more against the current epoch and the new owner tried
+// once. ok=false tells the caller to admit locally — no job is ever lost
+// to topology churn, and at most two forwards are ever attempted.
+func (c *Cluster) ForwardRetry(node, tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, string, bool) {
+	st, err := c.Forward(node, tenant, req, recoveredFrom)
+	if err == nil {
+		return st, node, true
+	}
+	if next, local := c.Route(req.StoreKey(), req.Force); !local && next != node {
+		if st, err2 := c.Forward(next, tenant, req, recoveredFrom); err2 == nil {
+			return st, next, true
+		}
+	}
+	c.forwardFallback.Inc()
+	c.log.Printf("cluster: forward of %.12s… to %s failed (%v); admitting locally", req.StoreKey(), node, err)
+	return sched.JobStatus{}, "", false
+}
+
 // routeSubmit is the placement-aware internal submit used by recovery:
-// local when this node should serve the digest, forwarded to the owner
-// otherwise, falling back to local when the owner cannot be reached (the
-// work must not be lost to a second failure).
+// local when this node should serve the digest, forwarded (with the
+// bounded re-route) otherwise, falling back to local when no owner can be
+// reached — the work must not be lost to a second failure.
 func (c *Cluster) routeSubmit(tenant string, req sched.SubmitRequest, recoveredFrom string) (sched.JobStatus, error) {
 	if node, local := c.Route(req.StoreKey(), req.Force); !local {
-		st, err := c.Forward(node, tenant, req, recoveredFrom)
-		if err == nil {
+		if st, _, ok := c.ForwardRetry(node, tenant, req, recoveredFrom); ok {
 			return st, nil
 		}
-		c.forwardFallback.Inc()
-		c.log.Printf("cluster: forward to %s failed (%v); admitting locally", node, err)
 	}
 	return c.local.Admit(tenant, req, recoveredFrom)
 }
 
-// FetchResult is the peer read-through the result tier consults below
-// its local miss: the digest's owner first (most likely holder), then
-// every other live peer. Only verified bytes come back; corrupt bodies
-// count, log, and keep walking. Satisfies resultier.PeerFetch.
+// FetchResult is the peer read-through the result tier consults below its
+// local miss: the digest's owner first (most likely holder), then every
+// other live peer whose breaker admits traffic. The two best candidates
+// are hedged — the second launches only if the first is slower than the
+// recent-latency hedge delay — and the rest walk sequentially. Only
+// verified bytes come back; corrupt bodies count, log, and keep walking.
+// Satisfies resultier.PeerFetch.
 func (c *Cluster) FetchResult(key, version string) ([]byte, store.Meta, bool) {
 	if err := c.faults.Fire("cluster.peer.fetch", key); err != nil {
 		return nil, store.Meta{}, false
 	}
+	candidates := c.fetchCandidates(key)
+	if len(candidates) == 0 {
+		return nil, store.Meta{}, false
+	}
+	body, meta, ok, tried := c.hedgedFetch(candidates, key, version)
+	if ok {
+		c.peerFetches.Inc()
+		return body, meta, true
+	}
+	for _, node := range candidates[tried:] {
+		if body, meta, ok := c.fetchPeer(node, key, version); ok {
+			c.peerFetches.Inc()
+			return body, meta, true
+		}
+	}
+	return nil, store.Meta{}, false
+}
+
+// fetchCandidates orders the live peers for a read: owner first, the rest
+// by ID, peers behind an open breaker skipped entirely.
+func (c *Cluster) fetchCandidates(key string) []Node {
 	owner := c.ownerOf(key)
 	c.mu.Lock()
 	candidates := make([]Node, 0, len(c.peers))
@@ -509,14 +842,122 @@ func (c *Cluster) FetchResult(key, version string) ([]byte, store.Meta, bool) {
 		}
 	}
 	c.mu.Unlock()
-
-	for _, node := range candidates {
-		if body, meta, ok := c.fetchFrom(node, key, version); ok {
-			c.peerFetches.Inc()
-			return body, meta, true
+	open := candidates[:0]
+	for _, n := range candidates {
+		if !c.breakers.open(n.ID) {
+			open = append(open, n)
 		}
 	}
-	return nil, store.Meta{}, false
+	return open
+}
+
+// fetchPeer is one breaker-accounted peer fetch. Reachability, not
+// result presence, drives the breaker: a clean 404 (the peer simply lacks
+// the digest) is a healthy answer, only transport and server errors
+// count as failures.
+func (c *Cluster) fetchPeer(node Node, key, version string) ([]byte, store.Meta, bool) {
+	if !c.breakers.allow(node.ID) {
+		return nil, store.Meta{}, false
+	}
+	start := time.Now()
+	body, meta, ok, reachable := c.fetchFrom(node, key, version)
+	if reachable {
+		c.breakers.success(node.ID)
+		c.lat.observe(time.Since(start))
+	} else {
+		c.breakers.failure(node.ID)
+	}
+	return body, meta, ok
+}
+
+// hedgedFetch races candidates[0] against candidates[1]: the second fetch
+// launches only if the first has not answered within the hedge delay, so
+// a slow peer cannot stall the read path while a healthy one costs no
+// extra traffic. Returns how many candidates were consumed so the caller
+// can continue the sequential walk after a miss.
+func (c *Cluster) hedgedFetch(candidates []Node, key, version string) (body []byte, meta store.Meta, ok bool, tried int) {
+	if len(candidates) < 2 {
+		b, m, k := c.fetchPeer(candidates[0], key, version)
+		return b, m, k, 1
+	}
+	type res struct {
+		body []byte
+		meta store.Meta
+		ok   bool
+	}
+	ch := make(chan res, 2)
+	launch := func(n Node) {
+		go func() {
+			b, m, k := c.fetchPeer(n, key, version)
+			ch <- res{b, m, k}
+		}()
+	}
+	launch(candidates[0])
+	launched := 1
+	timer := time.NewTimer(c.lat.hedgeDelay())
+	defer timer.Stop()
+	for answered := 0; answered < launched; {
+		select {
+		case r := <-ch:
+			answered++
+			if r.ok {
+				return r.body, r.meta, true, launched
+			}
+		case <-timer.C:
+			if launched < 2 {
+				c.hedged.Inc()
+				launch(candidates[1])
+				launched++
+			}
+		}
+	}
+	return nil, store.Meta{}, false, launched
+}
+
+// latTracker keeps a bounded window of successful peer-fetch latencies
+// and derives the hedge delay from a high percentile of it.
+type latTracker struct {
+	mu      sync.Mutex
+	samples [64]time.Duration
+	n       int // filled entries
+	idx     int // ring cursor
+}
+
+// hedgeDelay floor and cold-start default: hedging below the floor would
+// double traffic on every fetch; before any sample exists the delay is
+// deliberately generous.
+const (
+	hedgeFloor   = 20 * time.Millisecond
+	hedgeDefault = 75 * time.Millisecond
+)
+
+func (l *latTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.samples)
+	if l.n < len(l.samples) {
+		l.n++
+	}
+}
+
+// hedgeDelay is twice the p90 of the recent window (floored): slower than
+// that and the first peer is genuinely struggling, not merely busy.
+func (l *latTracker) hedgeDelay() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return hedgeDefault
+	}
+	window := make([]time.Duration, l.n)
+	copy(window, l.samples[:l.n])
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	p90 := window[(l.n*9)/10%l.n]
+	d := 2 * p90
+	if d < hedgeFloor {
+		d = hedgeFloor
+	}
+	return d
 }
 
 // Donate is the victim side of a steal: hand up to max queued jobs to a
@@ -539,6 +980,12 @@ func (c *Cluster) Donate(max int) []sched.PendingJob {
 // stealOnce runs on each tick: when this node's backlog is empty, pull
 // queued jobs from the deepest live straggler and compute them here.
 func (c *Cluster) stealOnce() {
+	c.mu.Lock()
+	idle := !c.leaving && !c.departed
+	c.mu.Unlock()
+	if !idle {
+		return // a draining node must not acquire new work
+	}
 	if queued, _ := c.local.Depth(); queued > 0 {
 		return // not idle; no stealing
 	}
@@ -610,42 +1057,102 @@ type NodeStatus struct {
 	Addr       string `json:"addr"`
 	Self       bool   `json:"self,omitempty"`
 	Alive      bool   `json:"alive"`
+	Leaving    bool   `json:"leaving,omitempty"`
 	Queued     int    `json:"queued"`
 	Pending    int    `json:"pending"`
 	LastSeenMS int64  `json:"last_seen_ms,omitempty"` // ms since last beat (0 for self)
 	Nonce      string `json:"nonce,omitempty"`
+	Breaker    string `json:"breaker,omitempty"` // "open"/"half-open" when degraded
 }
 
 // Status is the GET /api/v1/cluster/status body.
 type Status struct {
-	Self  string       `json:"self"`
-	Nonce string       `json:"nonce"`
-	Nodes []NodeStatus `json:"nodes"`
+	Self     string       `json:"self"`
+	Nonce    string       `json:"nonce"`
+	Epoch    uint64       `json:"epoch"`
+	Departed bool         `json:"departed,omitempty"`
+	Nodes    []NodeStatus `json:"nodes"`
 }
 
 // StatusReport snapshots this node's view of the membership, sorted by ID.
 func (c *Cluster) StatusReport() Status {
 	queued, _ := c.local.Depth()
+	c.mu.Lock()
 	st := Status{
-		Self:  c.self.ID,
-		Nonce: c.nonce,
-		Nodes: []NodeStatus{{
-			ID: c.self.ID, Addr: c.self.Addr, Self: true, Alive: true,
-			Queued: queued, Pending: len(c.local.Unsettled(maxPiggyback)),
-			Nonce: c.nonce,
-		}},
+		Self:     c.self.ID,
+		Nonce:    c.nonce,
+		Epoch:    c.view.Epoch,
+		Departed: c.departed,
+	}
+	selfRow := NodeStatus{
+		ID: c.self.ID, Addr: c.self.Addr, Self: true, Alive: true,
+		Leaving: c.leaving,
+		Queued:  queued,
+		Nonce:   c.nonce,
 	}
 	now := time.Now()
-	c.mu.Lock()
+	rows := []NodeStatus{}
 	for _, ps := range c.peers {
-		st.Nodes = append(st.Nodes, NodeStatus{
+		leaving := false
+		if m, ok := c.view.find(ps.node.ID); ok {
+			leaving = m.Leaving
+		}
+		rows = append(rows, NodeStatus{
 			ID: ps.node.ID, Addr: ps.node.Addr, Alive: ps.alive,
-			Queued: ps.queued, Pending: len(ps.pending),
+			Leaving: leaving,
+			Queued:  ps.queued, Pending: len(ps.pending),
 			LastSeenMS: now.Sub(ps.lastSeen).Milliseconds(),
 			Nonce:      ps.nonce,
+			Breaker:    c.breakers.describe(ps.node.ID),
 		})
 	}
 	c.mu.Unlock()
+	selfRow.Pending = len(c.local.Unsettled(maxPiggyback))
+	st.Nodes = append([]NodeStatus{selfRow}, rows...)
 	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].ID < st.Nodes[j].ID })
 	return st
+}
+
+// NodeQuarantine is one node's slice of the fleet-wide quarantine view.
+type NodeQuarantine struct {
+	ID    string            `json:"id"`
+	Addr  string            `json:"addr"`
+	Self  bool              `json:"self,omitempty"`
+	Alive bool              `json:"alive"`
+	Jobs  []sched.JobStatus `json:"jobs"`
+}
+
+// QuarantineReport is the GET /api/v1/cluster/quarantine body: this
+// node's parked jobs plus every peer's last-gossiped quarantine digest,
+// so a poison job parked anywhere is visible (and requeue-able) from any
+// node.
+type QuarantineReport struct {
+	Self  string           `json:"self"`
+	Epoch uint64           `json:"epoch"`
+	Nodes []NodeQuarantine `json:"nodes"`
+}
+
+// QuarantineStatus aggregates the fleet-wide quarantine view.
+func (c *Cluster) QuarantineStatus() QuarantineReport {
+	selfJobs := c.local.Quarantined(maxQuarantineDigest)
+	if selfJobs == nil {
+		selfJobs = []sched.JobStatus{}
+	}
+	c.mu.Lock()
+	rep := QuarantineReport{Self: c.self.ID, Epoch: c.view.Epoch}
+	rep.Nodes = append(rep.Nodes, NodeQuarantine{
+		ID: c.self.ID, Addr: c.self.Addr, Self: true, Alive: true, Jobs: selfJobs,
+	})
+	for _, ps := range c.peers {
+		jobs := ps.quarantine
+		if jobs == nil {
+			jobs = []sched.JobStatus{}
+		}
+		rep.Nodes = append(rep.Nodes, NodeQuarantine{
+			ID: ps.node.ID, Addr: ps.node.Addr, Alive: ps.alive, Jobs: jobs,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].ID < rep.Nodes[j].ID })
+	return rep
 }

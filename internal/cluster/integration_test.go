@@ -51,9 +51,11 @@ type testNode struct {
 
 // nodeOpts tweaks one node's build.
 type nodeOpts struct {
-	workers int
-	gated   bool // compute blocks until release() (or ctx cancel)
-	faults  *faultline.Injector
+	workers     int
+	gated       bool // compute blocks until release() (or ctx cancel)
+	faults      *faultline.Injector
+	maxAttempts int
+	poison      int // first N computes of experiment "table4" panic (transient)
 }
 
 // output is the deterministic result body the stub computes for a spec —
@@ -85,66 +87,96 @@ func startCluster(t *testing.T, n int, opts func(i int) nodeOpts) []*testNode {
 				o.workers = 1
 			}
 		}
-		st, err := store.Open(t.TempDir())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var computes atomic.Int64
-		gate := make(chan struct{})
-		if !o.gated {
-			close(gate)
-		}
-		srv, err := serve.New(serve.Config{
-			Store:   st,
-			Workers: o.workers,
-			Faults:  o.faults,
-			Compute: func(ctx context.Context, spec bench.Job) (*serve.ResultBundle, error) {
-				computes.Add(1)
-				select {
-				case <-gate:
-				case <-ctx.Done():
-				}
-				return &serve.ResultBundle{Output: output(spec)}, nil
-			},
-			Cluster: &serve.ClusterConfig{
-				Self:      members[i].ID,
-				Nodes:     members,
-				Heartbeat: 25 * time.Millisecond,
-				DeadAfter: 3,
-			},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewUnstartedServer(srv.Handler())
-		ts.Listener.Close()
-		ts.Listener = listeners[i]
-		ts.Start()
-		var once sync.Once
-		var relOnce sync.Once
-		node := &testNode{
-			id:       members[i].ID,
-			url:      "http://" + listeners[i].Addr().String(),
-			srv:      srv,
-			ts:       ts,
-			computes: &computes,
-			release:  func() { relOnce.Do(func() { close(gate) }) },
-		}
-		if !o.gated {
-			node.release = func() {}
-		}
-		node.stop = func() {
-			once.Do(func() {
-				node.release()
-				srv.Abort()
-				ts.Close()
-			})
-		}
-		t.Cleanup(node.stop)
-		nodes[i] = node
+		nodes[i] = buildNode(t, listeners[i], members[i], members, o)
 	}
 	waitMembership(t, nodes)
 	return nodes
+}
+
+// buildNode assembles one clustered daemon on a pre-bound listener, with
+// the given membership as its boot view. Shared by startCluster (full
+// membership at birth) and startSoloNode (a joiner that knows only itself).
+func buildNode(t *testing.T, ln net.Listener, self cluster.Node, members []cluster.Node, o nodeOpts) *testNode {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	var poisonLeft atomic.Int64
+	poisonLeft.Store(int64(o.poison))
+	gate := make(chan struct{})
+	if !o.gated {
+		close(gate)
+	}
+	srv, err := serve.New(serve.Config{
+		Store:       st,
+		Workers:     o.workers,
+		Faults:      o.faults,
+		MaxAttempts: o.maxAttempts,
+		Compute: func(ctx context.Context, spec bench.Job) (*serve.ResultBundle, error) {
+			computes.Add(1)
+			if spec.Experiment == "table4" && poisonLeft.Add(-1) >= 0 {
+				panic("poison compute") // transient by classification: retries, then quarantine
+			}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return &serve.ResultBundle{Output: output(spec)}, nil
+		},
+		Cluster: &serve.ClusterConfig{
+			Self:      self.ID,
+			Nodes:     members,
+			Heartbeat: 25 * time.Millisecond,
+			DeadAfter: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	var once sync.Once
+	var relOnce sync.Once
+	node := &testNode{
+		id:       self.ID,
+		url:      "http://" + ln.Addr().String(),
+		srv:      srv,
+		ts:       ts,
+		computes: &computes,
+		release:  func() { relOnce.Do(func() { close(gate) }) },
+	}
+	if !o.gated {
+		node.release = func() {}
+	}
+	node.stop = func() {
+		once.Do(func() {
+			node.release()
+			srv.Abort()
+			ts.Close()
+		})
+	}
+	t.Cleanup(node.stop)
+	return node
+}
+
+// startSoloNode boots one clustered daemon that believes it is a fleet of
+// one — the state a fresh `sgxd -join` process is in before announcing
+// itself to a seed.
+func startSoloNode(t *testing.T, id string, o nodeOpts) *testNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.workers == 0 {
+		o.workers = 1
+	}
+	self := cluster.Node{ID: id, Addr: "http://" + ln.Addr().String()}
+	return buildNode(t, ln, self, []cluster.Node{self}, o)
 }
 
 // waitMembership blocks until every node sees every other node alive.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sgxbounds/internal/serve/sched"
+	"sgxbounds/internal/serve/store"
 )
 
 // nopLocal satisfies Local for tests that never exercise the local node.
@@ -14,10 +15,17 @@ type nopLocal struct{}
 func (nopLocal) Admit(string, sched.SubmitRequest, string) (sched.JobStatus, error) {
 	return sched.JobStatus{}, nil
 }
-func (nopLocal) Depth() (int, int)                { return 0, 64 }
-func (nopLocal) Unsettled(int) []sched.PendingJob { return nil }
-func (nopLocal) Stealable(int) []sched.PendingJob { return nil }
-func (nopLocal) HasLocal(string) bool             { return false }
+func (nopLocal) Depth() (int, int)                 { return 0, 64 }
+func (nopLocal) Unsettled(int) []sched.PendingJob  { return nil }
+func (nopLocal) Stealable(int) []sched.PendingJob  { return nil }
+func (nopLocal) HasLocal(string) bool              { return false }
+func (nopLocal) Cancel(string) bool                { return false }
+func (nopLocal) BeginDrain()                       {}
+func (nopLocal) Quarantined(int) []sched.JobStatus { return nil }
+func (nopLocal) Manifest() []string                { return nil }
+func (nopLocal) LoadResult(string) ([]byte, store.Meta, bool) {
+	return nil, store.Meta{}, false
+}
 
 func TestParsePeersInline(t *testing.T) {
 	nodes, err := ParsePeers(" n2=http://b:7483, n1=https://a:7483 ,n3=c:7483 ")

@@ -34,12 +34,26 @@ const (
 // Nonce identifies the sender's boot incarnation: recovery runs at most
 // once per (node, nonce), and a restarted node arrives with a fresh nonce
 // and a clean slate.
+// The View field is the membership gossip channel: every beat carries the
+// sender's epoch-versioned view, and Quarantine carries its parked-job
+// digest for fleet-wide quarantine visibility.
 type Beat struct {
-	From    string             `json:"from"`
-	Nonce   string             `json:"nonce"`
-	Queued  int                `json:"queued"`
-	Pending []sched.PendingJob `json:"pending,omitempty"`
-	Unix    int64              `json:"unix"`
+	From       string             `json:"from"`
+	Nonce      string             `json:"nonce"`
+	Queued     int                `json:"queued"`
+	Pending    []sched.PendingJob `json:"pending,omitempty"`
+	Quarantine []sched.JobStatus  `json:"quarantine,omitempty"`
+	View       View               `json:"view"`
+	Unix       int64              `json:"unix"`
+}
+
+// joinRequest is the node-to-node wire form of a join: the joiner's
+// identity plus its current epoch, so the admitting member can bump past
+// both sides' views (see Cluster.HandleJoin).
+type joinRequest struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ResultEnvelope is the peer result wire form: the store metadata plus
@@ -75,27 +89,91 @@ func (c *Cluster) postBeat(peer Node, b Beat) (Beat, error) {
 // fetchFrom asks one peer for a verified result body. The envelope is
 // re-verified here — checksum, size, key, and SimVersion — because the
 // wire (or a buggy peer) can corrupt what the peer's disk store verified;
-// the "cluster.peer.body" bitflip site models exactly that.
-func (c *Cluster) fetchFrom(peer Node, key, version string) ([]byte, store.Meta, bool) {
+// the "cluster.peer.body" bitflip site models exactly that. reachable
+// distinguishes a healthy answer (200 or a clean 404 miss) from a
+// transport or server failure — only the latter feeds the peer's circuit
+// breaker.
+func (c *Cluster) fetchFrom(peer Node, key, version string) (body []byte, meta store.Meta, ok, reachable bool) {
 	resp, err := c.client.Get(peer.Addr + "/api/v1/cluster/results/" + key + "?version=" + url.QueryEscape(version))
 	if err != nil {
-		return nil, store.Meta{}, false
+		return nil, store.Meta{}, false, false
 	}
 	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, store.Meta{}, false, true
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, store.Meta{}, false
+		return nil, store.Meta{}, false, false
 	}
 	var env ResultEnvelope
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&env); err != nil {
-		return nil, store.Meta{}, false
+		return nil, store.Meta{}, false, false
 	}
-	body := c.faults.Mutate("cluster.peer.body", key, env.Body)
-	if !verifyEnvelope(key, version, body, env.Meta) {
+	raw := c.faults.Mutate("cluster.peer.body", key, env.Body)
+	if !verifyEnvelope(key, version, raw, env.Meta) {
 		c.peerCorrupt.Inc()
 		c.log.Printf("cluster: result %.12s… from %s failed verification; treating as miss", key, peer.ID)
-		return nil, store.Meta{}, false
+		return nil, store.Meta{}, false, true
 	}
-	return body, env.Meta, true
+	return raw, env.Meta, true, true
+}
+
+// Verify re-checks an envelope against its own metadata: receiver-side
+// trust boundary for pushed (re-replicated) results, mirroring what
+// fetchFrom enforces for pulled ones.
+func (e ResultEnvelope) Verify() bool {
+	return verifyEnvelope(e.Meta.Key, e.Meta.Version, e.Body, e.Meta)
+}
+
+// postJoin announces node n (at epoch) to seed's join endpoint and
+// returns the fleet view the seed responds with.
+func (c *Cluster) postJoin(seed string, n Node, epoch uint64) (View, error) {
+	raw, err := json.Marshal(joinRequest{ID: n.ID, Addr: n.Addr, Epoch: epoch})
+	if err != nil {
+		return View{}, err
+	}
+	resp, err := c.client.Post(seed+"/api/v1/cluster/join", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return View{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return View{}, fmt.Errorf("cluster: join via %s: %s: %s", seed, resp.Status, readErrorBody(resp.Body))
+	}
+	var v View
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&v); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// pushResult pushes one verified result envelope to its new owner's
+// replicate endpoint (the peer-fetch body path in reverse). stored
+// reports whether the receiver wrote it — false means it already held the
+// result, which still completes the transfer.
+func (c *Cluster) pushResult(peer Node, env ResultEnvelope) (stored bool, err error) {
+	if ferr := c.faults.Fire("cluster.peer.replicate", env.Meta.Key); ferr != nil {
+		return false, ferr
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Post(peer.Addr+"/api/v1/cluster/replicate", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("cluster: replicate to %s: %s: %s", peer.ID, resp.Status, readErrorBody(resp.Body))
+	}
+	var ack struct {
+		Stored bool `json:"stored"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack); err != nil {
+		return false, err
+	}
+	return ack.Stored, nil
 }
 
 // verifyEnvelope is the cross-node trust boundary: peer bytes enter the
@@ -165,12 +243,18 @@ func (c *Cluster) fetchSteal(peer Node, max int) []sched.PendingJob {
 // response back. The response is always written: either the peer's, or a
 // 502 explaining why the peer could not answer.
 func (c *Cluster) ProxyJob(w http.ResponseWriter, r *http.Request, nodeID string) {
+	c.ProxyPath(w, r, nodeID, r.URL.Path)
+}
+
+// ProxyPath forwards the request to nodeID at an explicit path (the
+// cross-node requeue endpoint rewrites the path; ProxyJob keeps it).
+func (c *Cluster) ProxyPath(w http.ResponseWriter, r *http.Request, nodeID, path string) {
 	peer, ok := c.nodeByID(nodeID)
 	if !ok {
-		writeProxyError(w, http.StatusBadGateway, fmt.Sprintf("job routed to unknown node %q", nodeID))
+		writeProxyError(w, http.StatusBadGateway, fmt.Sprintf("request routed to unknown node %q", nodeID))
 		return
 	}
-	hreq, err := http.NewRequest(r.Method, peer.Addr+r.URL.Path+querySuffix(r), nil)
+	hreq, err := http.NewRequest(r.Method, peer.Addr+path+querySuffix(r), nil)
 	if err != nil {
 		writeProxyError(w, http.StatusBadGateway, err.Error())
 		return

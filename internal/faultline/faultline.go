@@ -11,7 +11,11 @@
 // cell and "crash.<point>" at named barriers; the cluster layer fires
 // "cluster.heartbeat" per outgoing beat, "cluster.peer.fetch" and
 // "cluster.peer.body" around the peer read-through (error → miss, bitflip
-// → corrupt-on-the-wire), and "cluster.steal" on steal traffic. A Rule
+// → corrupt-on-the-wire), "cluster.steal" on steal traffic, "cluster.join"
+// on join admission (error → the joiner is refused and retries),
+// "cluster.rebalance" per re-replication scan step (error → the scan
+// stalls one tick), and "cluster.peer.replicate" on each pushed result
+// (error → the push fails and retries under the breaker). A Rule
 // matches a site by op
 // pattern (exact, or a trailing-* prefix glob) and optionally by a
 // substring of the site's detail (a store key, a cell label), then fires

@@ -385,6 +385,44 @@ func (l clusterLocal) Admit(tenant string, req SubmitRequest, recoveredFrom stri
 func (l clusterLocal) Depth() (int, int)                    { return l.s.sched.Depth() }
 func (l clusterLocal) Unsettled(max int) []sched.PendingJob { return l.s.sched.Unsettled(max) }
 func (l clusterLocal) Stealable(max int) []sched.PendingJob { return l.s.sched.Stealable(max) }
+func (l clusterLocal) Cancel(id string) bool                { return l.s.sched.Cancel(id) }
+func (l clusterLocal) BeginDrain()                          { l.s.BeginDrain() }
+
+// Quarantined is the heartbeat's parked-job digest, node-stamped so the
+// fleet-wide aggregation can say where each poison job lives.
+func (l clusterLocal) Quarantined(max int) []sched.JobStatus {
+	all := l.s.sched.Quarantine()
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	for i := range all {
+		l.s.stampNode(&all[i])
+	}
+	return all
+}
+
+// Manifest lists this node's stored result keys for the running simulator
+// version — the scan set for epoch-change re-replication.
+func (l clusterLocal) Manifest() []string {
+	keys, err := l.s.store.Keys()
+	if err != nil {
+		return nil
+	}
+	current := keys[:0]
+	for _, key := range keys {
+		if meta, ok := l.s.store.Stat(key); ok && meta.Version == bench.SimVersion {
+			current = append(current, key)
+		}
+	}
+	return current
+}
+
+// LoadResult reads one verified result from the raw disk tier (the push
+// side of re-replication; never the peer-fetch path, so replication can
+// never recurse into itself).
+func (l clusterLocal) LoadResult(key string) ([]byte, store.Meta, bool) {
+	return l.s.store.Get(key, bench.SimVersion)
+}
 
 // HasLocal is the router's "serve it here" probe: memory first (no IO),
 // then a meta-only disk stat. Version-pinned to the running simulator, so
@@ -455,13 +493,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/gc", s.handleGC)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Cluster peer endpoints (404 outside cluster mode): node-to-node
-	// heartbeats, verified result fetch, owner-side submit, and the
-	// steal-donation seam, plus the operator-facing membership view.
+	// heartbeats, verified result fetch, owner-side submit, the
+	// steal-donation and re-replication seams, membership churn
+	// (join/leave), and the operator-facing membership and fleet-wide
+	// quarantine views.
 	s.mux.HandleFunc("GET /api/v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("POST /api/v1/cluster/heartbeat", s.handleClusterHeartbeat)
 	s.mux.HandleFunc("GET /api/v1/cluster/results/{key}", s.handleClusterResult)
 	s.mux.HandleFunc("POST /api/v1/cluster/submit", s.handleClusterSubmit)
 	s.mux.HandleFunc("GET /api/v1/cluster/steal", s.handleClusterSteal)
+	s.mux.HandleFunc("POST /api/v1/cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /api/v1/cluster/leave", s.handleClusterLeave)
+	s.mux.HandleFunc("POST /api/v1/cluster/replicate", s.handleClusterReplicate)
+	s.mux.HandleFunc("GET /api/v1/cluster/quarantine", s.handleClusterQuarantine)
+	s.mux.HandleFunc("POST /api/v1/cluster/quarantine/{node}/{id}/requeue", s.handleClusterRequeue)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -488,18 +533,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := r.Header.Get(TenantHeader)
 	// Route-or-serve: in cluster mode the digest's owner computes it
-	// (unless we already hold the result). Forward failure falls back to
-	// local admission — a reachable node never refuses work because the
-	// owner is down.
+	// (unless we already hold the result). A failed forward re-routes once
+	// against the current membership epoch (the ring may have moved while
+	// the forward was in flight) and then falls back to local admission —
+	// a reachable node never refuses work because the owner is down.
 	if s.cluster != nil {
 		if node, local := s.door.Route(req); !local {
-			st, err := s.cluster.Forward(node, tenant, req, "")
-			if err == nil {
-				s.rememberRoute(st.ID, node)
+			if st, landed, ok := s.cluster.ForwardRetry(node, tenant, req, ""); ok {
+				s.rememberRoute(st.ID, landed)
 				writeJSON(w, http.StatusCreated, st)
 				return
 			}
-			s.log.Printf("cluster: forward to %s failed (%v); serving locally", node, err)
 		}
 	}
 	j, coalesced, err := s.Admit(tenant, req)
@@ -707,12 +751,16 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRequeue is the HTTP face of Requeue, mapping its sentinels onto
-// status codes.
+// status codes. The cluster-wide requeue endpoint shares requeueByID.
 func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
-	old, fresh, err := s.Requeue(r.PathValue("id"))
+	s.requeueByID(w, r.PathValue("id"))
+}
+
+func (s *Server) requeueByID(w http.ResponseWriter, id string) {
+	old, fresh, err := s.Requeue(id)
 	switch {
 	case errors.Is(err, ErrNoSuchJob):
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "no such job %q", id)
 	case errors.Is(err, ErrNotQuarantined), errors.Is(err, ErrAlreadyRequeued):
 		writeError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, ErrBacklogFull), errors.Is(err, ErrShuttingDown):
@@ -822,6 +870,125 @@ func (s *Server) handleClusterSteal(w http.ResponseWriter, r *http.Request) {
 		jobs = []sched.PendingJob{}
 	}
 	writeJSON(w, http.StatusOK, jobs)
+}
+
+// handleClusterJoin admits membership churn. Two body forms share the
+// endpoint: a joining node announces itself with {"id","addr","epoch"}
+// and receives the fleet view; an operator (sgxctl cluster join) posts
+// {"seed": url} to tell *this* node to join the fleet at seed.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	var body struct {
+		ID    string `json:"id"`
+		Addr  string `json:"addr"`
+		Epoch uint64 `json:"epoch"`
+		Seed  string `json:"seed"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad join body: %v", err)
+		return
+	}
+	if body.Seed != "" {
+		if err := s.cluster.Join(body.Seed); err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.cluster.StatusReport())
+		return
+	}
+	v, err := s.cluster.HandleJoin(cluster.Node{ID: body.ID, Addr: body.Addr}, body.Epoch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleClusterLeave starts a graceful departure: ring-excluded drain,
+// queue handoff, final epoch without this node. The drain runs in the
+// background (it can take as long as the running jobs do); the operator
+// polls /api/v1/cluster/status until departed.
+func (s *Server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if err := s.cluster.Leave(ctx); err != nil {
+			s.log.Printf("cluster: leave failed: %v", err)
+		}
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "leaving"})
+}
+
+// handleClusterReplicate is the receiving side of epoch-change
+// re-replication: a peer pushes a result this node now owns. The envelope
+// is re-verified against its own metadata and pinned to the running
+// simulator version before anything touches disk; a result already held
+// acks {"stored": false} so the pusher's resumable scan completes without
+// re-transferring.
+func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	var env cluster.ResultEnvelope
+	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, "bad replicate body: %v", err)
+		return
+	}
+	if env.Meta.Version != bench.SimVersion {
+		writeJSON(w, http.StatusOK, map[string]bool{"stored": false})
+		return
+	}
+	if !env.Verify() {
+		writeError(w, http.StatusBadRequest, "replicate envelope failed verification")
+		return
+	}
+	if _, ok := s.store.Stat(env.Meta.Key); ok {
+		writeJSON(w, http.StatusOK, map[string]bool{"stored": false})
+		return
+	}
+	if err := s.store.Put(env.Meta.Key, env.Body, env.Meta); err != nil {
+		writeError(w, http.StatusInternalServerError, "replicate store: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": true})
+}
+
+// handleClusterQuarantine serves the fleet-wide quarantine view: this
+// node's parked jobs plus every peer's last-gossiped digest.
+func (s *Server) handleClusterQuarantine(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.QuarantineStatus())
+}
+
+// handleClusterRequeue releases a quarantined job from any node: requests
+// naming this node run the local requeue, anything else proxies to the
+// holder's single-node requeue endpoint.
+func (s *Server) handleClusterRequeue(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCluster(w) {
+		return
+	}
+	node, id := r.PathValue("node"), r.PathValue("id")
+	if node == s.cluster.Self() {
+		s.requeueByID(w, id)
+		return
+	}
+	s.cluster.ProxyPath(w, r, node, "/api/v1/quarantine/"+id+"/requeue")
+}
+
+// JoinCluster announces this node to a running fleet via the seed node's
+// join endpoint (sgxd -join). Outside cluster mode it is an error.
+func (s *Server) JoinCluster(seed string) error {
+	if s.cluster == nil {
+		return errors.New("serve: not in cluster mode (set Config.Cluster)")
+	}
+	return s.cluster.Join(seed)
 }
 
 // handleReady is the readiness probe: journal replay finished, the store

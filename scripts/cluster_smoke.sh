@@ -54,15 +54,22 @@ for n in 1 2 3; do
 	PID[n$n]=$!
 done
 
+# wait_ready <url> <log>: deadline-based readiness poll with exponential
+# backoff (25ms doubling to a 1.6s cap, 30s deadline) instead of a fixed
+# sleep ladder; on timeout the node's last stderr lines come with the
+# failure so CI logs say *why* it never came up.
 wait_ready() {
-	for _ in $(seq 1 100); do
-		curl -fsS "$1/readyz" >/dev/null 2>&1 && return 0
-		sleep 0.1
+	local url=$1 log=$2 deadline=$((SECONDS + 30)) backoff=0.025
+	while [ "$SECONDS" -lt "$deadline" ]; do
+		curl -fsS "$url/readyz" >/dev/null 2>&1 && return 0
+		sleep "$backoff"
+		backoff=$(awk -v b="$backoff" 'BEGIN { b *= 2; print (b > 1.6) ? 1.6 : b }')
 	done
-	echo "node at $1 never became ready" >&2
+	echo "node at $url not ready after 30s; last stderr:" >&2
+	[ -f "$log" ] && tail -20 "$log" >&2
 	return 1
 }
-for n in n1 n2 n3; do wait_ready "${URL[$n]}"; done
+for n in n1 n2 n3; do wait_ready "${URL[$n]}" "$WORK/$n.log"; done
 echo "== 3 nodes ready"
 
 # jfield <json> <name>: pull a string field out of (pretty-printed) job
